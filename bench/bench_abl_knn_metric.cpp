@@ -1,0 +1,53 @@
+// Ablation A1 (design choice in paper section III-B3): the kNN distance
+// metric. The paper chose cosine similarity "as opposed to the Euclidean
+// distance or other distance metrics which did not perform as well"; this
+// harness reproduces that comparison for both use cases.
+#include "ml/knn.hpp"
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace varpred;
+  const auto args = bench::HarnessArgs::parse(argc, argv);
+  const auto intel = bench::intel_corpus(args);
+  const auto amd = bench::amd_corpus(args);
+  const core::EvalOptions options;
+
+  const ml::Metric metrics[] = {ml::Metric::kCosine, ml::Metric::kEuclidean,
+                                ml::Metric::kManhattan};
+
+  std::printf("=== Ablation A1: kNN distance metric (PearsonRnd, k = 15) "
+              "===\n\n");
+  auto table = bench::violin_table("use case", "metric");
+  for (const auto metric : metrics) {
+    auto factory = [metric]() -> std::unique_ptr<ml::Regressor> {
+      ml::KnnParams params;
+      params.k = 15;
+      params.metric = metric;
+      return std::make_unique<ml::KnnRegressor>(params);
+    };
+    core::FewRunsConfig uc1;
+    uc1.model_factory = factory;
+    bench::print_violin_row(table, "UC1 (few runs)", ml::to_string(metric),
+                            core::evaluate_few_runs(intel, uc1, options));
+    std::fflush(stdout);
+  }
+  for (const auto metric : metrics) {
+    auto factory = [metric]() -> std::unique_ptr<ml::Regressor> {
+      ml::KnnParams params;
+      params.k = 15;
+      params.metric = metric;
+      return std::make_unique<ml::KnnRegressor>(params);
+    };
+    core::CrossSystemConfig uc2;
+    uc2.model_factory = factory;
+    bench::print_violin_row(
+        table, "UC2 (AMD->Intel)", ml::to_string(metric),
+        core::evaluate_cross_system(amd, intel, uc2, options));
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.render(2).c_str());
+  std::printf("Paper: cosine similarity outperformed Euclidean and other "
+              "metrics for profile feature vectors.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the experiment harnesses: corpus construction with the
+// canonical seeds, command-line parsing, and result formatting. Every
+// bench_fig* / bench_table* binary regenerates one table or figure of the
+// paper and prints the rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/text.hpp"
+#include "core/varpred.hpp"
+
+namespace varpred::bench {
+
+/// Canonical experiment constants: the paper measures every benchmark 1000
+/// times; predictions are reconstructed with 2000 samples.
+inline constexpr std::size_t kRuns = 1000;
+inline constexpr std::uint64_t kCorpusSeed = 7;
+
+struct HarnessArgs {
+  std::size_t runs = kRuns;
+  bool fast = false;  ///< --fast: smaller corpora / fewer cells for smoke use
+
+  static HarnessArgs parse(int argc, char** argv) {
+    HarnessArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--fast") == 0) {
+        args.fast = true;
+        args.runs = 300;
+      } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+        args.runs = static_cast<std::size_t>(std::strtoul(argv[i] + 7,
+                                                          nullptr, 10));
+      } else {
+        std::fprintf(stderr, "usage: %s [--fast] [--runs=N]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+inline measure::Corpus intel_corpus(const HarnessArgs& args) {
+  return measure::build_corpus(measure::SystemModel::intel(), args.runs,
+                               kCorpusSeed);
+}
+
+inline measure::Corpus amd_corpus(const HarnessArgs& args) {
+  return measure::build_corpus(measure::SystemModel::amd(), args.runs,
+                               kCorpusSeed);
+}
+
+/// One violin row: label + summary + a sparkline of the KS scores.
+inline void print_violin_row(io::TextTable& table, const std::string& a,
+                             const std::string& b,
+                             const core::EvalResult& result) {
+  const auto s = result.summary();
+  table.add_row({a, b, format_fixed(s.mean, 3), format_fixed(s.median, 3),
+                 format_fixed(s.q1, 3), format_fixed(s.q3, 3),
+                 format_fixed(s.min, 3), format_fixed(s.max, 3),
+                 stats::density_sparkline(result.ks, 0.0, 0.8, 24)});
+}
+
+inline io::TextTable violin_table(const std::string& first_col,
+                                  const std::string& second_col) {
+  return io::TextTable({first_col, second_col, "meanKS", "median", "q1", "q3",
+                        "min", "max", "violin(0..0.8)"});
+}
+
+}  // namespace varpred::bench

@@ -1,0 +1,163 @@
+// Component micro-benchmarks (google-benchmark): throughput of the
+// statistical kernels, reconstruction paths, the simulator, and the three
+// regressors. These are engineering benchmarks, not paper figures -- they
+// document where the pipeline spends its time.
+#include <benchmark/benchmark.h>
+
+#include "core/varpred.hpp"
+#include "rngdist/samplers.hpp"
+#include "maxent/maxent.hpp"
+#include "ml/forest.hpp"
+#include "ml/gbt.hpp"
+#include "ml/knn.hpp"
+
+namespace {
+
+using namespace varpred;
+
+std::vector<double> make_sample(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rngdist::normal(rng, 1.0, 0.02);
+  return out;
+}
+
+void BM_Moments(benchmark::State& state) {
+  const auto xs = make_sample(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::compute_moments(xs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Moments)->Arg(1000)->Arg(10000);
+
+void BM_KsStatistic(benchmark::State& state) {
+  const auto a = make_sample(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = make_sample(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_statistic(a, b));
+  }
+}
+BENCHMARK(BM_KsStatistic)->Arg(1000)->Arg(2000);
+
+void BM_KdeGrid(benchmark::State& state) {
+  const auto xs = make_sample(1000, 3);
+  const stats::Kde kde(xs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kde.evaluate_grid(0.9, 1.1, 128));
+  }
+}
+BENCHMARK(BM_KdeGrid);
+
+void BM_PearsonSample(benchmark::State& state) {
+  stats::Moments target;
+  target.mean = 1.0;
+  target.stddev = 0.02;
+  target.skewness = 0.8;
+  target.kurtosis = 4.5;  // type IV region
+  const pearson::PearsonSampler sampler(target);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_PearsonSample);
+
+void BM_PearsonConstruct(benchmark::State& state) {
+  stats::Moments target;
+  target.mean = 1.0;
+  target.stddev = 0.02;
+  target.skewness = 0.8;
+  target.kurtosis = 4.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pearson::PearsonSampler(target));
+  }
+}
+BENCHMARK(BM_PearsonConstruct);
+
+void BM_MaxEntSolve(benchmark::State& state) {
+  stats::Moments target;
+  target.mean = 1.0;
+  target.stddev = 0.03;
+  target.skewness = 0.5;
+  target.kurtosis = 3.5;
+  const auto raw = maxent::raw_moments_from_summary(target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        maxent::MaxEntDensity(raw, 1.0 - 0.2, 1.0 + 0.2));
+  }
+}
+BENCHMARK(BM_MaxEntSolve);
+
+void BM_SimulateRun(benchmark::State& state) {
+  const auto& system = measure::SystemModel::intel();
+  const auto& bench = measure::benchmark_table()[0];
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure::simulate_run(bench, system, rng));
+  }
+}
+BENCHMARK(BM_SimulateRun);
+
+void BM_BuildProfile(benchmark::State& state) {
+  const auto& system = measure::SystemModel::intel();
+  const auto runs = measure::measure_benchmark(0, system, 100, 7);
+  std::vector<std::size_t> idx(10);
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i * 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_profile(system, runs, idx));
+  }
+}
+BENCHMARK(BM_BuildProfile);
+
+ml::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  ml::Matrix m(rows, cols);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+void BM_KnnFitPredict(benchmark::State& state) {
+  const auto x = random_matrix(118, 272, 1);
+  const auto y = random_matrix(118, 4, 2);
+  const auto q = random_matrix(1, 272, 3);
+  for (auto _ : state) {
+    ml::KnnRegressor knn;
+    knn.fit(x, y);
+    benchmark::DoNotOptimize(knn.predict(q.row(0)));
+  }
+}
+BENCHMARK(BM_KnnFitPredict);
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto x = random_matrix(118, 272, 1);
+  const auto y = random_matrix(118, 4, 2);
+  ml::ForestParams params;
+  params.n_trees = 20;
+  for (auto _ : state) {
+    ml::RandomForest forest(params);
+    forest.fit(x, y);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestFit);
+
+void BM_GbtFit(benchmark::State& state) {
+  const auto x = random_matrix(118, 272, 1);
+  const auto y = random_matrix(118, 4, 2);
+  ml::GbtParams params;
+  params.n_rounds = 10;
+  for (auto _ : state) {
+    ml::GradientBoosting gbt(params);
+    gbt.fit(x, y);
+    benchmark::DoNotOptimize(gbt.trained());
+  }
+}
+BENCHMARK(BM_GbtFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

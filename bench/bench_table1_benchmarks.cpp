@@ -1,0 +1,35 @@
+// Table I: the benchmark suite inventory (60 benchmarks from 7 suites),
+// extended with the simulator's latent characteristics so the corpus
+// composition is auditable.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace varpred;
+  std::printf("=== Table I: benchmarks used in the evaluation ===\n\n");
+
+  io::TextTable table({"suite", "benchmark", "base_s", "compute", "memory",
+                       "branch", "cache", "tlb", "numa", "sync", "iogc"});
+  std::string current_suite;
+  std::size_t per_suite = 0;
+  for (const auto& bench : measure::benchmark_table()) {
+    if (bench.suite != current_suite && !current_suite.empty()) {
+      std::printf("  (%zu benchmarks in %s)\n", per_suite,
+                  current_suite.c_str());
+      per_suite = 0;
+    }
+    current_suite = bench.suite;
+    ++per_suite;
+    const auto& t = bench.traits;
+    table.add_row({bench.suite, bench.name,
+                   format_fixed(bench.base_runtime_seconds, 1),
+                   format_fixed(t.compute, 2), format_fixed(t.memory, 2),
+                   format_fixed(t.branch, 2), format_fixed(t.cache, 2),
+                   format_fixed(t.tlb, 2), format_fixed(t.numa, 2),
+                   format_fixed(t.sync, 2), format_fixed(t.iogc, 2)});
+  }
+  std::printf("  (%zu benchmarks in %s)\n\n", per_suite,
+              current_suite.c_str());
+  std::printf("%s\n", table.render(2).c_str());
+  std::printf("total: %zu benchmarks\n", measure::benchmark_table().size());
+  return 0;
+}

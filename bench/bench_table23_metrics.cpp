@@ -1,0 +1,32 @@
+// Tables II & III: the profiling metrics collected on each system (68 on
+// the Intel machine, 75 on the AMD machine), with the semantic category the
+// simulator assigns and the per-metric noise level.
+#include "bench_common.hpp"
+
+namespace {
+
+void print_metrics(const varpred::measure::SystemModel& system) {
+  using namespace varpred;
+  std::printf("--- %s system: %zu metrics ---\n", system.name().c_str(),
+              system.metric_count());
+  io::TextTable table({"id", "metric", "category", "noise_sigma"});
+  for (const auto& metric : system.metrics()) {
+    const auto& model = system.counter_model(
+        static_cast<std::size_t>(metric.id));
+    table.add_row({std::to_string(metric.id), metric.name,
+                   measure::to_string(metric.category),
+                   format_fixed(model.noise_sigma, 3)});
+  }
+  std::printf("%s\n", table.render(2).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace varpred;
+  std::printf("=== Table II: profiling metrics, Intel CPU system ===\n\n");
+  print_metrics(measure::SystemModel::intel());
+  std::printf("=== Table III: profiling metrics, AMD CPU system ===\n\n");
+  print_metrics(measure::SystemModel::amd());
+  return 0;
+}

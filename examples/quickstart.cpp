@@ -1,0 +1,64 @@
+// Quickstart: predict an application's performance distribution from ten
+// runs (use case 1 of the paper).
+//
+//   1. Build a measurement corpus for the system of interest (here: the
+//      simulated Intel machine; in a real deployment this is your archive
+//      of perf profiles + runtimes for a benchmark suite).
+//   2. Train a FewRunsPredictor (PearsonRnd representation + kNN model, the
+//      paper's best configuration).
+//   3. Take 10 runs of a "new" application, predict its full distribution,
+//      and compare against the measured truth.
+#include <cstdio>
+
+#include "core/varpred.hpp"
+
+int main() {
+  using namespace varpred;
+
+  // 1. Measure the training corpus: every Table I benchmark, 1000 runs.
+  std::printf("measuring training corpus (60 benchmarks x 1000 runs)...\n");
+  const auto corpus =
+      measure::build_corpus(measure::SystemModel::intel(), 1000, /*seed=*/7);
+
+  // Treat one benchmark as the "new" application: hold it out of training.
+  const std::size_t new_app = measure::benchmark_index("specomp/376");
+  std::vector<std::size_t> training;
+  for (std::size_t b = 0; b < corpus.benchmarks.size(); ++b) {
+    if (b != new_app) training.push_back(b);
+  }
+
+  // 2. Train the paper's best configuration.
+  core::FewRunsConfig config;  // PearsonRnd + kNN, 10 probe runs
+  core::FewRunsPredictor predictor(config);
+  predictor.train(corpus, training);
+  std::printf("trained %s + %s on %zu benchmarks\n",
+              predictor.repr().name().c_str(),
+              core::to_string(config.model).c_str(), training.size());
+
+  // 3. Profile the new application with just 10 runs and predict.
+  const auto& app_runs = corpus.benchmarks[new_app];
+  Rng rng(42);
+  const auto probe =
+      core::choose_run_indices(app_runs.run_count(), 10, rng);
+  const auto predicted =
+      predictor.predict_distribution(app_runs, probe, /*n_samples=*/2000,
+                                     rng);
+
+  const auto measured = app_runs.relative_times();
+  const double ks = stats::ks_statistic(measured, predicted);
+  const auto pm = stats::compute_moments(predicted);
+  const auto mm = stats::compute_moments(measured);
+
+  std::printf("\npredicted distribution of specomp/376 from 10 runs:\n");
+  std::printf("  measured : sd=%.4f skew=%+.2f kurt=%.2f\n", mm.stddev,
+              mm.skewness, mm.kurtosis);
+  std::printf("  predicted: sd=%.4f skew=%+.2f kurt=%.2f\n", pm.stddev,
+              pm.skewness, pm.kurtosis);
+  std::printf("  KS(measured, predicted) = %.3f (0 = perfect)\n\n", ks);
+
+  double lo;
+  double hi;
+  io::plot_range(measured, predicted, lo, hi);
+  std::printf("%s\n", io::density_overlay(measured, predicted, lo, hi).c_str());
+  return 0;
+}

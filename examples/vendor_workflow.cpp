@@ -1,0 +1,85 @@
+// Vendor workflow: the production shape of use case 2.
+//
+// The paper sketches it in section III-A2: "the vendor of the new system
+// may publish the performance distribution of a set of benchmarks and the
+// user may run the same benchmarks on their old system to collect data for
+// training the model." With model serialization the whole *model* can be
+// published instead:
+//
+//   VENDOR  measures the Table I suite on the new machine, trains the
+//           system-to-system predictor against a reference machine, and
+//           ships the serialized model file.
+//   CUSTOMER loads the model file and predicts their own application's
+//           distribution on the new machine from local measurements only.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/varpred.hpp"
+
+int main() {
+  using namespace varpred;
+
+  // ------------------------- vendor side --------------------------------
+  std::printf("[vendor] measuring reference (amd) and new (intel) "
+              "machines...\n");
+  const auto reference = measure::build_corpus(measure::SystemModel::amd(),
+                                               1000, 7);
+  const auto new_machine =
+      measure::build_corpus(measure::SystemModel::intel(), 1000, 7);
+
+  core::CrossSystemPredictor vendor_model;  // PearsonRnd + kNN
+  vendor_model.train_all(reference, new_machine);
+
+  std::stringstream shipped;  // stands in for the published file
+  vendor_model.save(shipped);
+  std::printf("[vendor] published transfer model (%zu bytes serialized)\n\n",
+              shipped.str().size());
+
+  // ------------------------ customer side -------------------------------
+  // The customer never touches the vendor's corpora: they only load the
+  // model and measure their own application locally.
+  auto customer_model = core::CrossSystemPredictor::load(shipped);
+  std::printf("[customer] loaded vendor model (trained=%s)\n",
+              customer_model.trained() ? "yes" : "no");
+
+  const char* app = "mllib/kmeans";
+  const auto local_runs = measure::measure_benchmark(
+      measure::benchmark_index(app), measure::SystemModel::amd(), 1000,
+      /*seed=*/7);
+  std::printf("[customer] measured %s locally: mean %.1f s\n", app,
+              stats::mean(local_runs.runtimes));
+
+  Rng rng(2026);
+  const auto predicted =
+      customer_model.predict_distribution(local_runs, 2000, rng);
+  const auto pm = stats::compute_moments(predicted);
+  std::printf("[customer] predicted on the new machine: relative sd=%.4f "
+              "skew=%+.2f p99=%.4f\n",
+              pm.stddev, pm.skewness, stats::quantile(predicted, 0.99));
+
+  // Ground truth (available here because the new machine is simulated).
+  const auto truth = new_machine.runs_of(app).relative_times();
+  std::printf("[oracle]   actual on the new machine:   relative sd=%.4f "
+              "skew=%+.2f p99=%.4f\n",
+              stats::compute_moments(truth).stddev,
+              stats::compute_moments(truth).skewness,
+              stats::quantile(truth, 0.99));
+  std::printf("[oracle]   KS(predicted, actual) = %.3f\n\n",
+              stats::ks_statistic(truth, predicted));
+
+  // Publish the comparison figure.
+  io::SvgFigure figure(std::string("Predicted vs actual on new machine: ") +
+                           app,
+                       "relative time", "density");
+  figure.add_density(truth, "actual", "#1f77b4", true);
+  figure.add_density(predicted, "predicted", "#d62728");
+  figure.save("vendor_workflow.svg");
+  std::printf("wrote vendor_workflow.svg\n");
+
+  double lo;
+  double hi;
+  io::plot_range(truth, predicted, lo, hi);
+  std::printf("%s", io::density_overlay(truth, predicted, lo, hi).c_str());
+  return 0;
+}

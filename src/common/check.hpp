@@ -1,0 +1,57 @@
+// Lightweight runtime-check macros used across the library.
+//
+// VARPRED_CHECK(cond, msg)      -- throws varpred::CheckError on failure.
+// VARPRED_CHECK_ARG(cond, msg)  -- throws std::invalid_argument on failure.
+//
+// Checks guard API contracts (argument validity, internal invariants); they
+// are always on -- performance-critical inner loops should validate once at
+// entry, not per element.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace varpred {
+
+/// Error thrown when an internal invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: (" << expr << ")";
+  if (!msg.empty()) os << " -- " << msg;
+  throw CheckError(os.str());
+}
+
+[[noreturn]] inline void arg_check_failed(const char* expr,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << "invalid argument: (" << expr << ")";
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace detail
+}  // namespace varpred
+
+#define VARPRED_CHECK(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::varpred::detail::check_failed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                   \
+  } while (0)
+
+#define VARPRED_CHECK_ARG(cond, msg)                       \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::varpred::detail::arg_check_failed(#cond, msg);      \
+    }                                                       \
+  } while (0)

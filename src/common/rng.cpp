@@ -1,0 +1,20 @@
+#include "common/rng.hpp"
+
+namespace varpred {
+
+std::uint64_t stable_hash(std::string_view text) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  std::uint64_t sm = h;
+  return splitmix64(sm);
+}
+
+std::uint64_t seed_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t sm = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return splitmix64(sm);
+}
+
+}  // namespace varpred

@@ -1,0 +1,108 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+namespace varpred {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || worker_count() == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Dynamic chunking: workers pull the next index from a shared counter.
+  // The caller thread participates too, so the pool never deadlocks even if
+  // parallel_for is invoked from inside a pool task.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  auto drain = [shared, n, &body] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        if (!shared->failed.load(std::memory_order_relaxed)) body(i);
+      } catch (...) {
+        std::lock_guard lock(shared->error_mutex);
+        if (!shared->error) shared->error = std::current_exception();
+        shared->failed.store(true, std::memory_order_relaxed);
+      }
+      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard lock(shared->done_mutex);
+        shared->done_cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(worker_count(), n - 1);
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t w = 0; w < helpers; ++w) tasks_.emplace_back(drain);
+  }
+  cv_.notify_all();
+
+  drain();  // caller thread helps
+
+  {
+    std::unique_lock lock(shared->done_mutex);
+    shared->done_cv.wait(lock, [&] {
+      return shared->done.load(std::memory_order_acquire) >= n;
+    });
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(n, body);
+}
+
+}  // namespace varpred

@@ -1,0 +1,53 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Forest training, corpus generation, and cross-validation folds all use
+// parallel_for. Results must be independent of the worker count: callers
+// write into pre-sized output slots indexed by iteration, and any per-task
+// randomness is seeded per index, never per thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace varpred {
+
+/// A minimal fixed-size thread pool.
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` threads; 0 means hardware_concurrency.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Runs body(i) for i in [0, n). Blocks until every iteration finished.
+  /// The first exception thrown by any iteration is rethrown in the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide shared pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience: parallel_for on the global pool. Falls back to a serial loop
+/// when the pool has a single worker (keeps small problems cheap).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace varpred

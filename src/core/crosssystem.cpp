@@ -1,0 +1,61 @@
+#include "core/crosssystem.hpp"
+
+#include "common/check.hpp"
+
+namespace varpred::core {
+
+CrossSystemPredictor::CrossSystemPredictor(CrossSystemConfig config)
+    : config_(config), repr_(DistributionRepr::create(config.repr)) {}
+
+std::vector<double> CrossSystemPredictor::make_features(
+    const measure::SystemModel& system,
+    const measure::BenchmarkRuns& source_runs) const {
+  auto features = build_full_profile(system, source_runs, config_.profile);
+  const auto encoded = repr_->encode(source_runs.relative_times());
+  features.insert(features.end(), encoded.begin(), encoded.end());
+  return features;
+}
+
+void CrossSystemPredictor::train(
+    const measure::Corpus& source, const measure::Corpus& target,
+    std::span<const std::size_t> train_benchmarks) {
+  VARPRED_CHECK_ARG(!train_benchmarks.empty(), "no training benchmarks");
+  VARPRED_CHECK_ARG(source.benchmarks.size() == target.benchmarks.size(),
+                    "corpora must cover the same benchmark set");
+  source_system_ = source.system;
+  ml::Matrix x;
+  ml::Matrix y;
+  for (const std::size_t b : train_benchmarks) {
+    VARPRED_CHECK_ARG(b < source.benchmarks.size(),
+                      "benchmark index out of range");
+    x.push_row(make_features(*source.system, source.benchmarks[b]));
+    y.push_row(repr_->encode(target.benchmarks[b].relative_times()));
+  }
+  model_ = config_.model_factory ? config_.model_factory()
+                                 : make_model(config_.model, config_.seed);
+  model_->fit(x, y);
+}
+
+void CrossSystemPredictor::train_all(const measure::Corpus& source,
+                                     const measure::Corpus& target) {
+  std::vector<std::size_t> all(source.benchmarks.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  train(source, target, all);
+}
+
+std::vector<double> CrossSystemPredictor::predict_encoded(
+    std::span<const double> features) const {
+  VARPRED_CHECK(trained(), "predict before train");
+  return model_->predict(features);
+}
+
+std::vector<double> CrossSystemPredictor::predict_distribution(
+    const measure::BenchmarkRuns& source_runs, std::size_t n_samples,
+    Rng& rng) const {
+  VARPRED_CHECK(source_system_ != nullptr, "predict before train");
+  const auto features = make_features(*source_system_, source_runs);
+  const auto encoded = predict_encoded(features);
+  return repr_->reconstruct(encoded, n_samples, rng);
+}
+
+}  // namespace varpred::core

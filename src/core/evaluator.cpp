@@ -1,0 +1,102 @@
+#include "core/evaluator.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "stats/ks.hpp"
+
+namespace varpred::core {
+namespace {
+
+std::vector<std::size_t> all_but(std::size_t n, std::size_t held_out) {
+  std::vector<std::size_t> out;
+  out.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != held_out) out.push_back(i);
+  }
+  return out;
+}
+
+// Deterministic probe-run selection for the held-out benchmark.
+std::vector<std::size_t> probe_runs_for(const measure::BenchmarkRuns& runs,
+                                        std::size_t n_probe,
+                                        std::uint64_t seed,
+                                        std::size_t bench) {
+  Rng rng(seed_combine(seed, 0xBEEF0000ULL + bench));
+  return choose_run_indices(runs.run_count(),
+                            std::min(n_probe, runs.run_count()), rng);
+}
+
+}  // namespace
+
+std::vector<double> predict_held_out_few_runs(const measure::Corpus& corpus,
+                                              std::size_t bench,
+                                              const FewRunsConfig& config,
+                                              const EvalOptions& options) {
+  VARPRED_CHECK_ARG(bench < corpus.benchmarks.size(),
+                    "benchmark index out of range");
+  FewRunsPredictor predictor(config);
+  predictor.train(corpus, all_but(corpus.benchmarks.size(), bench));
+  const auto& runs = corpus.benchmarks[bench];
+  const auto probes =
+      probe_runs_for(runs, config.n_probe_runs, options.seed, bench);
+  Rng rng(seed_combine(options.seed, 0xD15717ULL + bench));
+  return predictor.predict_distribution(runs, probes, options.n_reconstruct,
+                                        rng);
+}
+
+std::vector<double> predict_held_out_cross_system(
+    const measure::Corpus& source, const measure::Corpus& target,
+    std::size_t bench, const CrossSystemConfig& config,
+    const EvalOptions& options) {
+  VARPRED_CHECK_ARG(bench < source.benchmarks.size(),
+                    "benchmark index out of range");
+  CrossSystemPredictor predictor(config);
+  predictor.train(source, target, all_but(source.benchmarks.size(), bench));
+  Rng rng(seed_combine(options.seed, 0xC105500ULL + bench));
+  return predictor.predict_distribution(source.benchmarks[bench],
+                                        options.n_reconstruct, rng);
+}
+
+EvalResult evaluate_few_runs(const measure::Corpus& corpus,
+                             const FewRunsConfig& config,
+                             const EvalOptions& options) {
+  const std::size_t n = corpus.benchmarks.size();
+  EvalResult result;
+  result.benchmark_names.resize(n);
+  result.ks.resize(n);
+  parallel_for(n, [&](std::size_t b) {
+    const auto predicted =
+        predict_held_out_few_runs(corpus, b, config, options);
+    const auto measured = corpus.benchmarks[b].relative_times();
+    result.ks[b] = stats::ks_statistic(measured, predicted);
+    result.benchmark_names[b] =
+        measure::benchmark_table()[corpus.benchmarks[b].benchmark].full_name();
+  });
+  return result;
+}
+
+EvalResult evaluate_cross_system(const measure::Corpus& source,
+                                 const measure::Corpus& target,
+                                 const CrossSystemConfig& config,
+                                 const EvalOptions& options) {
+  VARPRED_CHECK_ARG(source.benchmarks.size() == target.benchmarks.size(),
+                    "corpora must cover the same benchmark set");
+  const std::size_t n = source.benchmarks.size();
+  EvalResult result;
+  result.benchmark_names.resize(n);
+  result.ks.resize(n);
+  parallel_for(n, [&](std::size_t b) {
+    const auto predicted =
+        predict_held_out_cross_system(source, target, b, config, options);
+    const auto measured = target.benchmarks[b].relative_times();
+    result.ks[b] = stats::ks_statistic(measured, predicted);
+    result.benchmark_names[b] =
+        measure::benchmark_table()[source.benchmarks[b].benchmark]
+            .full_name();
+  });
+  return result;
+}
+
+}  // namespace varpred::core

@@ -1,0 +1,61 @@
+// Leave-one-group-out evaluation of both use cases (paper section V).
+//
+// For every benchmark the evaluator trains a model on all other benchmarks,
+// predicts the held-out benchmark's distribution, reconstructs samples, and
+// scores them against the measured relative times with the two-sample
+// Kolmogorov-Smirnov statistic (0 = perfect). The per-benchmark KS scores
+// are what the paper's violin plots (Figs. 4, 6, 7, 8) summarize.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/crosssystem.hpp"
+#include "core/predictor.hpp"
+#include "stats/summary.hpp"
+
+namespace varpred::core {
+
+/// Per-benchmark KS scores for one configuration.
+struct EvalResult {
+  std::vector<std::string> benchmark_names;
+  std::vector<double> ks;
+
+  stats::ViolinSummary summary() const {
+    return stats::ViolinSummary::from(ks);
+  }
+  double mean_ks() const { return summary().mean; }
+};
+
+/// Evaluation knobs shared by both use cases.
+struct EvalOptions {
+  std::size_t n_reconstruct = 2000;  ///< samples drawn from the prediction
+  std::uint64_t seed = 4242;
+};
+
+/// Use case #1: leave-one-benchmark-out over `corpus`.
+EvalResult evaluate_few_runs(const measure::Corpus& corpus,
+                             const FewRunsConfig& config,
+                             const EvalOptions& options = {});
+
+/// Use case #2: leave-one-benchmark-out over paired corpora
+/// (source system -> target system).
+EvalResult evaluate_cross_system(const measure::Corpus& source,
+                                 const measure::Corpus& target,
+                                 const CrossSystemConfig& config,
+                                 const EvalOptions& options = {});
+
+/// Predicts the held-out benchmark `bench` under use case #1 and returns the
+/// reconstructed samples (the figure harnesses use this for overlays).
+std::vector<double> predict_held_out_few_runs(const measure::Corpus& corpus,
+                                              std::size_t bench,
+                                              const FewRunsConfig& config,
+                                              const EvalOptions& options = {});
+
+/// Predicts the held-out benchmark `bench` under use case #2.
+std::vector<double> predict_held_out_cross_system(
+    const measure::Corpus& source, const measure::Corpus& target,
+    std::size_t bench, const CrossSystemConfig& config,
+    const EvalOptions& options = {});
+
+}  // namespace varpred::core

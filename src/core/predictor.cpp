@@ -1,0 +1,64 @@
+#include "core/predictor.hpp"
+
+#include "common/check.hpp"
+
+namespace varpred::core {
+
+FewRunsPredictor::FewRunsPredictor(FewRunsConfig config)
+    : config_(config), repr_(DistributionRepr::create(config.repr)) {
+  VARPRED_CHECK_ARG(config_.n_probe_runs >= 1, "need >= 1 probe run");
+  VARPRED_CHECK_ARG(config_.train_replicates >= 1, "need >= 1 replicate");
+}
+
+void FewRunsPredictor::train(const measure::Corpus& corpus,
+                             std::span<const std::size_t> train_benchmarks) {
+  VARPRED_CHECK_ARG(!train_benchmarks.empty(), "no training benchmarks");
+  system_ = corpus.system;
+  ml::Matrix x;
+  ml::Matrix y;
+  for (const std::size_t b : train_benchmarks) {
+    VARPRED_CHECK_ARG(b < corpus.benchmarks.size(),
+                      "benchmark index out of range");
+    const auto& runs = corpus.benchmarks[b];
+    const auto target = repr_->encode(runs.relative_times());
+    // Deterministic per-benchmark probe resampling (independent of the
+    // training subset, so folds see identical rows for shared benchmarks).
+    Rng rng(seed_combine(config_.seed, stable_hash(corpus.system->name()) ^
+                                           (b * 0x9E37ULL + 17)));
+    const std::size_t probes =
+        std::min(config_.n_probe_runs, runs.run_count());
+    for (std::size_t rep = 0; rep < config_.train_replicates; ++rep) {
+      const auto idx = choose_run_indices(runs.run_count(), probes, rng);
+      x.push_row(build_profile(*corpus.system, runs, idx, config_.profile));
+      y.push_row(target);
+    }
+  }
+  model_ = config_.model_factory ? config_.model_factory()
+                                 : make_model(config_.model, config_.seed);
+  model_->fit(x, y);
+}
+
+void FewRunsPredictor::train_all(const measure::Corpus& corpus) {
+  std::vector<std::size_t> all(corpus.benchmarks.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  train(corpus, all);
+}
+
+std::vector<double> FewRunsPredictor::predict_encoded(
+    std::span<const double> profile_features) const {
+  VARPRED_CHECK(trained(), "predict before train");
+  return model_->predict(profile_features);
+}
+
+std::vector<double> FewRunsPredictor::predict_distribution(
+    const measure::BenchmarkRuns& runs,
+    std::span<const std::size_t> probe_runs, std::size_t n_samples,
+    Rng& rng) const {
+  VARPRED_CHECK(system_ != nullptr, "predict before train");
+  const auto features =
+      build_profile(*system_, runs, probe_runs, config_.profile);
+  const auto encoded = predict_encoded(features);
+  return repr_->reconstruct(encoded, n_samples, rng);
+}
+
+}  // namespace varpred::core

@@ -1,0 +1,56 @@
+// Application profiles (paper section III-B1).
+//
+// A profile is the model-facing representation of "what this application
+// does": every perf counter is normalized per second of runtime (so profiles
+// are comparable across applications with different durations), and when the
+// profile is built from several runs, the mean, standard deviation, skewness
+// and kurtosis of each normalized metric across the runs become the feature
+// vector. Higher moments can be disabled for the ablation study.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "measure/corpus.hpp"
+
+namespace varpred::core {
+
+/// Profile construction options.
+struct ProfileOptions {
+  /// Include per-metric stddev/skewness/kurtosis across runs (the paper's
+  /// configuration). When false, only the per-metric means are used
+  /// (ablation A2).
+  bool include_higher_moments = true;
+
+  std::size_t features_per_metric() const {
+    return include_higher_moments ? 4 : 1;
+  }
+};
+
+/// Builds a profile feature vector from the runs selected by `run_indices`
+/// in `runs`. Counters are normalized by each run's runtime ("per second")
+/// and summarized across the selected runs (mean, and optionally stddev /
+/// skewness / kurtosis, per metric). Following the paper, *every* metric is
+/// normalized per unit time -- including duration_time, which therefore
+/// contributes only a constant feature: the model has no direct view of the
+/// runtime distribution and must infer it from counter behaviour.
+std::vector<double> build_profile(const measure::SystemModel& system,
+                                  const measure::BenchmarkRuns& runs,
+                                  std::span<const std::size_t> run_indices,
+                                  const ProfileOptions& options = {});
+
+/// Convenience: profile over all runs.
+std::vector<double> build_full_profile(const measure::SystemModel& system,
+                                       const measure::BenchmarkRuns& runs,
+                                       const ProfileOptions& options = {});
+
+/// Feature names aligned with build_profile for a given system.
+std::vector<std::string> profile_feature_names(
+    const measure::SystemModel& system, const ProfileOptions& options = {});
+
+/// Draws `count` distinct run indices deterministically (for probe runs).
+std::vector<std::size_t> choose_run_indices(std::size_t total,
+                                            std::size_t count, Rng& rng);
+
+}  // namespace varpred::core

@@ -1,0 +1,93 @@
+// Serialization of the trained predictors (see io/serialize.hpp for the
+// format). A serialized predictor carries its configuration, the source
+// system's identity, and the trained model, so it can be shipped and loaded
+// without access to the training corpus.
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "core/crosssystem.hpp"
+#include "core/predictor.hpp"
+#include "io/serialize.hpp"
+#include "ml/serialize.hpp"
+
+namespace varpred::core {
+namespace {
+
+constexpr std::uint64_t kPredictorVersion = 1;
+
+}  // namespace
+
+void FewRunsPredictor::save(std::ostream& out) const {
+  VARPRED_CHECK_ARG(trained(), "cannot save an untrained predictor");
+  io::Writer w(out);
+  w.tag("varpred.fewruns");
+  w.u64("version", kPredictorVersion);
+  w.u64("n_probe_runs", config_.n_probe_runs);
+  w.u64("train_replicates", config_.train_replicates);
+  w.u64("repr", static_cast<std::uint64_t>(config_.repr));
+  w.u64("model", static_cast<std::uint64_t>(config_.model));
+  w.boolean("higher_moments", config_.profile.include_higher_moments);
+  w.u64("seed", config_.seed);
+  w.text("system", system_ != nullptr ? system_->name() : "");
+  model_->save(out);
+}
+
+FewRunsPredictor FewRunsPredictor::load(std::istream& in) {
+  io::Reader r(in);
+  r.tag("varpred.fewruns");
+  VARPRED_CHECK_ARG(r.u64("version") == kPredictorVersion,
+                    "unsupported predictor version");
+  FewRunsConfig config;
+  config.n_probe_runs = static_cast<std::size_t>(r.u64("n_probe_runs"));
+  config.train_replicates =
+      static_cast<std::size_t>(r.u64("train_replicates"));
+  config.repr = static_cast<ReprKind>(r.u64("repr"));
+  config.model = static_cast<ModelKind>(r.u64("model"));
+  config.profile.include_higher_moments = r.boolean("higher_moments");
+  config.seed = r.u64("seed");
+  const auto system_name = r.text("system");
+
+  FewRunsPredictor predictor(config);
+  predictor.model_ = ml::load_regressor(in);
+  if (!system_name.empty()) {
+    predictor.system_ = &measure::SystemModel::by_name(system_name);
+  }
+  return predictor;
+}
+
+void CrossSystemPredictor::save(std::ostream& out) const {
+  VARPRED_CHECK_ARG(trained(), "cannot save an untrained predictor");
+  io::Writer w(out);
+  w.tag("varpred.crosssystem");
+  w.u64("version", kPredictorVersion);
+  w.u64("repr", static_cast<std::uint64_t>(config_.repr));
+  w.u64("model", static_cast<std::uint64_t>(config_.model));
+  w.boolean("higher_moments", config_.profile.include_higher_moments);
+  w.u64("seed", config_.seed);
+  w.text("source_system",
+         source_system_ != nullptr ? source_system_->name() : "");
+  model_->save(out);
+}
+
+CrossSystemPredictor CrossSystemPredictor::load(std::istream& in) {
+  io::Reader r(in);
+  r.tag("varpred.crosssystem");
+  VARPRED_CHECK_ARG(r.u64("version") == kPredictorVersion,
+                    "unsupported predictor version");
+  CrossSystemConfig config;
+  config.repr = static_cast<ReprKind>(r.u64("repr"));
+  config.model = static_cast<ModelKind>(r.u64("model"));
+  config.profile.include_higher_moments = r.boolean("higher_moments");
+  config.seed = r.u64("seed");
+  const auto system_name = r.text("source_system");
+
+  CrossSystemPredictor predictor(config);
+  predictor.model_ = ml::load_regressor(in);
+  if (!system_name.empty()) {
+    predictor.source_system_ = &measure::SystemModel::by_name(system_name);
+  }
+  return predictor;
+}
+
+}  // namespace varpred::core

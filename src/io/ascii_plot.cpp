@@ -1,0 +1,114 @@
+#include "io/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/check.hpp"
+#include "stats/kde.hpp"
+
+namespace varpred::io {
+namespace {
+
+std::vector<double> kde_curve(std::span<const double> sample, double lo,
+                              double hi, std::size_t width) {
+  const stats::Kde kde(sample);
+  return kde.evaluate_grid(lo, hi, width);
+}
+
+void render_curve(std::vector<std::string>& canvas,
+                  const std::vector<double>& curve, double peak, char glyph,
+                  char overlap_glyph) {
+  const std::size_t height = canvas.size();
+  for (std::size_t x = 0; x < curve.size(); ++x) {
+    const double t = peak > 0.0 ? curve[x] / peak : 0.0;
+    const auto level = static_cast<std::size_t>(
+        std::round(t * static_cast<double>(height - 1)));
+    // Fill from the bottom row up to `level`.
+    for (std::size_t yidx = 0; yidx <= level; ++yidx) {
+      char& cell = canvas[height - 1 - yidx][x];
+      if (cell == ' ') {
+        cell = (yidx == level) ? glyph : (glyph == '#' ? '.' : ' ');
+      } else if (yidx == level) {
+        cell = overlap_glyph;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void plot_range(std::span<const double> a, std::span<const double> b,
+                double& lo, double& hi) {
+  VARPRED_CHECK_ARG(!a.empty(), "empty sample");
+  double min_v = a[0];
+  double max_v = a[0];
+  for (const double v : a) {
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  for (const double v : b) {
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  const double margin = std::max(1e-6, 0.08 * (max_v - min_v));
+  lo = min_v - margin;
+  hi = max_v + margin;
+}
+
+std::string density_plot(std::span<const double> sample, double lo, double hi,
+                         std::size_t width, std::size_t height) {
+  VARPRED_CHECK_ARG(width >= 8 && height >= 3, "plot too small");
+  VARPRED_CHECK_ARG(hi > lo, "plot range must be non-empty");
+  const auto curve = kde_curve(sample, lo, hi, width);
+  const double peak = *std::max_element(curve.begin(), curve.end());
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  render_curve(canvas, curve, peak, '#', '#');
+
+  std::string out;
+  for (const auto& row : canvas) {
+    out += "    |";
+    out += row;
+    out += '\n';
+  }
+  out += "    +" + std::string(width, '-') + '\n';
+  char label[128];
+  std::snprintf(label, sizeof(label), "     %-10.4g%*s%10.4g\n", lo,
+                static_cast<int>(width) - 20, "", hi);
+  out += label;
+  return out;
+}
+
+std::string density_overlay(std::span<const double> measured,
+                            std::span<const double> predicted, double lo,
+                            double hi, std::size_t width, std::size_t height) {
+  VARPRED_CHECK_ARG(width >= 8 && height >= 3, "plot too small");
+  VARPRED_CHECK_ARG(hi > lo, "plot range must be non-empty");
+  const auto curve_m = kde_curve(measured, lo, hi, width);
+  const auto curve_p = kde_curve(predicted, lo, hi, width);
+  const double peak =
+      std::max(*std::max_element(curve_m.begin(), curve_m.end()),
+               *std::max_element(curve_p.begin(), curve_p.end()));
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  render_curve(canvas, curve_m, peak, '#', '#');
+  render_curve(canvas, curve_p, peak, 'o', '@');
+
+  std::string out;
+  for (const auto& row : canvas) {
+    out += "    |";
+    out += row;
+    out += '\n';
+  }
+  out += "    +" + std::string(width, '-') + '\n';
+  char label[128];
+  std::snprintf(label, sizeof(label), "     %-10.4g%*s%10.4g\n", lo,
+                static_cast<int>(width) - 20, "", hi);
+  out += label;
+  out += "     measured '#'   predicted 'o'   overlap '@'\n";
+  return out;
+}
+
+}  // namespace varpred::io

@@ -1,0 +1,27 @@
+// Terminal density plots. The paper's figures show measured and predicted
+// distributions as KDE curves; these helpers render the same curves as ASCII
+// art so the figure harnesses can display overlays without a plotting stack.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace varpred::io {
+
+/// Renders the KDE of `sample` over [lo, hi] as a `height` x `width` plot.
+std::string density_plot(std::span<const double> sample, double lo, double hi,
+                         std::size_t width = 72, std::size_t height = 10);
+
+/// Overlays two KDE curves ('#' = measured, 'o' = predicted, '@' = both).
+/// Curves are normalized to their joint peak so relative mode sizes remain
+/// comparable, matching the paper's overlay figures.
+std::string density_overlay(std::span<const double> measured,
+                            std::span<const double> predicted, double lo,
+                            double hi, std::size_t width = 72,
+                            std::size_t height = 10);
+
+/// Picks a plotting range covering both samples with a small margin.
+void plot_range(std::span<const double> a, std::span<const double> b,
+                double& lo, double& hi);
+
+}  // namespace varpred::io

@@ -1,0 +1,144 @@
+#include "io/serialize.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace varpred::io {
+namespace {
+
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void Writer::tag(const std::string& name) { out_ << name << '\n'; }
+
+void Writer::u64(const std::string& name, std::uint64_t value) {
+  out_ << name << ' ' << value << '\n';
+}
+
+void Writer::i64(const std::string& name, std::int64_t value) {
+  out_ << name << ' ' << value << '\n';
+}
+
+void Writer::f64(const std::string& name, double value) {
+  out_ << name << ' ' << format_double(value) << '\n';
+}
+
+void Writer::boolean(const std::string& name, bool value) {
+  out_ << name << ' ' << (value ? 1 : 0) << '\n';
+}
+
+void Writer::text(const std::string& name, const std::string& value) {
+  // Length-prefixed so arbitrary characters (except newline-in-name cases)
+  // survive; the payload is written verbatim after a single space.
+  out_ << name << ' ' << value.size() << ':' << value << '\n';
+}
+
+void Writer::vec(const std::string& name, std::span<const double> values) {
+  out_ << name << ' ' << values.size();
+  for (const double v : values) out_ << ' ' << format_double(v);
+  out_ << '\n';
+}
+
+void Writer::vec_u64(const std::string& name,
+                     std::span<const std::uint64_t> values) {
+  out_ << name << ' ' << values.size();
+  for (const auto v : values) out_ << ' ' << v;
+  out_ << '\n';
+}
+
+std::string Reader::next_token(const std::string& context) {
+  if (has_peeked_) {
+    has_peeked_ = false;
+    return std::move(peeked_);
+  }
+  std::string token;
+  if (!(in_ >> token)) {
+    VARPRED_CHECK_ARG(false, "serialized stream truncated at " + context);
+  }
+  return token;
+}
+
+std::string Reader::peek() {
+  if (!has_peeked_) {
+    if (in_ >> peeked_) {
+      has_peeked_ = true;
+    } else {
+      return "";
+    }
+  }
+  return peeked_;
+}
+
+void Reader::expect_label(const std::string& name) {
+  const auto token = next_token(name);
+  VARPRED_CHECK_ARG(token == name,
+                    "expected field '" + name + "', found '" + token + "'");
+}
+
+void Reader::tag(const std::string& expected) { expect_label(expected); }
+
+std::uint64_t Reader::u64(const std::string& name) {
+  expect_label(name);
+  return std::strtoull(next_token(name).c_str(), nullptr, 10);
+}
+
+std::int64_t Reader::i64(const std::string& name) {
+  expect_label(name);
+  return std::strtoll(next_token(name).c_str(), nullptr, 10);
+}
+
+double Reader::f64(const std::string& name) {
+  expect_label(name);
+  return std::strtod(next_token(name).c_str(), nullptr);
+}
+
+bool Reader::boolean(const std::string& name) { return u64(name) != 0; }
+
+std::string Reader::text(const std::string& name) {
+  expect_label(name);
+  // Consume "len:payload" -- read up to ':', then exactly len bytes.
+  VARPRED_CHECK_ARG(!has_peeked_, "internal reader state error");
+  std::string len_str;
+  char c;
+  while (in_.get(c)) {
+    if (c == ':') break;
+    if (!std::isspace(static_cast<unsigned char>(c))) len_str += c;
+  }
+  VARPRED_CHECK_ARG(!len_str.empty(), "malformed string field " + name);
+  const auto len = static_cast<std::size_t>(
+      std::strtoull(len_str.c_str(), nullptr, 10));
+  std::string value(len, '\0');
+  in_.read(value.data(), static_cast<std::streamsize>(len));
+  VARPRED_CHECK_ARG(static_cast<std::size_t>(in_.gcount()) == len,
+                    "truncated string field " + name);
+  return value;
+}
+
+std::vector<double> Reader::vec(const std::string& name) {
+  expect_label(name);
+  const auto n = static_cast<std::size_t>(
+      std::strtoull(next_token(name).c_str(), nullptr, 10));
+  std::vector<double> out(n);
+  for (auto& v : out) v = std::strtod(next_token(name).c_str(), nullptr);
+  return out;
+}
+
+std::vector<std::uint64_t> Reader::vec_u64(const std::string& name) {
+  expect_label(name);
+  const auto n = static_cast<std::size_t>(
+      std::strtoull(next_token(name).c_str(), nullptr, 10));
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) {
+    v = std::strtoull(next_token(name).c_str(), nullptr, 10);
+  }
+  return out;
+}
+
+}  // namespace varpred::io

@@ -1,0 +1,72 @@
+// Portable text serialization for trained models and measurement data.
+//
+// Format: a flat, whitespace-separated token stream of labelled fields.
+// Every field is written as `name value` (scalars), `name n v1 .. vn`
+// (vectors), or `name len:bytes` (strings), and read back with the label
+// checked -- version/format drift fails loudly instead of silently
+// misparsing. Doubles round-trip exactly via %.17g.
+//
+// This backs the production workflow of use case 2: a vendor trains a
+// system-to-system model against their corpus, serializes it, and ships it
+// to users who load and query it without access to the training data.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace varpred::io {
+
+/// Labelled-field writer.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void tag(const std::string& name);
+  void u64(const std::string& name, std::uint64_t value);
+  void i64(const std::string& name, std::int64_t value);
+  void f64(const std::string& name, double value);
+  void boolean(const std::string& name, bool value);
+  void text(const std::string& name, const std::string& value);
+  void vec(const std::string& name, std::span<const double> values);
+  void vec_u64(const std::string& name,
+               std::span<const std::uint64_t> values);
+
+  std::ostream& stream() { return out_; }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Labelled-field reader; throws std::invalid_argument on label mismatch or
+/// malformed input.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  void tag(const std::string& expected);
+  std::uint64_t u64(const std::string& name);
+  std::int64_t i64(const std::string& name);
+  double f64(const std::string& name);
+  bool boolean(const std::string& name);
+  std::string text(const std::string& name);
+  std::vector<double> vec(const std::string& name);
+  std::vector<std::uint64_t> vec_u64(const std::string& name);
+
+  /// Peeks the next token without consuming it.
+  std::string peek();
+
+  std::istream& stream() { return in_; }
+
+ private:
+  std::string next_token(const std::string& context);
+  void expect_label(const std::string& name);
+
+  std::istream& in_;
+  std::string peeked_;
+  bool has_peeked_ = false;
+};
+
+}  // namespace varpred::io

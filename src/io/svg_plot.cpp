@@ -1,0 +1,180 @@
+#include "io/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "common/check.hpp"
+#include "stats/kde.hpp"
+
+namespace varpred::io {
+namespace {
+
+std::string num(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+  return buffer;
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgFigure::SvgFigure(std::string title, std::string x_label,
+                     std::string y_label, std::size_t width,
+                     std::size_t height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {
+  VARPRED_CHECK_ARG(width >= 120 && height >= 80, "figure too small");
+}
+
+void SvgFigure::add_curve(SvgCurve curve) {
+  VARPRED_CHECK_ARG(curve.xs.size() == curve.ys.size() && !curve.xs.empty(),
+                    "curve must have matching non-empty x/y");
+  curves_.push_back(std::move(curve));
+}
+
+void SvgFigure::add_density(std::span<const double> sample,
+                            const std::string& label,
+                            const std::string& color, bool fill,
+                            std::size_t grid_points) {
+  double lo = *std::min_element(sample.begin(), sample.end());
+  double hi = *std::max_element(sample.begin(), sample.end());
+  const double margin = std::max(1e-9, 0.08 * (hi - lo));
+  lo -= margin;
+  hi += margin;
+  const stats::Kde kde(sample);
+  SvgCurve curve;
+  curve.xs = stats::Kde::make_grid(lo, hi, grid_points);
+  curve.ys = kde.evaluate_grid(lo, hi, grid_points);
+  curve.color = color;
+  curve.label = label;
+  curve.fill = fill;
+  add_curve(std::move(curve));
+}
+
+std::string SvgFigure::render() const {
+  VARPRED_CHECK_ARG(!curves_.empty(), "figure has no curves");
+  // Data extents.
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_max = 0.0;
+  for (const auto& curve : curves_) {
+    for (const double x : curve.xs) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+    }
+    for (const double y : curve.ys) y_max = std::max(y_max, y);
+  }
+  if (x_max <= x_min) x_max = x_min + 1.0;
+  if (y_max <= 0.0) y_max = 1.0;
+
+  const double ml = 54.0;   // margins
+  const double mr = 14.0;
+  const double mt = 30.0;
+  const double mb = 42.0;
+  const double pw = static_cast<double>(width_) - ml - mr;   // plot width
+  const double ph = static_cast<double>(height_) - mt - mb;  // plot height
+
+  auto sx = [&](double x) {
+    return ml + pw * (x - x_min) / (x_max - x_min);
+  };
+  auto sy = [&](double y) { return mt + ph * (1.0 - y / (1.06 * y_max)); };
+
+  std::string svg;
+  svg += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         std::to_string(width_) + "\" height=\"" + std::to_string(height_) +
+         "\" font-family=\"sans-serif\">\n";
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  // Axes.
+  svg += "<line x1=\"" + num(ml) + "\" y1=\"" + num(mt + ph) + "\" x2=\"" +
+         num(ml + pw) + "\" y2=\"" + num(mt + ph) +
+         "\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+  svg += "<line x1=\"" + num(ml) + "\" y1=\"" + num(mt) + "\" x2=\"" +
+         num(ml) + "\" y2=\"" + num(mt + ph) +
+         "\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+  // Title and axis labels.
+  svg += "<text x=\"" + num(ml + pw / 2) + "\" y=\"18\" font-size=\"13\" "
+         "text-anchor=\"middle\">" + escape(title_) + "</text>\n";
+  svg += "<text x=\"" + num(ml + pw / 2) + "\" y=\"" +
+         num(static_cast<double>(height_) - 8.0) +
+         "\" font-size=\"11\" text-anchor=\"middle\">" + escape(x_label_) +
+         "</text>\n";
+  svg += "<text x=\"14\" y=\"" + num(mt + ph / 2) +
+         "\" font-size=\"11\" text-anchor=\"middle\" transform=\"rotate(-90 "
+         "14 " + num(mt + ph / 2) + ")\">" + escape(y_label_) + "</text>\n";
+  // X tick labels (min / mid / max).
+  for (const double t : {x_min, 0.5 * (x_min + x_max), x_max}) {
+    svg += "<text x=\"" + num(sx(t)) + "\" y=\"" + num(mt + ph + 16.0) +
+           "\" font-size=\"10\" text-anchor=\"middle\">" + num(t) +
+           "</text>\n";
+    svg += "<line x1=\"" + num(sx(t)) + "\" y1=\"" + num(mt + ph) +
+           "\" x2=\"" + num(sx(t)) + "\" y2=\"" + num(mt + ph + 4.0) +
+           "\" stroke=\"#333\"/>\n";
+  }
+
+  // Curves.
+  for (const auto& curve : curves_) {
+    std::string points;
+    for (std::size_t i = 0; i < curve.xs.size(); ++i) {
+      points += num(sx(curve.xs[i])) + "," + num(sy(curve.ys[i])) + " ";
+    }
+    if (curve.fill) {
+      std::string area = num(sx(curve.xs.front())) + "," + num(mt + ph) +
+                         " " + points + num(sx(curve.xs.back())) + "," +
+                         num(mt + ph);
+      svg += "<polygon points=\"" + area + "\" fill=\"" + curve.color +
+             "\" opacity=\"0.15\"/>\n";
+    }
+    svg += "<polyline points=\"" + points + "\" fill=\"none\" stroke=\"" +
+           curve.color + "\" stroke-width=\"" + num(curve.stroke_width) +
+           "\"/>\n";
+  }
+
+  // Legend.
+  double ly = mt + 6.0;
+  for (const auto& curve : curves_) {
+    if (curve.label.empty()) continue;
+    svg += "<line x1=\"" + num(ml + pw - 120.0) + "\" y1=\"" + num(ly) +
+           "\" x2=\"" + num(ml + pw - 98.0) + "\" y2=\"" + num(ly) +
+           "\" stroke=\"" + curve.color + "\" stroke-width=\"2\"/>\n";
+    svg += "<text x=\"" + num(ml + pw - 92.0) + "\" y=\"" + num(ly + 3.5) +
+           "\" font-size=\"10\">" + escape(curve.label) + "</text>\n";
+    ly += 14.0;
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+void SvgFigure::save(const std::string& path) const {
+  std::ofstream out(path);
+  VARPRED_CHECK_ARG(out.good(), "cannot open for writing: " + path);
+  out << render();
+  VARPRED_CHECK(out.good(), "write failed: " + path);
+}
+
+}  // namespace varpred::io

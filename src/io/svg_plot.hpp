@@ -1,0 +1,51 @@
+// SVG figure output: publication-style density plots for the paper's
+// figures, written as standalone .svg files. The figure harnesses print
+// ASCII plots to the terminal and can additionally emit SVG files so the
+// reproduced figures can be compared against the paper's side by side.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace varpred::io {
+
+/// One curve in a density figure.
+struct SvgCurve {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::string color = "#1f77b4";
+  std::string label;
+  double stroke_width = 1.5;
+  bool fill = false;  ///< fill the area under the curve at low opacity
+};
+
+/// A single-panel line/density figure.
+class SvgFigure {
+ public:
+  SvgFigure(std::string title, std::string x_label, std::string y_label,
+            std::size_t width = 520, std::size_t height = 280);
+
+  void add_curve(SvgCurve curve);
+
+  /// Convenience: adds the Gaussian-KDE curve of a sample.
+  void add_density(std::span<const double> sample, const std::string& label,
+                   const std::string& color, bool fill = false,
+                   std::size_t grid_points = 160);
+
+  /// Renders the complete SVG document.
+  std::string render() const;
+
+  /// Renders and writes to `path`; throws on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<SvgCurve> curves_;
+};
+
+}  // namespace varpred::io

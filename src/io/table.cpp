@@ -1,0 +1,54 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/text.hpp"
+
+namespace varpred::io {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VARPRED_CHECK_ARG(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  VARPRED_CHECK_ARG(row.size() == header_.size(),
+                    "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render(std::size_t indent) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const std::string pad(indent, ' ');
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    out += pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += "  ";
+      out += pad_right(row[c], widths[c]);
+    }
+    // Trim trailing spaces on the line.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule[c] = std::string(widths[c], '-');
+  }
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace varpred::io

@@ -1,0 +1,27 @@
+// Fixed-width ASCII table printer for experiment harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace varpred::io {
+
+/// Column-aligned text table. Add a header and rows; render() pads every
+/// column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header underline; `indent` spaces before each line.
+  std::string render(std::size_t indent = 0) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace varpred::io

@@ -1,0 +1,56 @@
+// Benchmark registry reproducing Table I of the paper: 60 benchmarks from
+// seven suites. Each benchmark carries latent application characteristics
+// (the "ground truth" the simulator uses to generate both its runtime
+// distribution and its perf-counter profile). Characteristics come from
+// suite-level priors plus a deterministic per-benchmark perturbation, with
+// explicit overrides for the benchmarks the paper's figures single out
+// (e.g. SPEC OMP 376's bimodality, streamcluster's long tail).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace varpred::measure {
+
+/// Latent application traits in [0, 1] driving both performance variability
+/// and counter rates.
+struct AppCharacteristics {
+  double compute = 0.5;   ///< arithmetic intensity
+  double memory = 0.5;    ///< memory-bandwidth demand
+  double branch = 0.5;    ///< branch entropy
+  double cache = 0.5;     ///< cache footprint pressure
+  double tlb = 0.5;       ///< TLB pressure
+  double parallel = 0.5;  ///< parallel fraction / thread count usage
+  double numa = 0.5;      ///< NUMA / page-placement sensitivity (bimodality)
+  double sync = 0.5;      ///< synchronization intensity (run-to-run jitter)
+  double iogc = 0.1;      ///< I/O, JIT, and GC activity (long tails)
+  double phases = 0.5;    ///< phase-behaviour richness
+
+  static constexpr std::size_t kCount = 10;
+  std::array<double, kCount> to_array() const {
+    return {compute, memory, branch, cache,  tlb,
+            parallel, numa,  sync,  iogc,   phases};
+  }
+  static const std::array<const char*, kCount>& names();
+};
+
+struct BenchmarkInfo {
+  std::string suite;
+  std::string name;
+  AppCharacteristics traits;
+  double base_runtime_seconds = 10.0;  ///< nominal runtime scale
+
+  std::string full_name() const { return suite + "/" + name; }
+};
+
+/// The full Table I registry (60 benchmarks), in suite order.
+const std::vector<BenchmarkInfo>& benchmark_table();
+
+/// Index of a benchmark by "suite/name"; throws if unknown.
+std::size_t benchmark_index(const std::string& full_name);
+
+/// Lookup by "suite/name"; throws if unknown.
+const BenchmarkInfo& find_benchmark(const std::string& full_name);
+
+}  // namespace varpred::measure

@@ -1,0 +1,106 @@
+#include "measure/corpus.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "rngdist/samplers.hpp"
+#include "stats/moments.hpp"
+
+namespace varpred::measure {
+
+std::vector<double> BenchmarkRuns::relative_times() const {
+  return stats::to_relative(runtimes);
+}
+
+const BenchmarkRuns& Corpus::runs_of(const std::string& full_name) const {
+  return benchmarks[benchmark_index(full_name)];
+}
+
+RunRecord simulate_run(const BenchmarkInfo& bench, const SystemModel& system,
+                       Rng& rng) {
+  const auto mixture = system.runtime_distribution(bench);
+  RunRecord run;
+  run.runtime_seconds = mixture.sample(rng, &run.mode);
+  VARPRED_CHECK(run.runtime_seconds > 0.0, "non-positive simulated runtime");
+
+  // Counter rates react to how slow this particular run was relative to the
+  // benchmark's typical run (its mixture mean): runs that landed in a slow
+  // NUMA mode or caught a GC pause show elevated memory-side traffic per
+  // second and depressed instruction throughput. This coupling is what makes
+  // runtime variability observable in a profile built from a few runs.
+  const double mode_ratio = run.runtime_seconds / mixture.mean();
+  const auto rates = system.expected_rates(bench, mode_ratio);
+
+  // Run-level noise has three components: a machine-wide factor (frequency
+  // and thermal state of this particular run), a per-category factor (e.g.
+  // the whole cache hierarchy runs hot together), and independent per-metric
+  // jitter. The correlated components are what make a profile from a single
+  // run unrepresentative -- they cannot be averaged away across metrics,
+  // only across runs.
+  // Heavy-tailed (Student-t) correlated factors: most runs are mildly
+  // perturbed, occasional runs (cold caches, background daemon, thermal
+  // event) are far off -- the single unrepresentative run of Fig. 1.
+  constexpr double kGlobalNoise = 0.28;
+  constexpr double kCategoryNoise = 0.45;
+  const double z_global = rngdist::student_t(rng, 4.0);
+  std::array<double, 6> z_category;
+  for (auto& z : z_category) z = rngdist::student_t(rng, 4.0);
+
+  run.counters.resize(rates.size());
+  for (std::size_t m = 0; m < rates.size(); ++m) {
+    const auto category = system.metrics()[m].category;
+    if (category == MetricCategory::kDuration) {
+      // The wall clock is measured exactly.
+      run.counters[m] = run.runtime_seconds;
+      continue;
+    }
+    const double sigma = system.counter_model(m).noise_sigma;
+    const double log_noise =
+        sigma * rngdist::normal(rng) +
+        kCategoryNoise * z_category[static_cast<std::size_t>(category)] +
+        kGlobalNoise * z_global;
+    run.counters[m] = rates[m] * std::exp(log_noise) * run.runtime_seconds;
+  }
+  return run;
+}
+
+BenchmarkRuns measure_benchmark(std::size_t benchmark_index,
+                                const SystemModel& system, std::size_t n_runs,
+                                std::uint64_t seed) {
+  VARPRED_CHECK_ARG(benchmark_index < benchmark_table().size(),
+                    "benchmark index out of range");
+  VARPRED_CHECK_ARG(n_runs >= 1, "need at least one run");
+  const auto& bench = benchmark_table()[benchmark_index];
+
+  BenchmarkRuns out;
+  out.benchmark = benchmark_index;
+  out.runtimes.reserve(n_runs);
+  out.modes.reserve(n_runs);
+  out.counters = ml::Matrix(n_runs, system.metric_count());
+
+  Rng rng(seed_combine(seed, seed_combine(stable_hash(system.name()),
+                                          stable_hash(bench.full_name()))));
+  for (std::size_t r = 0; r < n_runs; ++r) {
+    const RunRecord run = simulate_run(bench, system, rng);
+    out.runtimes.push_back(run.runtime_seconds);
+    out.modes.push_back(run.mode);
+    auto row = out.counters.row(r);
+    std::copy(run.counters.begin(), run.counters.end(), row.begin());
+  }
+  return out;
+}
+
+Corpus build_corpus(const SystemModel& system, std::size_t n_runs,
+                    std::uint64_t seed) {
+  Corpus corpus;
+  corpus.system = &system;
+  corpus.benchmarks.resize(benchmark_table().size());
+  parallel_for(benchmark_table().size(), [&](std::size_t b) {
+    corpus.benchmarks[b] = measure_benchmark(b, system, n_runs, seed);
+  });
+  return corpus;
+}
+
+}  // namespace varpred::measure

@@ -1,0 +1,64 @@
+// Run simulation and corpus construction.
+//
+// simulate_run() is the `perf stat` substitute: it draws one runtime from
+// the benchmark's ground-truth mixture on the system and produces the
+// system's full counter vector for that run (expected rates modulated by the
+// drawn performance mode, multiplied by run-level lognormal noise, scaled by
+// the runtime to yield absolute counts).
+//
+// build_corpus() measures every Table I benchmark R times (the paper uses
+// R = 1000) in parallel, with per-benchmark deterministic seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "measure/system_model.hpp"
+#include "ml/matrix.hpp"
+
+namespace varpred::measure {
+
+/// One simulated execution: runtime plus the full counter vector.
+struct RunRecord {
+  double runtime_seconds = 0.0;
+  std::size_t mode = 0;  ///< mixture component that produced the runtime
+  std::vector<double> counters;  ///< absolute counts, one per system metric
+};
+
+/// All runs of one benchmark on one system.
+struct BenchmarkRuns {
+  std::size_t benchmark = 0;           ///< index into benchmark_table()
+  std::vector<double> runtimes;        ///< seconds, length R
+  std::vector<std::size_t> modes;      ///< drawn component per run
+  ml::Matrix counters;                 ///< R x metric_count absolute counts
+
+  std::size_t run_count() const { return runtimes.size(); }
+
+  /// Relative times (runtimes normalized by their mean).
+  std::vector<double> relative_times() const;
+};
+
+/// Full measurement corpus of one system.
+struct Corpus {
+  const SystemModel* system = nullptr;
+  std::vector<BenchmarkRuns> benchmarks;  ///< aligned with benchmark_table()
+
+  const BenchmarkRuns& runs_of(const std::string& full_name) const;
+};
+
+/// Simulates a single run. `rng` supplies all run-level randomness.
+RunRecord simulate_run(const BenchmarkInfo& bench, const SystemModel& system,
+                       Rng& rng);
+
+/// Measures one benchmark `n_runs` times with a deterministic seed derived
+/// from (seed, system, benchmark).
+BenchmarkRuns measure_benchmark(std::size_t benchmark_index,
+                                const SystemModel& system, std::size_t n_runs,
+                                std::uint64_t seed);
+
+/// Measures the full Table I suite on `system` (parallel over benchmarks).
+Corpus build_corpus(const SystemModel& system, std::size_t n_runs,
+                    std::uint64_t seed);
+
+}  // namespace varpred::measure

@@ -1,0 +1,79 @@
+#include "measure/measurement_io.hpp"
+
+#include <cstdio>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace varpred::measure {
+namespace {
+
+std::string format_value(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+io::CsvTable runs_to_csv(const SystemModel& system,
+                         const BenchmarkRuns& runs) {
+  VARPRED_CHECK_ARG(runs.counters.cols() == system.metric_count(),
+                    "runs/system metric count mismatch");
+  io::CsvTable table;
+  table.header = {"run", "runtime_seconds"};
+  for (const auto& metric : system.metrics()) {
+    table.header.push_back(metric.name);
+  }
+  for (std::size_t r = 0; r < runs.run_count(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.header.size());
+    row.push_back(std::to_string(r));
+    row.push_back(format_value(runs.runtimes[r]));
+    for (std::size_t m = 0; m < system.metric_count(); ++m) {
+      row.push_back(format_value(runs.counters(r, m)));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+BenchmarkRuns runs_from_csv(const SystemModel& system,
+                            const io::CsvTable& table) {
+  VARPRED_CHECK_ARG(!table.rows.empty(), "no measurement rows");
+  VARPRED_CHECK_ARG(table.header.size() == system.metric_count() + 2,
+                    "unexpected column count for this system");
+
+  const std::size_t runtime_col = table.column("runtime_seconds");
+  // Map each system metric to its CSV column (order-independent).
+  std::vector<std::size_t> metric_col(system.metric_count());
+  for (std::size_t m = 0; m < system.metric_count(); ++m) {
+    metric_col[m] = table.column(system.metrics()[m].name);
+  }
+
+  BenchmarkRuns runs;
+  runs.benchmark = std::numeric_limits<std::size_t>::max();
+  runs.counters = ml::Matrix(table.rows.size(), system.metric_count());
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const double runtime = table.as_double(r, runtime_col);
+    VARPRED_CHECK_ARG(runtime > 0.0, "non-positive runtime in row " +
+                                         std::to_string(r));
+    runs.runtimes.push_back(runtime);
+    runs.modes.push_back(0);  // unknown for external data
+    for (std::size_t m = 0; m < system.metric_count(); ++m) {
+      runs.counters(r, m) = table.as_double(r, metric_col[m]);
+    }
+  }
+  return runs;
+}
+
+void save_runs(const SystemModel& system, const BenchmarkRuns& runs,
+               const std::string& path) {
+  io::save_csv(runs_to_csv(system, runs), path);
+}
+
+BenchmarkRuns load_runs(const SystemModel& system, const std::string& path) {
+  return runs_from_csv(system, io::load_csv(path));
+}
+
+}  // namespace varpred::measure

@@ -1,0 +1,37 @@
+// CSV import/export of measurement data.
+//
+// The bridge between the simulator and real deployments: `perf stat` output
+// post-processed into a CSV with one row per run (runtime plus every
+// counter) can be imported as a BenchmarkRuns and fed to the predictors,
+// and simulated campaigns can be exported for inspection in other tools.
+//
+// Format (header row required):
+//   run,runtime_seconds,<metric-name-1>,<metric-name-2>,...
+// The metric columns must match the target SystemModel's catalog exactly
+// (same names, any order); import validates this and reorders.
+#pragma once
+
+#include <string>
+
+#include "io/csv.hpp"
+#include "measure/corpus.hpp"
+
+namespace varpred::measure {
+
+/// Exports runs to the CSV schema above (column order = system catalog).
+io::CsvTable runs_to_csv(const SystemModel& system,
+                         const BenchmarkRuns& runs);
+
+/// Imports runs measured externally. Validates that every system metric is
+/// present (by name); extra columns are rejected to catch schema drift.
+/// The returned BenchmarkRuns has `benchmark == SIZE_MAX` (not a registry
+/// benchmark).
+BenchmarkRuns runs_from_csv(const SystemModel& system,
+                            const io::CsvTable& table);
+
+/// File convenience wrappers.
+void save_runs(const SystemModel& system, const BenchmarkRuns& runs,
+               const std::string& path);
+BenchmarkRuns load_runs(const SystemModel& system, const std::string& path);
+
+}  // namespace varpred::measure

@@ -1,0 +1,58 @@
+#include "ml/cv.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace varpred::ml {
+
+std::vector<Fold> leave_one_group_out(std::span<const int> groups) {
+  VARPRED_CHECK_ARG(!groups.empty(), "no group labels");
+  std::map<int, std::vector<std::size_t>> by_group;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    by_group[groups[i]].push_back(i);
+  }
+  VARPRED_CHECK_ARG(by_group.size() >= 2,
+                    "leave-one-group-out needs >= 2 groups");
+  std::vector<Fold> folds;
+  folds.reserve(by_group.size());
+  for (const auto& [group, test_rows] : by_group) {
+    Fold fold;
+    fold.held_out_group = group;
+    fold.test = test_rows;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i] != group) fold.train.push_back(i);
+    }
+    folds.push_back(std::move(fold));
+  }
+  return folds;
+}
+
+std::vector<Fold> k_fold(std::size_t n_rows, std::size_t k,
+                         std::uint64_t seed) {
+  VARPRED_CHECK_ARG(k >= 2 && k <= n_rows, "need 2 <= k <= n_rows");
+  std::vector<std::size_t> order(n_rows);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(seed);
+  for (std::size_t i = n_rows; i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(rng.uniform_index(i))]);
+  }
+  std::vector<Fold> folds(k);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    folds[i % k].test.push_back(order[i]);
+  }
+  for (std::size_t f = 0; f < k; ++f) {
+    std::sort(folds[f].test.begin(), folds[f].test.end());
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      if (!std::binary_search(folds[f].test.begin(), folds[f].test.end(), i)) {
+        folds[f].train.push_back(i);
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace varpred::ml

@@ -1,0 +1,26 @@
+// Cross-validation splitters. The paper evaluates with leave-one-group-out
+// over benchmarks: every fold holds out all rows of one benchmark and trains
+// on the rest, so a model never sees the application it is scored on.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace varpred::ml {
+
+/// One train/test split as row-index lists.
+struct Fold {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+  int held_out_group = -1;  ///< meaningful for LOGO folds
+};
+
+/// Leave-one-group-out: one fold per distinct group label (sorted order).
+std::vector<Fold> leave_one_group_out(std::span<const int> groups);
+
+/// Plain k-fold over rows (deterministic shuffle by seed).
+std::vector<Fold> k_fold(std::size_t n_rows, std::size_t k,
+                         std::uint64_t seed);
+
+}  // namespace varpred::ml

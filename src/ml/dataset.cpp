@@ -1,0 +1,30 @@
+#include "ml/dataset.hpp"
+
+namespace varpred::ml {
+
+void Dataset::validate() const {
+  VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
+  VARPRED_CHECK_ARG(groups.empty() || groups.size() == x.rows(),
+                    "group labels must cover all rows");
+  VARPRED_CHECK_ARG(row_ids.empty() || row_ids.size() == x.rows(),
+                    "row ids must cover all rows");
+  VARPRED_CHECK_ARG(feature_names.empty() || feature_names.size() == x.cols(),
+                    "feature names must match feature count");
+  VARPRED_CHECK_ARG(target_names.empty() || target_names.size() == y.cols(),
+                    "target names must match target count");
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> rows) const {
+  Dataset out;
+  out.x = x.gather_rows(rows);
+  out.y = y.gather_rows(rows);
+  out.feature_names = feature_names;
+  out.target_names = target_names;
+  for (const std::size_t r : rows) {
+    if (!groups.empty()) out.groups.push_back(groups[r]);
+    if (!row_ids.empty()) out.row_ids.push_back(row_ids[r]);
+  }
+  return out;
+}
+
+}  // namespace varpred::ml

@@ -1,0 +1,30 @@
+// Dataset container binding features, targets, group labels (benchmark
+// identity for leave-one-group-out), and names for reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace varpred::ml {
+
+/// Supervised dataset with group labels.
+struct Dataset {
+  Matrix x;
+  Matrix y;
+  std::vector<int> groups;           ///< group id per row (e.g. benchmark idx)
+  std::vector<std::string> row_ids;  ///< display label per row
+  std::vector<std::string> feature_names;
+  std::vector<std::string> target_names;
+
+  std::size_t size() const { return x.rows(); }
+
+  /// Consistency checks (row counts line up, names match widths when given).
+  void validate() const;
+
+  /// Rows whose group is (not) in `held_out`.
+  Dataset subset(std::span<const std::size_t> rows) const;
+};
+
+}  // namespace varpred::ml

@@ -1,0 +1,68 @@
+#include "ml/distance.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace varpred::ml {
+
+std::string to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kCosine:
+      return "cosine";
+    case Metric::kEuclidean:
+      return "euclidean";
+    case Metric::kManhattan:
+      return "manhattan";
+  }
+  return "?";
+}
+
+double cosine_distance(std::span<const double> a, std::span<const double> b) {
+  VARPRED_CHECK_ARG(a.size() == b.size(), "dimension mismatch");
+  double ab = 0.0;
+  double aa = 0.0;
+  double bb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ab += a[i] * b[i];
+    aa += a[i] * a[i];
+    bb += b[i] * b[i];
+  }
+  if (aa <= 0.0 || bb <= 0.0) return 1.0;
+  const double sim = ab / (std::sqrt(aa) * std::sqrt(bb));
+  return 1.0 - sim;
+}
+
+double euclidean_distance(std::span<const double> a,
+                          std::span<const double> b) {
+  VARPRED_CHECK_ARG(a.size() == b.size(), "dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double manhattan_distance(std::span<const double> a,
+                          std::span<const double> b) {
+  VARPRED_CHECK_ARG(a.size() == b.size(), "dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - b[i]);
+  return acc;
+}
+
+double distance(Metric metric, std::span<const double> a,
+                std::span<const double> b) {
+  switch (metric) {
+    case Metric::kCosine:
+      return cosine_distance(a, b);
+    case Metric::kEuclidean:
+      return euclidean_distance(a, b);
+    case Metric::kManhattan:
+      return manhattan_distance(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace varpred::ml

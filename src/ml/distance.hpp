@@ -1,0 +1,31 @@
+// Distance metrics for the kNN regressor. The paper found cosine similarity
+// to outperform Euclidean distance for profile feature vectors; the ablation
+// bench (bench_abl_knn_metric) reproduces that comparison.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace varpred::ml {
+
+enum class Metric {
+  kCosine,     ///< 1 - cos(a, b); the paper's choice
+  kEuclidean,  ///< L2
+  kManhattan,  ///< L1
+};
+
+std::string to_string(Metric metric);
+
+/// Cosine distance 1 - (a.b)/(|a||b|); returns 1 when either norm is 0.
+double cosine_distance(std::span<const double> a, std::span<const double> b);
+
+double euclidean_distance(std::span<const double> a,
+                          std::span<const double> b);
+
+double manhattan_distance(std::span<const double> a,
+                          std::span<const double> b);
+
+double distance(Metric metric, std::span<const double> a,
+                std::span<const double> b);
+
+}  // namespace varpred::ml

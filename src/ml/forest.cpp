@@ -1,0 +1,69 @@
+#include "ml/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/thread_pool.hpp"
+
+namespace varpred::ml {
+
+RandomForest::RandomForest(ForestParams params) : params_(params) {
+  VARPRED_CHECK_ARG(params_.n_trees >= 1, "need at least one tree");
+  VARPRED_CHECK_ARG(
+      params_.feature_fraction > 0.0 && params_.feature_fraction <= 1.0,
+      "feature_fraction must be in (0, 1]");
+}
+
+void RandomForest::fit(const Matrix& x, const Matrix& y) {
+  VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
+  VARPRED_CHECK_ARG(x.rows() >= 1, "need at least one training row");
+  n_outputs_ = y.cols();
+
+  TreeParams tp = params_.tree;
+  if (params_.feature_fraction < 1.0) {
+    tp.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(params_.feature_fraction *
+                            static_cast<double>(x.cols()))));
+  }
+
+  trees_.assign(params_.n_trees, RegressionTree(tp));
+  const std::size_t n = x.rows();
+  parallel_for(params_.n_trees, [&](std::size_t t) {
+    Rng rng(seed_combine(params_.seed, t));
+    RegressionTree tree(tp);
+    // Per-tree seed for the split-time feature subsampling as well.
+    TreeParams tree_params = tp;
+    tree_params.seed = seed_combine(params_.seed, t * 2 + 1);
+    tree = RegressionTree(tree_params);
+
+    std::vector<std::size_t> rows(n);
+    if (params_.bootstrap) {
+      for (auto& r : rows) r = rng.uniform_index(n);
+      std::sort(rows.begin(), rows.end());  // determinism & cache locality
+    } else {
+      std::iota(rows.begin(), rows.end(), std::size_t{0});
+    }
+    tree.fit_rows(x, y, rows);
+    trees_[t] = std::move(tree);
+  });
+}
+
+std::vector<double> RandomForest::predict(std::span<const double> row) const {
+  VARPRED_CHECK(trained(), "predict before fit");
+  std::vector<double> out(n_outputs_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree.predict(row);
+    for (std::size_t c = 0; c < n_outputs_; ++c) out[c] += p[c];
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (auto& v : out) v *= inv;
+  return out;
+}
+
+std::unique_ptr<Regressor> RandomForest::clone() const {
+  return std::make_unique<RandomForest>(*this);
+}
+
+}  // namespace varpred::ml

@@ -1,0 +1,266 @@
+#include "ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace varpred::ml {
+
+GradientBoosting::GradientBoosting(GbtParams params) : params_(params) {
+  VARPRED_CHECK_ARG(params_.n_rounds >= 1, "need at least one round");
+  VARPRED_CHECK_ARG(params_.learning_rate > 0.0, "learning rate must be > 0");
+  VARPRED_CHECK_ARG(params_.subsample > 0.0 && params_.subsample <= 1.0,
+                    "subsample must be in (0, 1]");
+  VARPRED_CHECK_ARG(params_.colsample > 0.0 && params_.colsample <= 1.0,
+                    "colsample must be in (0, 1]");
+  VARPRED_CHECK_ARG(params_.lambda >= 0.0, "lambda must be >= 0");
+}
+
+double GradientBoosting::BoostTree::predict_one(
+    std::span<const double> row) const {
+  std::int32_t idx = 0;
+  for (;;) {
+    const Node& node = nodes[static_cast<std::size_t>(idx)];
+    if (node.feature < 0) return node.weight;
+    idx = row[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+}
+
+std::int32_t GradientBoosting::build_node(
+    BoostTree& tree, const Matrix& x, std::span<const double> grad,
+    std::span<const double> hess, std::vector<std::size_t>& work,
+    std::size_t begin, std::size_t end, std::size_t depth,
+    std::span<const std::size_t> cols, const SortedColumns* presorted,
+    std::vector<char>& in_node) const {
+  const std::size_t n = end - begin;
+  double g_total = 0.0;
+  double h_total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    g_total += grad[work[i]];
+    h_total += hess[work[i]];
+  }
+
+  auto leaf = [&]() {
+    Node node;
+    node.feature = -1;
+    node.weight = -g_total / (h_total + params_.lambda);
+    tree.nodes.push_back(node);
+    return static_cast<std::int32_t>(tree.nodes.size() - 1);
+  };
+
+  if (depth >= params_.max_depth || n < 2) return leaf();
+
+  const double parent_score = g_total * g_total / (h_total + params_.lambda);
+  double best_gain = params_.gamma;
+  std::int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  // Evaluates split candidates along a row sequence already sorted by
+  // feature f; `accept(row)` filters rows to this node's subset.
+  auto scan_sorted = [&](std::size_t f, auto&& rows_sorted, auto&& accept) {
+    double g_left = 0.0;
+    double h_left = 0.0;
+    std::size_t seen = 0;
+    double prev_value = 0.0;
+    for (const std::size_t row : rows_sorted) {
+      if (!accept(row)) continue;
+      const double v = x(row, f);
+      if (seen > 0 && v != prev_value) {
+        // Candidate split between prev_value and v.
+        const double h_right = h_total - h_left;
+        if (h_left >= params_.min_child_weight &&
+            h_right >= params_.min_child_weight) {
+          const double g_right = g_total - g_left;
+          const double gain =
+              0.5 * (g_left * g_left / (h_left + params_.lambda) +
+                     g_right * g_right / (h_right + params_.lambda) -
+                     parent_score);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_feature = static_cast<std::int32_t>(f);
+            best_threshold = 0.5 * (prev_value + v);
+          }
+        }
+      }
+      g_left += grad[row];
+      h_left += hess[row];
+      prev_value = v;
+      ++seen;
+    }
+  };
+
+  if (presorted != nullptr) {
+    // Filtered linear scan over the fit-level sorted order (no sorting).
+    for (std::size_t i = begin; i < end; ++i) in_node[work[i]] = 1;
+    for (const std::size_t f : cols) {
+      scan_sorted(f, presorted->order[f],
+                  [&](std::size_t row) { return in_node[row] != 0; });
+    }
+    for (std::size_t i = begin; i < end; ++i) in_node[work[i]] = 0;
+  } else {
+    std::vector<std::size_t> order(
+        work.begin() + static_cast<std::ptrdiff_t>(begin),
+        work.begin() + static_cast<std::ptrdiff_t>(end));
+    for (const std::size_t f : cols) {
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double va = x(a, f);
+                  const double vb = x(b, f);
+                  if (va != vb) return va < vb;
+                  return a < b;
+                });
+      scan_sorted(f, order, [](std::size_t) { return true; });
+    }
+  }
+
+  if (best_feature < 0) return leaf();
+
+  const auto f = static_cast<std::size_t>(best_feature);
+  const auto mid_it =
+      std::partition(work.begin() + static_cast<std::ptrdiff_t>(begin),
+                     work.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::size_t idx) { return x(idx, f) <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - work.begin());
+  if (mid == begin || mid == end) return leaf();
+
+  tree.nodes.emplace_back();
+  const auto self = static_cast<std::int32_t>(tree.nodes.size() - 1);
+  tree.nodes[self].feature = best_feature;
+  tree.nodes[self].threshold = best_threshold;
+  const std::int32_t left = build_node(tree, x, grad, hess, work, begin, mid,
+                                       depth + 1, cols, presorted, in_node);
+  const std::int32_t right = build_node(tree, x, grad, hess, work, mid, end,
+                                        depth + 1, cols, presorted, in_node);
+  tree.nodes[self].left = left;
+  tree.nodes[self].right = right;
+  return self;
+}
+
+GradientBoosting::BoostTree GradientBoosting::fit_tree(
+    const Matrix& x, std::span<const double> grad,
+    std::span<const double> hess, std::span<const std::size_t> rows,
+    std::span<const std::size_t> cols,
+    const SortedColumns* presorted) const {
+  BoostTree tree;
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+  std::vector<char> in_node(x.rows(), 0);
+  build_node(tree, x, grad, hess, work, 0, work.size(), 0, cols, presorted,
+             in_node);
+  return tree;
+}
+
+void GradientBoosting::fit(const Matrix& x, const Matrix& y) {
+  VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
+  VARPRED_CHECK_ARG(x.rows() >= 1, "need at least one training row");
+  const std::size_t n = x.rows();
+  const std::size_t n_outputs = y.cols();
+  ensembles_.assign(n_outputs, Ensemble{});
+
+  // With subsample == 1 every tree trains on the same rows, so the
+  // per-column sorted orders can be computed once and shared by every node
+  // of every tree of every output ensemble (exact, just faster).
+  SortedColumns presorted;
+  const bool share_rows = params_.subsample >= 1.0;
+  if (share_rows) {
+    presorted.order.resize(x.cols());
+    std::vector<std::size_t> base(n);
+    std::iota(base.begin(), base.end(), std::size_t{0});
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+      auto order = base;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double va = x(a, f);
+                  const double vb = x(b, f);
+                  if (va != vb) return va < vb;
+                  return a < b;
+                });
+      presorted.order[f] = std::move(order);
+    }
+  }
+
+  parallel_for(n_outputs, [&](std::size_t out) {
+    Rng rng(seed_combine(params_.seed, out));
+    Ensemble& ens = ensembles_[out];
+
+    // Base score: mean of this output.
+    double base = 0.0;
+    for (std::size_t r = 0; r < n; ++r) base += y(r, out);
+    base /= static_cast<double>(n);
+    ens.base_score = base;
+
+    std::vector<double> pred(n, base);
+    std::vector<double> grad(n, 0.0);
+    const std::vector<double> hess(n, 1.0);  // squared loss
+    ens.trees.reserve(params_.n_rounds);
+
+    const auto n_cols = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               params_.colsample * static_cast<double>(x.cols()))));
+    const auto n_rows = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(
+               params_.subsample * static_cast<double>(n))));
+
+    std::vector<std::size_t> all_cols(x.cols());
+    std::iota(all_cols.begin(), all_cols.end(), std::size_t{0});
+    std::vector<std::size_t> all_rows(n);
+    std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+
+    for (std::size_t round = 0; round < params_.n_rounds; ++round) {
+      for (std::size_t r = 0; r < n; ++r) grad[r] = pred[r] - y(r, out);
+
+      // Column subsample (per tree) and row subsample (without replacement).
+      std::vector<std::size_t> cols = all_cols;
+      if (n_cols < cols.size()) {
+        for (std::size_t i = 0; i < n_cols; ++i) {
+          const std::size_t j =
+              i + static_cast<std::size_t>(rng.uniform_index(cols.size() - i));
+          std::swap(cols[i], cols[j]);
+        }
+        cols.resize(n_cols);
+      }
+      std::vector<std::size_t> rows = all_rows;
+      if (n_rows < n) {
+        for (std::size_t i = 0; i < n_rows; ++i) {
+          const std::size_t j =
+              i + static_cast<std::size_t>(rng.uniform_index(rows.size() - i));
+          std::swap(rows[i], rows[j]);
+        }
+        rows.resize(n_rows);
+        std::sort(rows.begin(), rows.end());
+      }
+
+      BoostTree tree =
+          fit_tree(x, grad, hess, rows, cols,
+                   share_rows ? &presorted : nullptr);
+      for (std::size_t r = 0; r < n; ++r) {
+        pred[r] += params_.learning_rate * tree.predict_one(x.row(r));
+      }
+      ens.trees.push_back(std::move(tree));
+    }
+  });
+}
+
+std::vector<double> GradientBoosting::predict(
+    std::span<const double> row) const {
+  VARPRED_CHECK(trained(), "predict before fit");
+  std::vector<double> out(ensembles_.size(), 0.0);
+  for (std::size_t c = 0; c < ensembles_.size(); ++c) {
+    double acc = ensembles_[c].base_score;
+    for (const auto& tree : ensembles_[c].trees) {
+      acc += params_.learning_rate * tree.predict_one(row);
+    }
+    out[c] = acc;
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> GradientBoosting::clone() const {
+  return std::make_unique<GradientBoosting>(*this);
+}
+
+}  // namespace varpred::ml

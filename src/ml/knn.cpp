@@ -1,0 +1,74 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace varpred::ml {
+
+KnnRegressor::KnnRegressor(KnnParams params) : params_(params) {
+  VARPRED_CHECK_ARG(params_.k >= 1, "k must be >= 1");
+}
+
+void KnnRegressor::fit(const Matrix& x, const Matrix& y) {
+  VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
+  VARPRED_CHECK_ARG(x.rows() >= 1, "need at least one training row");
+  if (params_.standardize) {
+    scaler_.fit(x);
+    x_ = scaler_.transform(x);
+  } else {
+    x_ = x;
+  }
+  y_ = y;
+  trained_ = true;
+}
+
+std::vector<std::size_t> KnnRegressor::neighbors(
+    std::span<const double> row) const {
+  VARPRED_CHECK(trained_, "predict before fit");
+  const std::vector<double> q =
+      params_.standardize ? scaler_.transform_row(row)
+                          : std::vector<double>(row.begin(), row.end());
+
+  std::vector<double> dist(x_.rows());
+  for (std::size_t r = 0; r < x_.rows(); ++r) {
+    dist[r] = distance(params_.metric, q, x_.row(r));
+  }
+  const std::size_t k = std::min(params_.k, x_.rows());
+  std::vector<std::size_t> order(x_.rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      // Tie-break on index for determinism.
+                      if (dist[a] != dist[b]) return dist[a] < dist[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<double> KnnRegressor::predict(std::span<const double> row) const {
+  const auto nn = neighbors(row);
+  const std::vector<double> q =
+      params_.standardize ? scaler_.transform_row(row)
+                          : std::vector<double>(row.begin(), row.end());
+
+  std::vector<double> out(y_.cols(), 0.0);
+  double total_weight = 0.0;
+  for (const std::size_t idx : nn) {
+    double w = 1.0;
+    if (params_.weighting == KnnWeighting::kDistance) {
+      w = 1.0 / (distance(params_.metric, q, x_.row(idx)) + 1e-9);
+    }
+    const auto target = y_.row(idx);
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += w * target[c];
+    total_weight += w;
+  }
+  for (auto& v : out) v /= total_weight;
+  return out;
+}
+
+std::unique_ptr<Regressor> KnnRegressor::clone() const {
+  return std::make_unique<KnnRegressor>(*this);
+}
+
+}  // namespace varpred::ml

@@ -1,0 +1,54 @@
+// k-nearest-neighbors multi-output regressor.
+//
+// The paper's best model: k = 15 with cosine similarity over standardized
+// profile features, averaging the target vectors of the nearest neighbors.
+// Supports uniform and inverse-distance weighting.
+#pragma once
+
+#include "ml/distance.hpp"
+#include "ml/regressor.hpp"
+#include "ml/scaler.hpp"
+
+namespace varpred::ml {
+
+/// Neighbor-weighting scheme.
+enum class KnnWeighting {
+  kUniform,   ///< plain average of the k nearest targets
+  kDistance,  ///< weights 1 / (distance + eps)
+};
+
+struct KnnParams {
+  std::size_t k = 15;                           // the paper's setting
+  Metric metric = Metric::kCosine;              // the paper's setting
+  KnnWeighting weighting = KnnWeighting::kUniform;
+  bool standardize = true;  ///< fit a StandardScaler on the features
+};
+
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(KnnParams params = {});
+
+  void fit(const Matrix& x, const Matrix& y) override;
+  std::vector<double> predict(std::span<const double> row) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  std::string name() const override { return "kNN"; }
+  bool trained() const override { return trained_; }
+
+  const KnnParams& params() const { return params_; }
+
+  /// Indices (into the training set) of the k nearest neighbors of `row`,
+  /// nearest first. Exposed for diagnostics and tests.
+  std::vector<std::size_t> neighbors(std::span<const double> row) const;
+
+  void save(std::ostream& out) const override;
+  static KnnRegressor load(std::istream& in);
+
+ private:
+  KnnParams params_;
+  StandardScaler scaler_;
+  Matrix x_;
+  Matrix y_;
+  bool trained_ = false;
+};
+
+}  // namespace varpred::ml

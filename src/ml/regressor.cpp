@@ -1,0 +1,14 @@
+#include "ml/regressor.hpp"
+
+namespace varpred::ml {
+
+Matrix Regressor::predict_batch(const Matrix& x) const {
+  Matrix out;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto y = predict(x.row(r));
+    out.push_row(y);
+  }
+  return out;
+}
+
+}  // namespace varpred::ml

@@ -1,0 +1,70 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+namespace varpred::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  VARPRED_CHECK_ARG(x.rows() > 0, "cannot fit a scaler on an empty matrix");
+  const std::size_t cols = x.cols();
+  means_.assign(cols, 0.0);
+  scales_.assign(cols, 1.0);
+  const double n = static_cast<double>(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < cols; ++c) means_[c] += row[c];
+  }
+  for (auto& m : means_) m /= n;
+  std::vector<double> var(cols, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double d = row[c] - means_[c];
+      var[c] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double v = var[c] / n;
+    scales_[c] = v > 1e-24 ? std::sqrt(v) : 1.0;
+  }
+}
+
+StandardScaler StandardScaler::from_params(std::vector<double> means,
+                                           std::vector<double> scales) {
+  VARPRED_CHECK_ARG(means.size() == scales.size(),
+                    "means/scales size mismatch");
+  StandardScaler scaler;
+  scaler.means_ = std::move(means);
+  scaler.scales_ = std::move(scales);
+  for (const double s : scaler.scales_) {
+    VARPRED_CHECK_ARG(s > 0.0, "scales must be positive");
+  }
+  return scaler;
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  VARPRED_CHECK_ARG(fitted(), "scaler not fitted");
+  VARPRED_CHECK_ARG(x.cols() == means_.size(), "feature count mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      dst[c] = (src[c] - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> StandardScaler::transform_row(
+    std::span<const double> row) const {
+  VARPRED_CHECK_ARG(fitted(), "scaler not fitted");
+  VARPRED_CHECK_ARG(row.size() == means_.size(), "feature count mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - means_[c]) / scales_[c];
+  }
+  return out;
+}
+
+}  // namespace varpred::ml

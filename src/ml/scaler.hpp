@@ -1,0 +1,40 @@
+// Feature scaling. Profile features mix counters whose per-second rates span
+// many orders of magnitude, so models are trained on standardized features.
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace varpred::ml {
+
+/// Per-column standardization to zero mean / unit variance. Columns with
+/// zero variance are passed through centered (scale 1), so constant features
+/// cannot produce NaNs.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+
+  bool fitted() const { return !means_.empty(); }
+
+  Matrix transform(const Matrix& x) const;
+  std::vector<double> transform_row(std::span<const double> row) const;
+
+  Matrix fit_transform(const Matrix& x) {
+    fit(x);
+    return transform(x);
+  }
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+  /// Restores a scaler from fitted parameters (deserialization).
+  static StandardScaler from_params(std::vector<double> means,
+                                    std::vector<double> scales);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace varpred::ml

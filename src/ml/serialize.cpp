@@ -1,0 +1,290 @@
+// Serialization of the ML models (see ml/serialize.hpp).
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "io/serialize.hpp"
+#include "ml/forest.hpp"
+#include "ml/gbt.hpp"
+#include "ml/knn.hpp"
+#include "ml/ridge.hpp"
+#include "ml/tree.hpp"
+
+namespace varpred::ml {
+namespace {
+
+constexpr std::uint64_t kFormatVersion = 1;
+
+void save_scaler(io::Writer& w, const StandardScaler& scaler) {
+  w.boolean("fitted", scaler.fitted());
+  if (scaler.fitted()) {
+    w.vec("means", scaler.means());
+    w.vec("scales", scaler.scales());
+  }
+}
+
+StandardScaler load_scaler(io::Reader& r) {
+  if (!r.boolean("fitted")) return StandardScaler{};
+  auto means = r.vec("means");
+  auto scales = r.vec("scales");
+  return StandardScaler::from_params(std::move(means), std::move(scales));
+}
+
+}  // namespace
+
+void save_matrix(io::Writer& writer, const std::string& name,
+                 const Matrix& matrix) {
+  writer.u64(name + ".rows", matrix.rows());
+  writer.u64(name + ".cols", matrix.cols());
+  writer.vec(name + ".data", matrix.data());
+}
+
+Matrix load_matrix(io::Reader& reader, const std::string& name) {
+  const auto rows = static_cast<std::size_t>(reader.u64(name + ".rows"));
+  const auto cols = static_cast<std::size_t>(reader.u64(name + ".cols"));
+  const auto data = reader.vec(name + ".data");
+  VARPRED_CHECK_ARG(data.size() == rows * cols,
+                    "matrix payload size mismatch for " + name);
+  Matrix out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) out(r, c) = data[r * cols + c];
+  }
+  return out;
+}
+
+// --- kNN --------------------------------------------------------------
+
+void KnnRegressor::save(std::ostream& out) const {
+  io::Writer w(out);
+  w.tag("varpred.knn");
+  w.u64("version", kFormatVersion);
+  w.u64("k", params_.k);
+  w.u64("metric", static_cast<std::uint64_t>(params_.metric));
+  w.u64("weighting", static_cast<std::uint64_t>(params_.weighting));
+  w.boolean("standardize", params_.standardize);
+  w.boolean("trained", trained_);
+  if (trained_) {
+    save_scaler(w, scaler_);
+    save_matrix(w, "x", x_);
+    save_matrix(w, "y", y_);
+  }
+}
+
+KnnRegressor KnnRegressor::load(std::istream& in) {
+  io::Reader r(in);
+  r.tag("varpred.knn");
+  const auto version = r.u64("version");
+  VARPRED_CHECK_ARG(version == kFormatVersion, "unsupported knn version");
+  KnnParams params;
+  params.k = static_cast<std::size_t>(r.u64("k"));
+  params.metric = static_cast<Metric>(r.u64("metric"));
+  params.weighting = static_cast<KnnWeighting>(r.u64("weighting"));
+  params.standardize = r.boolean("standardize");
+  KnnRegressor model(params);
+  if (r.boolean("trained")) {
+    model.scaler_ = load_scaler(r);
+    model.x_ = load_matrix(r, "x");
+    model.y_ = load_matrix(r, "y");
+    model.trained_ = true;
+  }
+  return model;
+}
+
+// --- Regression tree ---------------------------------------------------
+
+void RegressionTree::save(std::ostream& out) const {
+  io::Writer w(out);
+  w.tag("varpred.tree");
+  w.u64("version", kFormatVersion);
+  w.u64("max_depth", params_.max_depth);
+  w.u64("min_samples_leaf", params_.min_samples_leaf);
+  w.u64("min_samples_split", params_.min_samples_split);
+  w.u64("max_features", params_.max_features);
+  w.u64("seed", params_.seed);
+  w.u64("n_outputs", n_outputs_);
+  w.u64("n_nodes", nodes_.size());
+  std::vector<double> packed;
+  packed.reserve(nodes_.size() * 6);
+  for (const auto& node : nodes_) {
+    packed.push_back(node.feature);
+    packed.push_back(node.threshold);
+    packed.push_back(node.left);
+    packed.push_back(node.right);
+    packed.push_back(node.value_offset);
+    packed.push_back(node.node_depth);
+  }
+  w.vec("nodes", packed);
+  w.vec("leaves", leaf_values_);
+}
+
+RegressionTree RegressionTree::load(std::istream& in) {
+  io::Reader r(in);
+  r.tag("varpred.tree");
+  VARPRED_CHECK_ARG(r.u64("version") == kFormatVersion,
+                    "unsupported tree version");
+  TreeParams params;
+  params.max_depth = static_cast<std::size_t>(r.u64("max_depth"));
+  params.min_samples_leaf =
+      static_cast<std::size_t>(r.u64("min_samples_leaf"));
+  params.min_samples_split =
+      static_cast<std::size_t>(r.u64("min_samples_split"));
+  params.max_features = static_cast<std::size_t>(r.u64("max_features"));
+  params.seed = r.u64("seed");
+  RegressionTree tree(params);
+  tree.n_outputs_ = static_cast<std::size_t>(r.u64("n_outputs"));
+  const auto n_nodes = static_cast<std::size_t>(r.u64("n_nodes"));
+  const auto packed = r.vec("nodes");
+  VARPRED_CHECK_ARG(packed.size() == n_nodes * 6, "tree node payload size");
+  tree.nodes_.resize(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    auto& node = tree.nodes_[i];
+    node.feature = static_cast<std::int32_t>(packed[i * 6 + 0]);
+    node.threshold = packed[i * 6 + 1];
+    node.left = static_cast<std::int32_t>(packed[i * 6 + 2]);
+    node.right = static_cast<std::int32_t>(packed[i * 6 + 3]);
+    node.value_offset = static_cast<std::int32_t>(packed[i * 6 + 4]);
+    node.node_depth = static_cast<std::int32_t>(packed[i * 6 + 5]);
+  }
+  tree.leaf_values_ = r.vec("leaves");
+  return tree;
+}
+
+// --- Random forest ------------------------------------------------------
+
+void RandomForest::save(std::ostream& out) const {
+  io::Writer w(out);
+  w.tag("varpred.forest");
+  w.u64("version", kFormatVersion);
+  w.u64("n_trees", params_.n_trees);
+  w.boolean("bootstrap", params_.bootstrap);
+  w.f64("feature_fraction", params_.feature_fraction);
+  w.u64("seed", params_.seed);
+  w.u64("n_outputs", n_outputs_);
+  w.u64("trained_trees", trees_.size());
+  for (const auto& tree : trees_) tree.save(out);
+}
+
+RandomForest RandomForest::load(std::istream& in) {
+  io::Reader r(in);
+  r.tag("varpred.forest");
+  VARPRED_CHECK_ARG(r.u64("version") == kFormatVersion,
+                    "unsupported forest version");
+  ForestParams params;
+  params.n_trees = static_cast<std::size_t>(r.u64("n_trees"));
+  params.bootstrap = r.boolean("bootstrap");
+  params.feature_fraction = r.f64("feature_fraction");
+  params.seed = r.u64("seed");
+  RandomForest forest(params);
+  forest.n_outputs_ = static_cast<std::size_t>(r.u64("n_outputs"));
+  const auto n = static_cast<std::size_t>(r.u64("trained_trees"));
+  forest.trees_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    forest.trees_.push_back(RegressionTree::load(in));
+  }
+  return forest;
+}
+
+// --- Gradient boosting ---------------------------------------------------
+
+void GradientBoosting::save(std::ostream& out) const {
+  io::Writer w(out);
+  w.tag("varpred.gbt");
+  w.u64("version", kFormatVersion);
+  w.u64("n_rounds", params_.n_rounds);
+  w.f64("learning_rate", params_.learning_rate);
+  w.u64("max_depth", params_.max_depth);
+  w.f64("lambda", params_.lambda);
+  w.f64("gamma", params_.gamma);
+  w.f64("min_child_weight", params_.min_child_weight);
+  w.f64("subsample", params_.subsample);
+  w.f64("colsample", params_.colsample);
+  w.u64("seed", params_.seed);
+  w.u64("n_ensembles", ensembles_.size());
+  for (const auto& ens : ensembles_) {
+    w.f64("base_score", ens.base_score);
+    w.u64("n_trees", ens.trees.size());
+    for (const auto& tree : ens.trees) {
+      std::vector<double> packed;
+      packed.reserve(tree.nodes.size() * 5);
+      for (const auto& node : tree.nodes) {
+        packed.push_back(node.feature);
+        packed.push_back(node.threshold);
+        packed.push_back(node.left);
+        packed.push_back(node.right);
+        packed.push_back(node.weight);
+      }
+      w.vec("tree", packed);
+    }
+  }
+}
+
+GradientBoosting GradientBoosting::load(std::istream& in) {
+  io::Reader r(in);
+  r.tag("varpred.gbt");
+  VARPRED_CHECK_ARG(r.u64("version") == kFormatVersion,
+                    "unsupported gbt version");
+  GbtParams params;
+  params.n_rounds = static_cast<std::size_t>(r.u64("n_rounds"));
+  params.learning_rate = r.f64("learning_rate");
+  params.max_depth = static_cast<std::size_t>(r.u64("max_depth"));
+  params.lambda = r.f64("lambda");
+  params.gamma = r.f64("gamma");
+  params.min_child_weight = r.f64("min_child_weight");
+  params.subsample = r.f64("subsample");
+  params.colsample = r.f64("colsample");
+  params.seed = r.u64("seed");
+  GradientBoosting gbt(params);
+  const auto n_ens = static_cast<std::size_t>(r.u64("n_ensembles"));
+  gbt.ensembles_.resize(n_ens);
+  for (auto& ens : gbt.ensembles_) {
+    ens.base_score = r.f64("base_score");
+    const auto n_trees = static_cast<std::size_t>(r.u64("n_trees"));
+    ens.trees.resize(n_trees);
+    for (auto& tree : ens.trees) {
+      const auto packed = r.vec("tree");
+      VARPRED_CHECK_ARG(packed.size() % 5 == 0, "gbt tree payload size");
+      tree.nodes.resize(packed.size() / 5);
+      for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+        auto& node = tree.nodes[i];
+        node.feature = static_cast<std::int32_t>(packed[i * 5 + 0]);
+        node.threshold = packed[i * 5 + 1];
+        node.left = static_cast<std::int32_t>(packed[i * 5 + 2]);
+        node.right = static_cast<std::int32_t>(packed[i * 5 + 3]);
+        node.weight = packed[i * 5 + 4];
+      }
+    }
+  }
+  return gbt;
+}
+
+// --- Dispatcher -----------------------------------------------------------
+
+std::unique_ptr<Regressor> load_regressor(std::istream& in) {
+  // Peek the type tag, then rewind so the concrete loader sees it again.
+  const auto start = in.tellg();
+  std::string tag;
+  in >> tag;
+  VARPRED_CHECK_ARG(!tag.empty(), "empty model stream");
+  in.clear();
+  in.seekg(start);
+  if (tag == "varpred.knn") {
+    return std::make_unique<KnnRegressor>(KnnRegressor::load(in));
+  }
+  if (tag == "varpred.tree") {
+    return std::make_unique<RegressionTree>(RegressionTree::load(in));
+  }
+  if (tag == "varpred.forest") {
+    return std::make_unique<RandomForest>(RandomForest::load(in));
+  }
+  if (tag == "varpred.gbt") {
+    return std::make_unique<GradientBoosting>(GradientBoosting::load(in));
+  }
+  if (tag == "varpred.ridge") {
+    return std::make_unique<RidgeRegressor>(RidgeRegressor::load(in));
+  }
+  VARPRED_CHECK_ARG(false, "unknown model tag: " + tag);
+}
+
+}  // namespace varpred::ml

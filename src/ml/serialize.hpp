@@ -1,0 +1,32 @@
+// Model (de)serialization entry points. Every regressor implements
+// Regressor::save(); this header provides the matching type-dispatched
+// loader plus matrix helpers shared by the implementations.
+//
+// Typical round trip:
+//   std::ofstream out("model.vp");  knn.save(out);
+//   std::ifstream in("model.vp");   auto model = ml::load_regressor(in);
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "ml/matrix.hpp"
+#include "ml/regressor.hpp"
+
+namespace varpred::io {
+class Reader;
+class Writer;
+}  // namespace varpred::io
+
+namespace varpred::ml {
+
+/// Restores a regressor of unknown concrete type (dispatches on the type
+/// tag written by save()). Throws std::invalid_argument on malformed input.
+std::unique_ptr<Regressor> load_regressor(std::istream& in);
+
+/// Matrix helpers shared by the model serializers.
+void save_matrix(io::Writer& writer, const std::string& name,
+                 const Matrix& matrix);
+Matrix load_matrix(io::Reader& reader, const std::string& name);
+
+}  // namespace varpred::ml

@@ -1,0 +1,221 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace varpred::ml {
+namespace {
+
+// Best split of one feature over sorted order: returns (sse, threshold) or
+// nullopt when no valid split exists.
+struct SplitCandidate {
+  double sse = 0.0;
+  double threshold = 0.0;
+  std::size_t left_count = 0;
+};
+
+}  // namespace
+
+RegressionTree::RegressionTree(TreeParams params) : params_(params) {
+  VARPRED_CHECK_ARG(params_.max_depth >= 1, "max_depth must be >= 1");
+  VARPRED_CHECK_ARG(params_.min_samples_leaf >= 1,
+                    "min_samples_leaf must be >= 1");
+}
+
+void RegressionTree::fit(const Matrix& x, const Matrix& y) {
+  std::vector<std::size_t> all(x.rows());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  fit_rows(x, y, all);
+}
+
+void RegressionTree::fit_rows(const Matrix& x, const Matrix& y,
+                              std::span<const std::size_t> indices) {
+  VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
+  VARPRED_CHECK_ARG(!indices.empty(), "cannot fit on zero rows");
+  nodes_.clear();
+  leaf_values_.clear();
+  n_outputs_ = y.cols();
+  work_.assign(indices.begin(), indices.end());
+  Rng rng(params_.seed);
+  build(x, y, 0, work_.size(), 0, rng);
+}
+
+std::int32_t RegressionTree::make_leaf(const Matrix& y, std::size_t begin,
+                                       std::size_t end, std::size_t depth) {
+  const std::int32_t offset = static_cast<std::int32_t>(leaf_values_.size());
+  leaf_values_.resize(leaf_values_.size() + n_outputs_, 0.0);
+  const double inv = 1.0 / static_cast<double>(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto row = y.row(work_[i]);
+    for (std::size_t c = 0; c < n_outputs_; ++c) {
+      leaf_values_[offset + c] += row[c] * inv;
+    }
+  }
+  Node node;
+  node.feature = -1;
+  node.value_offset = offset;
+  node.node_depth = static_cast<std::int32_t>(depth);
+  nodes_.push_back(node);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::int32_t RegressionTree::build(const Matrix& x, const Matrix& y,
+                                   std::size_t begin, std::size_t end,
+                                   std::size_t depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  if (depth >= params_.max_depth || n < params_.min_samples_split ||
+      n < 2 * params_.min_samples_leaf) {
+    return make_leaf(y, begin, end, depth);
+  }
+
+  // Candidate features: all, or a deterministic random subset.
+  const std::size_t n_features = x.cols();
+  std::vector<std::size_t> features(n_features);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t n_candidates = n_features;
+  if (params_.max_features > 0 && params_.max_features < n_features) {
+    // Fisher-Yates prefix shuffle.
+    n_candidates = params_.max_features;
+    for (std::size_t i = 0; i < n_candidates; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_index(n_features - i));
+      std::swap(features[i], features[j]);
+    }
+  }
+
+  // Parent statistics: per-output sums and the total sum of squares.
+  std::vector<double> total_sum(n_outputs_, 0.0);
+  double total_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto row = y.row(work_[i]);
+    for (std::size_t c = 0; c < n_outputs_; ++c) {
+      total_sum[c] += row[c];
+      total_sq += row[c] * row[c];
+    }
+  }
+  double parent_sse = total_sq;
+  for (std::size_t c = 0; c < n_outputs_; ++c) {
+    parent_sse -= total_sum[c] * total_sum[c] / static_cast<double>(n);
+  }
+  if (parent_sse <= 1e-14) return make_leaf(y, begin, end, depth);
+
+  double best_sse = parent_sse - 1e-12;
+  std::int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::size_t> order(work_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 work_.begin() + static_cast<std::ptrdiff_t>(end));
+  std::vector<double> left_sum(n_outputs_);
+
+  for (std::size_t fi = 0; fi < n_candidates; ++fi) {
+    const std::size_t f = features[fi];
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double va = x(a, f);
+      const double vb = x(b, f);
+      if (va != vb) return va < vb;
+      return a < b;  // deterministic ties
+    });
+
+    std::fill(left_sum.begin(), left_sum.end(), 0.0);
+    double left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto row = y.row(order[i]);
+      for (std::size_t c = 0; c < n_outputs_; ++c) {
+        left_sum[c] += row[c];
+        left_sq += row[c] * row[c];
+      }
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = n - n_left;
+      if (n_left < params_.min_samples_leaf ||
+          n_right < params_.min_samples_leaf) {
+        continue;
+      }
+      const double v = x(order[i], f);
+      const double v_next = x(order[i + 1], f);
+      if (v == v_next) continue;  // cannot split between equal values
+
+      double sse = total_sq;  // left_sq + right_sq == total_sq always
+      double left_penalty = 0.0;
+      double right_penalty = 0.0;
+      for (std::size_t c = 0; c < n_outputs_; ++c) {
+        left_penalty += left_sum[c] * left_sum[c];
+        const double rs = total_sum[c] - left_sum[c];
+        right_penalty += rs * rs;
+      }
+      sse -= left_penalty / static_cast<double>(n_left) +
+             right_penalty / static_cast<double>(n_right);
+      if (sse < best_sse) {
+        best_sse = sse;
+        best_feature = static_cast<std::int32_t>(f);
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf(y, begin, end, depth);
+
+  // Partition work_[begin, end) around the chosen threshold.
+  const auto f = static_cast<std::size_t>(best_feature);
+  const auto mid_it = std::partition(
+      work_.begin() + static_cast<std::ptrdiff_t>(begin),
+      work_.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t idx) { return x(idx, f) <= best_threshold; });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - work_.begin());
+  if (mid == begin || mid == end) {
+    return make_leaf(y, begin, end, depth);  // numeric degeneracy guard
+  }
+
+  // Reserve this node's slot before building children.
+  nodes_.emplace_back();
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  nodes_[self].feature = best_feature;
+  nodes_[self].threshold = best_threshold;
+  nodes_[self].node_depth = static_cast<std::int32_t>(depth);
+  const std::int32_t left = build(x, y, begin, mid, depth + 1, rng);
+  const std::int32_t right = build(x, y, mid, end, depth + 1, rng);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+std::vector<double> RegressionTree::predict(
+    std::span<const double> row) const {
+  VARPRED_CHECK(trained(), "predict before fit");
+  std::int32_t idx = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.feature < 0) {
+      const auto off = static_cast<std::size_t>(node.value_offset);
+      return {leaf_values_.begin() + static_cast<std::ptrdiff_t>(off),
+              leaf_values_.begin() +
+                  static_cast<std::ptrdiff_t>(off + n_outputs_)};
+    }
+    VARPRED_CHECK(static_cast<std::size_t>(node.feature) < row.size(),
+                  "feature index out of range in predict");
+    idx = row[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+}
+
+std::unique_ptr<Regressor> RegressionTree::clone() const {
+  return std::make_unique<RegressionTree>(*this);
+}
+
+std::size_t RegressionTree::leaf_count() const {
+  std::size_t count = 0;
+  for (const auto& n : nodes_) count += (n.feature < 0);
+  return count;
+}
+
+std::size_t RegressionTree::depth() const {
+  std::size_t d = 0;
+  for (const auto& n : nodes_) {
+    d = std::max(d, static_cast<std::size_t>(n.node_depth));
+  }
+  return d;
+}
+
+}  // namespace varpred::ml

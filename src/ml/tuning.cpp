@@ -1,0 +1,95 @@
+#include "ml/tuning.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "ml/metrics.hpp"
+
+namespace varpred::ml {
+
+double mse_scorer(const Regressor& model, const Matrix& x_test,
+                  const Matrix& y_test) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < x_test.rows(); ++r) {
+    const auto pred = model.predict(x_test.row(r));
+    total += mse(y_test.row(r), pred);
+  }
+  return total / static_cast<double>(x_test.rows());
+}
+
+std::vector<CandidateScore> grid_search(
+    const Matrix& x, const Matrix& y, const std::vector<Fold>& folds,
+    const std::vector<Candidate>& candidates, const FoldScorer& scorer) {
+  VARPRED_CHECK_ARG(!candidates.empty(), "no candidates");
+  VARPRED_CHECK_ARG(!folds.empty(), "no folds");
+
+  std::vector<CandidateScore> scores;
+  scores.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    CandidateScore score;
+    score.label = candidate.label;
+    for (const auto& fold : folds) {
+      const auto x_train = x.gather_rows(fold.train);
+      const auto y_train = y.gather_rows(fold.train);
+      const auto x_test = x.gather_rows(fold.test);
+      const auto y_test = y.gather_rows(fold.test);
+      auto model = candidate.factory();
+      model->fit(x_train, y_train);
+      score.fold_scores.push_back(scorer(*model, x_test, y_test));
+    }
+    score.mean_score =
+        std::accumulate(score.fold_scores.begin(), score.fold_scores.end(),
+                        0.0) /
+        static_cast<double>(score.fold_scores.size());
+    scores.push_back(std::move(score));
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const CandidateScore& a, const CandidateScore& b) {
+                     return a.mean_score < b.mean_score;
+                   });
+  return scores;
+}
+
+std::vector<double> permutation_importance(const Regressor& model,
+                                           const Matrix& x, const Matrix& y,
+                                           std::size_t repeats, Rng& rng,
+                                           const FoldScorer& scorer) {
+  VARPRED_CHECK_ARG(model.trained(), "model must be trained");
+  VARPRED_CHECK_ARG(repeats >= 1, "need at least one shuffle repeat");
+  const double baseline = scorer(model, x, y);
+
+  std::vector<double> importance(x.cols(), 0.0);
+  Matrix shuffled = x;
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    double total = 0.0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      // Fisher-Yates shuffle of column f.
+      for (std::size_t i = x.rows(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(rng.uniform_index(i));
+        std::swap(shuffled(i - 1, f), shuffled(j, f));
+      }
+      total += scorer(model, shuffled, y) - baseline;
+    }
+    importance[f] = total / static_cast<double>(repeats);
+    // Restore the column.
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      shuffled(r, f) = x(r, f);
+    }
+  }
+  return importance;
+}
+
+std::vector<std::size_t> top_features(std::span<const double> importance,
+                                      std::size_t top_k) {
+  std::vector<std::size_t> order(importance.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return importance[a] > importance[b];
+                   });
+  order.resize(std::min(top_k, order.size()));
+  return order;
+}
+
+}  // namespace varpred::ml

@@ -1,0 +1,60 @@
+// Hyperparameter selection by cross-validated grid search, and permutation
+// feature importance for trained models. Used by the extension benches to
+// document the library's default hyperparameters and to show which profile
+// metrics actually drive the distribution predictions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/cv.hpp"
+#include "ml/regressor.hpp"
+
+namespace varpred::ml {
+
+/// One candidate configuration: a label plus a factory building the model.
+struct Candidate {
+  std::string label;
+  std::function<std::unique_ptr<Regressor>()> factory;
+};
+
+/// Result of evaluating one candidate.
+struct CandidateScore {
+  std::string label;
+  double mean_score = 0.0;  ///< mean fold score (lower is better)
+  std::vector<double> fold_scores;
+};
+
+/// Scoring callback: lower is better (e.g. MSE, or 1 - R2, or a KS score).
+using FoldScorer = std::function<double(const Regressor& model,
+                                        const Matrix& x_test,
+                                        const Matrix& y_test)>;
+
+/// Cross-validated mean-squared-error scorer (the default).
+double mse_scorer(const Regressor& model, const Matrix& x_test,
+                  const Matrix& y_test);
+
+/// Evaluates every candidate over the folds; returns scores sorted
+/// best-first. Deterministic given the folds.
+std::vector<CandidateScore> grid_search(
+    const Matrix& x, const Matrix& y, const std::vector<Fold>& folds,
+    const std::vector<Candidate>& candidates,
+    const FoldScorer& scorer = mse_scorer);
+
+/// Permutation importance of each feature: the increase in `scorer` when
+/// that feature's column is shuffled (averaged over `repeats` shuffles).
+/// Large positive values mean the model relies on the feature.
+std::vector<double> permutation_importance(const Regressor& model,
+                                           const Matrix& x, const Matrix& y,
+                                           std::size_t repeats, Rng& rng,
+                                           const FoldScorer& scorer =
+                                               mse_scorer);
+
+/// Indices of the `top_k` most important features, most important first.
+std::vector<std::size_t> top_features(std::span<const double> importance,
+                                      std::size_t top_k);
+
+}  // namespace varpred::ml

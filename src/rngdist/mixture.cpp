@@ -1,0 +1,120 @@
+#include "rngdist/mixture.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "rngdist/samplers.hpp"
+
+namespace varpred::rngdist {
+
+double Component::mean() const {
+  switch (family) {
+    case Family::kNormal:
+      return shift + scale * p1;
+    case Family::kLogNormal:
+      return shift + scale * std::exp(p1 + 0.5 * p2 * p2);
+    case Family::kGamma:
+      return shift + scale * p1 * p2;
+    case Family::kUniform:
+      return shift + scale * 0.5 * (p1 + p2);
+  }
+  return 0.0;
+}
+
+double Component::variance() const {
+  double var = 0.0;
+  switch (family) {
+    case Family::kNormal:
+      var = p2 * p2;
+      break;
+    case Family::kLogNormal: {
+      const double s2 = p2 * p2;
+      var = (std::exp(s2) - 1.0) * std::exp(2.0 * p1 + s2);
+      break;
+    }
+    case Family::kGamma:
+      var = p1 * p2 * p2;
+      break;
+    case Family::kUniform: {
+      const double w = p2 - p1;
+      var = w * w / 12.0;
+      break;
+    }
+  }
+  return scale * scale * var;
+}
+
+double Component::sample(Rng& rng) const {
+  double base = 0.0;
+  switch (family) {
+    case Family::kNormal:
+      base = normal(rng, p1, p2);
+      break;
+    case Family::kLogNormal:
+      base = lognormal(rng, p1, p2);
+      break;
+    case Family::kGamma:
+      base = gamma(rng, p1, p2);
+      break;
+    case Family::kUniform:
+      base = rng.uniform(p1, p2);
+      break;
+  }
+  return shift + scale * base;
+}
+
+Mixture::Mixture(std::vector<Component> components)
+    : components_(std::move(components)) {
+  VARPRED_CHECK_ARG(!components_.empty(), "mixture needs >= 1 component");
+  double total = 0.0;
+  for (const auto& c : components_) {
+    VARPRED_CHECK_ARG(c.weight > 0.0, "mixture weights must be > 0");
+    total += c.weight;
+  }
+  cumulative_.reserve(components_.size());
+  double acc = 0.0;
+  for (const auto& c : components_) {
+    acc += c.weight / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against round-off
+}
+
+double Mixture::mean() const {
+  double total_weight = 0.0;
+  double mean = 0.0;
+  for (const auto& c : components_) {
+    total_weight += c.weight;
+    mean += c.weight * c.mean();
+  }
+  return mean / total_weight;
+}
+
+double Mixture::variance() const {
+  const double mu = mean();
+  double total_weight = 0.0;
+  double acc = 0.0;
+  for (const auto& c : components_) {
+    total_weight += c.weight;
+    const double dm = c.mean() - mu;
+    acc += c.weight * (c.variance() + dm * dm);
+  }
+  return acc / total_weight;
+}
+
+double Mixture::sample(Rng& rng, std::size_t* mode_out) const {
+  VARPRED_CHECK(!components_.empty(), "sampling from empty mixture");
+  const double u = rng.uniform();
+  std::size_t idx = 0;
+  while (idx + 1 < cumulative_.size() && u >= cumulative_[idx]) ++idx;
+  if (mode_out != nullptr) *mode_out = idx;
+  return components_[idx].sample(rng);
+}
+
+std::vector<double> Mixture::sample_many(Rng& rng, std::size_t n) const {
+  std::vector<double> out(n);
+  for (auto& v : out) v = sample(rng);
+  return out;
+}
+
+}  // namespace varpred::rngdist

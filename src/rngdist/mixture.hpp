@@ -1,0 +1,71 @@
+// Finite mixture distributions. The measurement simulator expresses each
+// benchmark's ground-truth runtime law as a mixture of shifted/scaled
+// components, so the corpus can express narrow unimodal, bimodal, skewed,
+// and heavy-tailed shapes with exact known means.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace varpred::rngdist {
+
+/// Component family for mixtures.
+enum class Family {
+  kNormal,     ///< Normal(p1 = mu, p2 = sigma)
+  kLogNormal,  ///< shift + scale * exp(Normal(p1, p2))
+  kGamma,      ///< shift + scale * Gamma(shape = p1, scale = p2)
+  kUniform,    ///< Uniform(p1, p2)
+};
+
+/// One mixture component: `shift + scale * F(p1, p2)` with mixing `weight`.
+/// For kNormal and kUniform, shift/scale default to identity and the family
+/// parameters carry the location/scale directly.
+struct Component {
+  Family family = Family::kNormal;
+  double weight = 1.0;
+  double p1 = 0.0;
+  double p2 = 1.0;
+  double shift = 0.0;
+  double scale = 1.0;
+
+  /// Exact mean of this component.
+  double mean() const;
+
+  /// Exact variance of this component.
+  double variance() const;
+
+  /// Draws one value.
+  double sample(Rng& rng) const;
+};
+
+/// A finite mixture of components. Weights need not be normalized.
+class Mixture {
+ public:
+  Mixture() = default;
+  explicit Mixture(std::vector<Component> components);
+
+  const std::vector<Component>& components() const { return components_; }
+  bool empty() const { return components_.empty(); }
+
+  /// Exact mixture mean.
+  double mean() const;
+
+  /// Exact mixture variance (law of total variance).
+  double variance() const;
+
+  /// Draws one value; `mode_out`, when non-null, receives the index of the
+  /// component that produced the draw (the simulator uses this to couple
+  /// per-run counters with the performance mode).
+  double sample(Rng& rng, std::size_t* mode_out = nullptr) const;
+
+  /// Draws n values.
+  std::vector<double> sample_many(Rng& rng, std::size_t n) const;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<double> cumulative_;  // normalized cumulative weights
+};
+
+}  // namespace varpred::rngdist

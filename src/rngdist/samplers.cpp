@@ -1,0 +1,86 @@
+#include "rngdist/samplers.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace varpred::rngdist {
+
+double normal(Rng& rng) {
+  // Marsaglia polar method; discards the second variate for simplicity
+  // (samplers must be stateless so splitting/reseeding stays reproducible).
+  for (;;) {
+    const double u = 2.0 * rng.uniform() - 1.0;
+    const double v = 2.0 * rng.uniform() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double normal(Rng& rng, double mu, double sigma) {
+  return mu + sigma * normal(rng);
+}
+
+double exponential(Rng& rng, double lambda) {
+  VARPRED_CHECK_ARG(lambda > 0.0, "exponential rate must be > 0");
+  // -log(1-U) avoids log(0) since uniform() < 1.
+  return -std::log1p(-rng.uniform()) / lambda;
+}
+
+double gamma(Rng& rng, double shape, double scale) {
+  VARPRED_CHECK_ARG(shape > 0.0 && scale > 0.0,
+                    "gamma shape and scale must be > 0");
+  if (shape < 1.0) {
+    // Boost: X ~ Gamma(shape+1), return X * U^(1/shape).
+    const double x = gamma(rng, shape + 1.0, 1.0);
+    double u = rng.uniform();
+    while (u == 0.0) u = rng.uniform();
+    return scale * x * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return scale * d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double beta(Rng& rng, double a, double b) {
+  VARPRED_CHECK_ARG(a > 0.0 && b > 0.0, "beta parameters must be > 0");
+  const double x = gamma(rng, a, 1.0);
+  const double y = gamma(rng, b, 1.0);
+  return x / (x + y);
+}
+
+double chi_squared(Rng& rng, double nu) {
+  VARPRED_CHECK_ARG(nu > 0.0, "chi-squared dof must be > 0");
+  return gamma(rng, 0.5 * nu, 2.0);
+}
+
+double student_t(Rng& rng, double nu) {
+  VARPRED_CHECK_ARG(nu > 0.0, "student-t dof must be > 0");
+  const double z = normal(rng);
+  const double w = chi_squared(rng, nu);
+  return z / std::sqrt(w / nu);
+}
+
+double lognormal(Rng& rng, double mu_log, double sigma_log) {
+  return std::exp(normal(rng, mu_log, sigma_log));
+}
+
+}  // namespace varpred::rngdist

@@ -1,0 +1,31 @@
+// Special functions needed by the Pearson system, the maximum-entropy
+// solver, and the statistical tests. Implementations follow the classical
+// series / continued-fraction expansions (Numerical Recipes style) with
+// relative accuracy around 1e-12 on the domains the library uses.
+#pragma once
+
+namespace varpred::special {
+
+/// log Beta(a, b) for a, b > 0.
+double log_beta(double a, double b);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b), a, b > 0, x in [0, 1].
+double incbeta(double a, double b, double x);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation
+/// refined with one Halley step); p in (0, 1).
+double norm_ppf(double p);
+
+/// Standard normal CDF.
+double norm_cdf(double x);
+
+/// Standard normal PDF.
+double norm_pdf(double x);
+
+}  // namespace varpred::special

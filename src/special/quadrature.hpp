@@ -1,0 +1,36 @@
+// Gauss-Legendre quadrature. Nodes/weights are computed on demand with
+// Newton iteration on the Legendre recurrence and cached per order.
+// Used by the maximum-entropy solver (moment integrals) and Pearson type IV
+// normalization.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace varpred::special {
+
+/// Nodes and weights of an n-point Gauss-Legendre rule on [-1, 1].
+struct GaussLegendreRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+/// Returns (and caches) the n-point rule on [-1, 1].
+const GaussLegendreRule& gauss_legendre(std::size_t n);
+
+/// Integrates f over [a, b] with an n-point rule.
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 std::size_t n = 64);
+
+/// Integrates f over [a, b] split into `panels` sub-intervals of an n-point
+/// rule each (composite rule; better for peaked integrands).
+double integrate_composite(const std::function<double(double)>& f, double a,
+                           double b, std::size_t panels, std::size_t n = 32);
+
+/// Maps rule nodes from [-1,1] onto [a,b]; returns scaled nodes and weights.
+void scaled_rule(std::size_t n, double a, double b, std::vector<double>& nodes,
+                 std::vector<double>& weights);
+
+}  // namespace varpred::special

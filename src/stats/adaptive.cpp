@@ -1,0 +1,52 @@
+#include "stats/adaptive.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "stats/bootstrap.hpp"
+
+namespace varpred::stats {
+
+AdaptiveResult measure_adaptively(
+    const std::function<double()>& measure,
+    const std::function<double(std::span<const double>)>& statistic,
+    const AdaptiveConfig& config) {
+  VARPRED_CHECK_ARG(config.min_runs >= 2, "need at least two initial runs");
+  VARPRED_CHECK_ARG(config.max_runs >= config.min_runs,
+                    "max_runs must be >= min_runs");
+  VARPRED_CHECK_ARG(config.batch >= 1, "batch must be >= 1");
+  VARPRED_CHECK_ARG(config.relative_ci_width > 0.0,
+                    "CI width target must be > 0");
+
+  AdaptiveResult result;
+  result.sample.reserve(config.min_runs);
+  for (std::size_t i = 0; i < config.min_runs; ++i) {
+    result.sample.push_back(measure());
+  }
+
+  Rng rng(config.seed);
+  for (;;) {
+    const auto ci = bootstrap_ci(result.sample, statistic,
+                                 config.bootstrap_replicates, config.alpha,
+                                 rng);
+    result.point = ci.point;
+    result.ci_lo = ci.lo;
+    result.ci_hi = ci.hi;
+    const double denom = std::max(std::fabs(ci.point), 1e-12);
+    if ((ci.hi - ci.lo) / denom <= config.relative_ci_width) {
+      result.converged = true;
+      return result;
+    }
+    if (result.sample.size() >= config.max_runs) {
+      result.converged = false;
+      return result;
+    }
+    const std::size_t to_add =
+        std::min(config.batch, config.max_runs - result.sample.size());
+    for (std::size_t i = 0; i < to_add; ++i) {
+      result.sample.push_back(measure());
+    }
+  }
+}
+
+}  // namespace varpred::stats

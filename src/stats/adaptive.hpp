@@ -1,0 +1,44 @@
+// Adaptive stopping rule for performance measurements.
+//
+// Implements the measure-until-stable workflow of the adaptive-sampling
+// literature the paper builds on (Maricq et al. OSDI'18; Mittal et al.
+// PMBS'23): keep adding runs until a bootstrap confidence interval of the
+// statistic of interest is narrow enough, or until the run budget is spent.
+// The sampling_budget example contrasts this direct-measurement cost with
+// the paper's 10-run prediction.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace varpred::stats {
+
+struct AdaptiveConfig {
+  std::size_t min_runs = 10;
+  std::size_t max_runs = 1000;
+  std::size_t batch = 10;          ///< runs added per round
+  double relative_ci_width = 0.02; ///< stop when (hi-lo)/|point| drops below
+  std::size_t bootstrap_replicates = 300;
+  double alpha = 0.05;
+  std::uint64_t seed = 11;
+};
+
+struct AdaptiveResult {
+  std::vector<double> sample;  ///< all collected measurements
+  double point = 0.0;          ///< statistic on the final sample
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  bool converged = false;      ///< CI target met within max_runs
+};
+
+/// Repeatedly calls `measure()` to collect runs until the bootstrap CI of
+/// `statistic` is relatively narrower than the target.
+AdaptiveResult measure_adaptively(
+    const std::function<double()>& measure,
+    const std::function<double(std::span<const double>)>& statistic,
+    const AdaptiveConfig& config = {});
+
+}  // namespace varpred::stats

@@ -1,0 +1,36 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "stats/ecdf.hpp"
+
+namespace varpred::stats {
+
+std::vector<double> resample(std::span<const double> sample, Rng& rng) {
+  VARPRED_CHECK_ARG(!sample.empty(), "resample of empty sample");
+  std::vector<double> out(sample.size());
+  for (auto& v : out) v = sample[rng.uniform_index(sample.size())];
+  return out;
+}
+
+BootstrapCi bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double alpha, Rng& rng) {
+  VARPRED_CHECK_ARG(replicates >= 2, "need >= 2 bootstrap replicates");
+  VARPRED_CHECK_ARG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+  std::vector<double> stats(replicates);
+  for (auto& s : stats) {
+    const auto re = resample(sample, rng);
+    s = statistic(re);
+  }
+  std::sort(stats.begin(), stats.end());
+  BootstrapCi ci;
+  ci.point = statistic(sample);
+  ci.lo = quantile_sorted(stats, alpha / 2.0);
+  ci.hi = quantile_sorted(stats, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace varpred::stats

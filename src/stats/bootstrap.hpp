@@ -1,0 +1,30 @@
+// Bootstrap resampling: used by the adaptive-sampling example (the paper's
+// reference [7] workflow) and by confidence intervals in the harnesses.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace varpred::stats {
+
+/// Draws a bootstrap resample (same size, with replacement).
+std::vector<double> resample(std::span<const double> sample, Rng& rng);
+
+/// Percentile bootstrap confidence interval for an arbitrary statistic.
+struct BootstrapCi {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;
+};
+
+/// Computes the [alpha/2, 1-alpha/2] percentile CI of `statistic` over
+/// `replicates` bootstrap resamples.
+BootstrapCi bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double alpha, Rng& rng);
+
+}  // namespace varpred::stats

@@ -1,0 +1,64 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/moments.hpp"
+
+namespace varpred::stats {
+
+Kde::Kde(std::span<const double> sample, double bandwidth)
+    : sample_(sample.begin(), sample.end()) {
+  VARPRED_CHECK_ARG(!sample_.empty(), "KDE needs a non-empty sample");
+  if (bandwidth > 0.0) {
+    bandwidth_ = bandwidth;
+    return;
+  }
+  const double sd = std::sqrt(sample_variance(sample_));
+  const double spread_iqr = iqr(sample_) / 1.34;
+  double spread = sd;
+  if (spread_iqr > 0.0) spread = std::min(spread, spread_iqr);
+  if (spread <= 0.0) {
+    // Degenerate sample: pick a width relative to the magnitude so the
+    // density is a narrow bump instead of a delta.
+    const double scale = std::max(std::fabs(sample_.front()), 1e-9);
+    spread = 1e-3 * scale;
+  }
+  bandwidth_ =
+      0.9 * spread * std::pow(static_cast<double>(sample_.size()), -0.2);
+}
+
+double Kde::operator()(double x) const {
+  const double inv_h = 1.0 / bandwidth_;
+  const double norm =
+      inv_h / (std::sqrt(2.0 * M_PI) * static_cast<double>(sample_.size()));
+  double sum = 0.0;
+  for (const double s : sample_) {
+    const double z = (x - s) * inv_h;
+    sum += std::exp(-0.5 * z * z);
+  }
+  return norm * sum;
+}
+
+std::vector<double> Kde::evaluate_grid(double lo, double hi,
+                                       std::size_t points) const {
+  const auto grid = make_grid(lo, hi, points);
+  std::vector<double> out(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) out[i] = (*this)(grid[i]);
+  return out;
+}
+
+std::vector<double> Kde::make_grid(double lo, double hi, std::size_t points) {
+  VARPRED_CHECK_ARG(points >= 2, "grid needs >= 2 points");
+  VARPRED_CHECK_ARG(hi > lo, "grid range must be non-empty");
+  std::vector<double> grid(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    grid[i] = lo + step * static_cast<double>(i);
+  }
+  return grid;
+}
+
+}  // namespace varpred::stats

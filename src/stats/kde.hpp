@@ -1,0 +1,37 @@
+// Gaussian kernel density estimation. The paper visualizes all measured and
+// predicted distributions as KDE curves; the figure harnesses and the ASCII
+// plotter use this module to produce the same curves.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace varpred::stats {
+
+/// Gaussian KDE over a sample.
+class Kde {
+ public:
+  /// bandwidth <= 0 selects Silverman's rule of thumb:
+  ///   0.9 * min(sd, IQR/1.34) * n^(-1/5)   (falls back to a small positive
+  /// width for degenerate samples so the density stays well defined).
+  explicit Kde(std::span<const double> sample, double bandwidth = 0.0);
+
+  double bandwidth() const { return bandwidth_; }
+
+  /// Density estimate at x.
+  double operator()(double x) const;
+
+  /// Density on an evenly spaced grid of `points` values over [lo, hi].
+  std::vector<double> evaluate_grid(double lo, double hi,
+                                    std::size_t points) const;
+
+  /// Evenly spaced grid helper matching evaluate_grid.
+  static std::vector<double> make_grid(double lo, double hi,
+                                       std::size_t points);
+
+ private:
+  std::vector<double> sample_;
+  double bandwidth_ = 1.0;
+};
+
+}  // namespace varpred::stats

@@ -1,0 +1,67 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace varpred::stats {
+
+double ks_statistic(std::span<const double> a, std::span<const double> b) {
+  VARPRED_CHECK_ARG(!a.empty() && !b.empty(), "KS needs non-empty samples");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  // Sweep the merged order of both samples, tracking each ECDF.
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  return d;
+}
+
+double ks_statistic_cdf(std::span<const double> sample,
+                        const std::function<double(double)>& cdf) {
+  VARPRED_CHECK_ARG(!sample.empty(), "KS needs a non-empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(f - lo), std::fabs(hi - f)));
+  }
+  return d;
+}
+
+double ks_pvalue(double statistic, std::size_t n1, std::size_t n2) {
+  VARPRED_CHECK_ARG(n1 > 0 && n2 > 0, "KS p-value needs positive sizes");
+  const double n = static_cast<double>(n1) * static_cast<double>(n2) /
+                   static_cast<double>(n1 + n2);
+  const double t = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * statistic;
+  // Kolmogorov distribution tail sum.
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * t * t);
+    sum += term;
+    if (std::fabs(term) < 1e-12) break;
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+
+}  // namespace varpred::stats

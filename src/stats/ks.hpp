@@ -1,0 +1,21 @@
+// Kolmogorov-Smirnov statistics. The paper scores a predicted distribution
+// against the measured one with the two-sample KS statistic: 0 = perfect
+// match, 1 = disjoint supports.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace varpred::stats {
+
+/// Two-sample KS statistic: sup_x |F1(x) - F2(x)|.
+double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+/// One-sample KS statistic of a sample against a continuous CDF.
+double ks_statistic_cdf(std::span<const double> sample,
+                        const std::function<double(double)>& cdf);
+
+/// Asymptotic two-sample KS p-value (Kolmogorov distribution).
+double ks_pvalue(double statistic, std::size_t n1, std::size_t n2);
+
+}  // namespace varpred::stats

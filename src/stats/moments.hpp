@@ -1,0 +1,65 @@
+// Central moments and moment-based summaries.
+//
+// Conventions match MATLAB / the paper: `skewness` is the third standardized
+// central moment g1 = m3 / m2^1.5, and `kurtosis` is the *non-excess* fourth
+// standardized moment g2 = m4 / m2^2 (normal distribution -> 3.0), because
+// the Pearson system and `pearsrnd` are parameterized that way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace varpred::stats {
+
+/// First four moment summaries of a sample.
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;    ///< population-style sqrt(m2) (biased, like MATLAB moment())
+  double skewness = 0.0;  ///< g1 = m3 / m2^1.5; 0 for symmetric samples
+  double kurtosis = 3.0;  ///< g2 = m4 / m2^2; 3 for a normal distribution
+  std::size_t count = 0;
+
+  /// Feature-vector form [mean, stddev, skewness, kurtosis].
+  std::vector<double> to_vector() const {
+    return {mean, stddev, skewness, kurtosis};
+  }
+
+  static Moments from_vector(std::span<const double> v);
+};
+
+/// Computes moments in one pass (numerically-stable updating formulas).
+/// Degenerate samples (n < 2 or zero variance) report stddev 0, skewness 0,
+/// kurtosis 3 so downstream reconstruction degrades to a point mass/normal.
+Moments compute_moments(std::span<const double> sample);
+
+/// Streaming accumulator (Welford extended through the 4th moment).
+/// merge() makes it usable from parallel reductions.
+class MomentAccumulator {
+ public:
+  void add(double x);
+  void merge(const MomentAccumulator& other);
+
+  std::size_t count() const { return n_; }
+  Moments moments() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+};
+
+/// Mean of a sample (0 for empty).
+double mean(std::span<const double> sample);
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double sample_variance(std::span<const double> sample);
+
+/// Rescales a sample to relative time: x_i / mean(x). The paper predicts
+/// distributions of relative time so outputs share a scale across
+/// applications. Throws if the mean is not strictly positive.
+std::vector<double> to_relative(std::span<const double> sample);
+
+}  // namespace varpred::stats

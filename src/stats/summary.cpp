@@ -1,0 +1,64 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/text.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/moments.hpp"
+
+namespace varpred::stats {
+
+ViolinSummary ViolinSummary::from(std::span<const double> values) {
+  VARPRED_CHECK_ARG(!values.empty(), "summary of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  ViolinSummary s;
+  s.min = sorted.front();
+  s.q1 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q3 = quantile_sorted(sorted, 0.75);
+  s.max = sorted.back();
+  s.mean = varpred::stats::mean(values);
+  s.count = values.size();
+  return s;
+}
+
+std::string ViolinSummary::to_string(int digits) const {
+  std::string out = "mean=" + format_fixed(mean, digits);
+  out += " med=" + format_fixed(median, digits);
+  out += " [" + format_fixed(min, digits);
+  out += ", " + format_fixed(q1, digits);
+  out += ".." + format_fixed(q3, digits);
+  out += ", " + format_fixed(max, digits) + "]";
+  return out;
+}
+
+std::string density_sparkline(std::span<const double> values, double lo,
+                              double hi, std::size_t width) {
+  VARPRED_CHECK_ARG(width >= 1, "sparkline width must be >= 1");
+  VARPRED_CHECK_ARG(hi > lo, "sparkline range must be non-empty");
+  static const char glyphs[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(glyphs) - 2;  // index of densest
+
+  std::vector<double> bins(width, 0.0);
+  const double span = hi - lo;
+  for (const double v : values) {
+    const double t = std::clamp((v - lo) / span, 0.0, 1.0);
+    auto idx = static_cast<std::size_t>(t * static_cast<double>(width));
+    if (idx >= width) idx = width - 1;
+    bins[idx] += 1.0;
+  }
+  const double peak = *std::max_element(bins.begin(), bins.end());
+  std::string out(width, ' ');
+  if (peak <= 0.0) return out;
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto level =
+        static_cast<std::size_t>(std::round(bins[i] / peak * kLevels));
+    out[i] = glyphs[level];
+  }
+  return out;
+}
+
+}  // namespace varpred::stats

@@ -1,0 +1,33 @@
+// Distribution summaries matching the paper's violin plots: for each
+// (representation, model) cell the paper shows how the per-benchmark KS
+// scores are distributed; we report min / q1 / median / q3 / max / mean.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace varpred::stats {
+
+/// Five-number summary plus mean of a sample of scores.
+struct ViolinSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+
+  static ViolinSummary from(std::span<const double> values);
+
+  /// "mean=0.241 med=0.224 [0.05, 0.18..0.31, 0.71]" style one-liner.
+  std::string to_string(int digits = 3) const;
+};
+
+/// Compact fixed-width ASCII sparkline of a sample's density (for violin-like
+/// terminal output). Returns `width` glyphs from " .:-=+*#%@".
+std::string density_sparkline(std::span<const double> values, double lo,
+                              double hi, std::size_t width = 32);
+
+}  // namespace varpred::stats

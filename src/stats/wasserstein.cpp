@@ -1,0 +1,53 @@
+#include "stats/wasserstein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "stats/moments.hpp"
+
+namespace varpred::stats {
+
+double wasserstein1(std::span<const double> a, std::span<const double> b) {
+  VARPRED_CHECK_ARG(!a.empty() && !b.empty(), "W1 needs non-empty samples");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  // Sweep the merged support, accumulating |F1 - F2| * dx.
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double prev_x = std::min(sa[0], sb[0]);
+  double total = 0.0;
+  while (ia < sa.size() || ib < sb.size()) {
+    double x;
+    if (ib >= sb.size() || (ia < sa.size() && sa[ia] <= sb[ib])) {
+      x = sa[ia];
+    } else {
+      x = sb[ib];
+    }
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    total += std::fabs(fa - fb) * (x - prev_x);
+    prev_x = x;
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+  }
+  return total;
+}
+
+double wasserstein1_normalized(std::span<const double> a,
+                               std::span<const double> b) {
+  const double w = wasserstein1(a, b);
+  const double va = sample_variance(a);
+  const double vb = sample_variance(b);
+  const double pooled = std::sqrt(0.5 * (va + vb));
+  if (pooled <= 0.0) return w == 0.0 ? 0.0 : 1e9;
+  return w / pooled;
+}
+
+}  // namespace varpred::stats

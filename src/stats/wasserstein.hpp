@@ -1,0 +1,23 @@
+// Earth-mover (1-Wasserstein) distance between empirical distributions.
+//
+// Extension to the paper's evaluation: the KS statistic is insensitive to
+// *where* mass is misplaced; W1 weights displacement by distance, which is
+// often closer to the cost a practitioner cares about (how far off are the
+// predicted runtimes, not just whether the CDFs cross). The extension bench
+// reports both scores side by side.
+#pragma once
+
+#include <span>
+
+namespace varpred::stats {
+
+/// W1 between the empirical distributions of two samples:
+/// integral |F1(x) - F2(x)| dx, computed exactly from the sorted samples.
+double wasserstein1(std::span<const double> a, std::span<const double> b);
+
+/// W1 normalized by the pooled standard deviation (scale-free variant,
+/// comparable across benchmarks). Returns 0 for two identical point masses.
+double wasserstein1_normalized(std::span<const double> a,
+                               std::span<const double> b);
+
+}  // namespace varpred::stats

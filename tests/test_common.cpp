@@ -1,0 +1,186 @@
+// Tests for the common substrate: RNG determinism and statistics, thread
+// pool semantics, dense linear solve, and text helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+#include "common/text.hpp"
+#include "common/thread_pool.hpp"
+
+namespace varpred {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(VARPRED_CHECK(false, "boom"), CheckError);
+  EXPECT_THROW(VARPRED_CHECK_ARG(false, "bad arg"), std::invalid_argument);
+  try {
+    VARPRED_CHECK(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 450.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(123);
+  Rng child = parent.split();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(123);
+  parent_copy.split();
+  int matches = 0;
+  for (int i = 0; i < 64; ++i) {
+    matches += (child.next_u64() == parent.next_u64());
+  }
+  EXPECT_LE(matches, 1);
+}
+
+TEST(Rng, StableHashIsStableAndSpread) {
+  EXPECT_EQ(stable_hash("specomp/376"), stable_hash("specomp/376"));
+  EXPECT_NE(stable_hash("specomp/376"), stable_hash("specomp/372"));
+  EXPECT_NE(stable_hash("a"), stable_hash("b"));
+  // Hash of empty string is defined.
+  EXPECT_EQ(stable_hash(""), stable_hash(std::string_view{}));
+}
+
+TEST(Rng, SeedCombineIsOrderSensitive) {
+  EXPECT_NE(seed_combine(1, 2), seed_combine(2, 1));
+  EXPECT_EQ(seed_combine(1, 2), seed_combine(1, 2));
+}
+
+TEST(ThreadPool, RunsEveryIteration) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ZeroAndOneIterations) {
+  ThreadPool pool(3);
+  int count = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Linalg, SolvesIdentity) {
+  const std::vector<double> a = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  const std::vector<double> b = {3, -1, 2};
+  const auto x = solve_dense(a, b, 3);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], -1.0, 1e-12);
+  EXPECT_NEAR(x[2], 2.0, 1e-12);
+}
+
+TEST(Linalg, SolvesGeneralSystemNeedingPivot) {
+  // First pivot is zero, forcing a row swap.
+  const std::vector<double> a = {0, 2, 1, 1, 1, 1, 2, 1, 3};
+  const std::vector<double> b = {5, 6, 13};
+  const auto x = solve_dense(a, b, 3);
+  // Verify A x == b.
+  EXPECT_NEAR(0 * x[0] + 2 * x[1] + 1 * x[2], 5.0, 1e-10);
+  EXPECT_NEAR(1 * x[0] + 1 * x[1] + 1 * x[2], 6.0, 1e-10);
+  EXPECT_NEAR(2 * x[0] + 1 * x[1] + 3 * x[2], 13.0, 1e-10);
+}
+
+TEST(Linalg, ThrowsOnSingular) {
+  const std::vector<double> a = {1, 2, 2, 4};
+  const std::vector<double> b = {1, 2};
+  EXPECT_THROW(solve_dense(a, b, 2), CheckError);
+}
+
+TEST(Linalg, MatvecAndDot) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> x = {1, 1, 1};
+  const auto y = matvec(a, 2, 3, x);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  const std::vector<double> u = {1, 2};
+  const std::vector<double> v = {3, 4};
+  EXPECT_DOUBLE_EQ(dot(u, v), 11.0);
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+}
+
+TEST(Text, SplitJoinRoundTrip) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Text, TrimAndPad) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+}
+
+TEST(Text, FormatFixed) {
+  EXPECT_EQ(format_fixed(0.2416, 3), "0.242");
+  EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace varpred

@@ -1,0 +1,225 @@
+// Tests for the prediction pipelines: profile construction, the two
+// predictors, and the evaluator. Uses reduced corpora (fewer runs) to stay
+// fast while exercising the full training/prediction paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/crosssystem.hpp"
+#include "core/evaluator.hpp"
+#include "core/predictor.hpp"
+#include "core/profile.hpp"
+#include "ml/knn.hpp"
+#include "stats/moments.hpp"
+#include "stats/ks.hpp"
+
+namespace varpred::core {
+namespace {
+
+const measure::Corpus& small_intel() {
+  static const measure::Corpus corpus =
+      measure::build_corpus(measure::SystemModel::intel(), 200, 7);
+  return corpus;
+}
+
+const measure::Corpus& small_amd() {
+  static const measure::Corpus corpus =
+      measure::build_corpus(measure::SystemModel::amd(), 200, 7);
+  return corpus;
+}
+
+TEST(Profile, DimensionsMatchOptions) {
+  const auto& corpus = small_intel();
+  const auto& runs = corpus.benchmarks[0];
+  const std::vector<std::size_t> idx = {0, 1, 2};
+  const auto full = build_profile(*corpus.system, runs, idx);
+  EXPECT_EQ(full.size(), corpus.system->metric_count() * 4);
+  ProfileOptions mean_only;
+  mean_only.include_higher_moments = false;
+  const auto lean = build_profile(*corpus.system, runs, idx, mean_only);
+  EXPECT_EQ(lean.size(), corpus.system->metric_count());
+  EXPECT_EQ(profile_feature_names(*corpus.system).size(), full.size());
+}
+
+TEST(Profile, PerSecondNormalization) {
+  // A profile feature's mean must equal the mean of counter/runtime.
+  const auto& corpus = small_intel();
+  const auto& runs = corpus.benchmarks[3];
+  const std::vector<std::size_t> idx = {0, 5, 9};
+  const auto features = build_profile(*corpus.system, runs, idx);
+  double expected = 0.0;
+  for (const auto r : idx) {
+    expected += runs.counters(r, 0) / runs.runtimes[r] / 3.0;
+  }
+  EXPECT_NEAR(features[0], expected, 1e-9 * expected);
+}
+
+TEST(Profile, SingleRunHasZeroHigherMoments) {
+  const auto& corpus = small_intel();
+  const auto& runs = corpus.benchmarks[0];
+  const std::vector<std::size_t> idx = {4};
+  const auto features = build_profile(*corpus.system, runs, idx);
+  for (std::size_t m = 0; m < corpus.system->metric_count(); ++m) {
+    EXPECT_DOUBLE_EQ(features[m * 4 + 1], 0.0);  // sd
+    EXPECT_DOUBLE_EQ(features[m * 4 + 2], 0.0);  // skew
+  }
+}
+
+TEST(Profile, InvalidArguments) {
+  const auto& corpus = small_intel();
+  const auto& runs = corpus.benchmarks[0];
+  EXPECT_THROW(build_profile(*corpus.system, runs, std::vector<std::size_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      build_profile(*corpus.system, runs, std::vector<std::size_t>{99999}),
+      std::invalid_argument);
+}
+
+TEST(ChooseRunIndices, DistinctAndDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  const auto x = choose_run_indices(100, 10, a);
+  const auto y = choose_run_indices(100, 10, b);
+  EXPECT_EQ(x, y);
+  std::set<std::size_t> unique(x.begin(), x.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const auto i : x) EXPECT_LT(i, 100u);
+  Rng c(5);
+  EXPECT_THROW(choose_run_indices(5, 6, c), std::invalid_argument);
+}
+
+TEST(FewRuns, TrainPredictShapesAndDeterminism) {
+  const auto& corpus = small_intel();
+  FewRunsConfig config;
+  config.n_probe_runs = 5;
+  FewRunsPredictor predictor(config);
+  EXPECT_FALSE(predictor.trained());
+
+  std::vector<std::size_t> training(corpus.benchmarks.size() - 1);
+  std::iota(training.begin(), training.end(), std::size_t{1});
+  predictor.train(corpus, training);
+  EXPECT_TRUE(predictor.trained());
+
+  const auto& held = corpus.benchmarks[0];
+  const std::vector<std::size_t> probe = {0, 1, 2, 3, 4};
+  Rng r1(42);
+  Rng r2(42);
+  const auto p1 = predictor.predict_distribution(held, probe, 500, r1);
+  const auto p2 = predictor.predict_distribution(held, probe, 500, r2);
+  EXPECT_EQ(p1.size(), 500u);
+  EXPECT_EQ(p1, p2);
+  for (const double x : p1) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(FewRuns, PredictBeforeTrainThrows) {
+  FewRunsPredictor predictor;
+  const auto& corpus = small_intel();
+  const std::vector<std::size_t> probe = {0};
+  Rng rng(1);
+  EXPECT_THROW(
+      predictor.predict_distribution(corpus.benchmarks[0], probe, 10, rng),
+      CheckError);
+}
+
+TEST(FewRuns, ModelFactoryOverrideIsUsed) {
+  const auto& corpus = small_intel();
+  int factory_calls = 0;
+  FewRunsConfig config;
+  config.model_factory = [&factory_calls]() {
+    ++factory_calls;
+    ml::KnnParams params;
+    params.k = 3;
+    return std::make_unique<ml::KnnRegressor>(params);
+  };
+  FewRunsPredictor predictor(config);
+  predictor.train_all(corpus);
+  EXPECT_EQ(factory_calls, 1);
+  EXPECT_TRUE(predictor.trained());
+}
+
+TEST(FewRuns, PredictionBeatsCorpusMeanOnWidth) {
+  // The model must at least distinguish a very narrow benchmark from a wide
+  // one: predicted sd ordering should match the truth ordering.
+  const auto& corpus = small_intel();
+  FewRunsConfig config;
+  EvalOptions options;
+  const std::size_t narrow = measure::benchmark_index("rodinia/heartwall");
+  const std::size_t wide = measure::benchmark_index("specaccel/303");
+  const auto p_narrow =
+      predict_held_out_few_runs(corpus, narrow, config, options);
+  const auto p_wide = predict_held_out_few_runs(corpus, wide, config, options);
+  EXPECT_LT(stats::compute_moments(p_narrow).stddev,
+            stats::compute_moments(p_wide).stddev);
+}
+
+TEST(CrossSystem, TrainPredictAndFeatureLayout) {
+  const auto& amd = small_amd();
+  const auto& intel = small_intel();
+  CrossSystemConfig config;
+  CrossSystemPredictor predictor(config);
+
+  const auto features =
+      predictor.make_features(*amd.system, amd.benchmarks[0]);
+  EXPECT_EQ(features.size(), amd.system->metric_count() * 4 + 4);
+
+  predictor.train_all(amd, intel);
+  EXPECT_TRUE(predictor.trained());
+  Rng rng(9);
+  const auto predicted =
+      predictor.predict_distribution(amd.benchmarks[0], 400, rng);
+  EXPECT_EQ(predicted.size(), 400u);
+}
+
+TEST(CrossSystem, MismatchedCorporaRejected) {
+  const auto& amd = small_amd();
+  measure::Corpus truncated = small_intel();
+  truncated.benchmarks.resize(10);
+  CrossSystemPredictor predictor;
+  std::vector<std::size_t> training = {0, 1, 2};
+  EXPECT_THROW(predictor.train(amd, truncated, training),
+               std::invalid_argument);
+}
+
+TEST(Evaluator, FewRunsProducesScorePerBenchmark) {
+  const auto& corpus = small_intel();
+  FewRunsConfig config;
+  EvalOptions options;
+  options.n_reconstruct = 500;
+  const auto result = evaluate_few_runs(corpus, config, options);
+  ASSERT_EQ(result.ks.size(), corpus.benchmarks.size());
+  ASSERT_EQ(result.benchmark_names.size(), corpus.benchmarks.size());
+  for (const double ks : result.ks) {
+    EXPECT_GE(ks, 0.0);
+    EXPECT_LE(ks, 1.0);
+  }
+  EXPECT_EQ(result.benchmark_names[0], "npb/bt");
+  const auto s = result.summary();
+  EXPECT_GT(s.mean, 0.0);
+  EXPECT_LT(s.mean, 0.6);  // far better than random
+}
+
+TEST(Evaluator, CrossSystemProducesScorePerBenchmark) {
+  const auto& amd = small_amd();
+  const auto& intel = small_intel();
+  CrossSystemConfig config;
+  EvalOptions options;
+  options.n_reconstruct = 500;
+  const auto result = evaluate_cross_system(amd, intel, config, options);
+  ASSERT_EQ(result.ks.size(), intel.benchmarks.size());
+  EXPECT_LT(result.mean_ks(), 0.6);
+}
+
+TEST(Evaluator, DeterministicAcrossInvocations) {
+  const auto& corpus = small_intel();
+  FewRunsConfig config;
+  EvalOptions options;
+  options.n_reconstruct = 300;
+  const auto a = evaluate_few_runs(corpus, config, options);
+  const auto b = evaluate_few_runs(corpus, config, options);
+  EXPECT_EQ(a.ks, b.ks);
+}
+
+}  // namespace
+}  // namespace varpred::core

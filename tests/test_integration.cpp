@@ -1,0 +1,169 @@
+// End-to-end integration tests: the full experiment pipelines at reduced
+// scale, asserting the qualitative properties the paper's figures rest on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/text.hpp"
+#include "core/varpred.hpp"
+
+namespace varpred {
+namespace {
+
+struct Corpora {
+  measure::Corpus intel;
+  measure::Corpus amd;
+};
+
+const Corpora& corpora() {
+  static const Corpora c{
+      measure::build_corpus(measure::SystemModel::intel(), 300, 7),
+      measure::build_corpus(measure::SystemModel::amd(), 300, 7)};
+  return c;
+}
+
+TEST(Integration, Fig1Story376) {
+  // SPEC OMP 376 measured distribution is multi-modal; a 10-run prediction
+  // recovers far more of the shape than random guessing.
+  const auto& intel = corpora().intel;
+  const std::size_t idx = measure::benchmark_index("specomp/376");
+  const auto measured = intel.benchmarks[idx].relative_times();
+  const auto m = stats::compute_moments(measured);
+  EXPECT_GT(m.stddev, 0.01);  // visibly wide: multiple modes
+
+  core::FewRunsConfig config;
+  core::EvalOptions options;
+  options.n_reconstruct = 1000;
+  const auto predicted =
+      core::predict_held_out_few_runs(intel, idx, config, options);
+  const double ks = stats::ks_statistic(measured, predicted);
+  EXPECT_LT(ks, 0.6);  // far better than the uninformed baseline (~0.8)
+  // Predicted width is in the right regime (not collapsed to a point, not
+  // spread over the whole support).
+  const auto pm = stats::compute_moments(predicted);
+  EXPECT_GT(pm.stddev, 0.15 * m.stddev);
+  EXPECT_LT(pm.stddev, 6.0 * m.stddev);
+}
+
+TEST(Integration, Uc1AllCellsFinishAndScoreSanely) {
+  const auto& intel = corpora().intel;
+  core::EvalOptions options;
+  options.n_reconstruct = 500;
+  for (const auto repr : core::all_repr_kinds()) {
+    core::FewRunsConfig config;
+    config.repr = repr;
+    config.model = core::ModelKind::kKnn;
+    const auto result = core::evaluate_few_runs(intel, config, options);
+    EXPECT_GT(result.mean_ks(), 0.03) << core::to_string(repr);
+    EXPECT_LT(result.mean_ks(), 0.5) << core::to_string(repr);
+  }
+}
+
+TEST(Integration, Uc2BothDirectionsAndAsymmetry) {
+  const auto& c = corpora();
+  core::CrossSystemConfig config;
+  core::EvalOptions options;
+  options.n_reconstruct = 500;
+  const auto a2i =
+      core::evaluate_cross_system(c.amd, c.intel, config, options);
+  const auto i2a =
+      core::evaluate_cross_system(c.intel, c.amd, config, options);
+  // Fig. 8: predicting toward the tamer Intel corpus is the easier task.
+  EXPECT_LT(a2i.mean_ks(), i2a.mean_ks());
+  EXPECT_LT(a2i.mean_ks(), 0.45);
+}
+
+TEST(Integration, MoreTrainingDataHelps) {
+  // The paper's future-work claim: accuracy improves with more training
+  // benchmarks. Train on 20 vs all-but-one and compare the mean KS of the
+  // same held-out set.
+  const auto& intel = corpora().intel;
+  core::FewRunsConfig config;
+  core::EvalOptions options;
+  options.n_reconstruct = 500;
+
+  // Held-out set: every 6th benchmark.
+  std::vector<std::size_t> held;
+  for (std::size_t b = 0; b < intel.benchmarks.size(); b += 6) {
+    held.push_back(b);
+  }
+  auto eval_with_training = [&](std::size_t max_train) {
+    double total = 0.0;
+    for (const std::size_t h : held) {
+      std::vector<std::size_t> training;
+      for (std::size_t b = 0; b < intel.benchmarks.size() &&
+                              training.size() < max_train; ++b) {
+        if (b != h) training.push_back(b);
+      }
+      core::FewRunsPredictor predictor(config);
+      predictor.train(intel, training);
+      Rng prng(seed_combine(options.seed, h));
+      const auto probe = core::choose_run_indices(
+          intel.benchmarks[h].run_count(), config.n_probe_runs, prng);
+      Rng rng(seed_combine(options.seed, 1000 + h));
+      const auto predicted = predictor.predict_distribution(
+          intel.benchmarks[h], probe, options.n_reconstruct, rng);
+      total += stats::ks_statistic(intel.benchmarks[h].relative_times(),
+                                   predicted);
+    }
+    return total / static_cast<double>(held.size());
+  };
+
+  const double small = eval_with_training(10);
+  const double large = eval_with_training(59);
+  EXPECT_LT(large, small + 0.04);  // never much worse, normally better
+}
+
+TEST(Integration, CsvExportOfResultsRoundTrips) {
+  const auto& intel = corpora().intel;
+  core::FewRunsConfig config;
+  core::EvalOptions options;
+  options.n_reconstruct = 300;
+  const auto result = core::evaluate_few_runs(intel, config, options);
+
+  io::CsvTable table;
+  table.header = {"benchmark", "ks"};
+  for (std::size_t i = 0; i < result.ks.size(); ++i) {
+    table.rows.push_back({result.benchmark_names[i],
+                          format_fixed(result.ks[i], 6)});
+  }
+  const auto back = io::read_csv(io::write_csv(table));
+  ASSERT_EQ(back.rows.size(), result.ks.size());
+  EXPECT_NEAR(back.as_double(0, 1), result.ks[0], 1e-5);
+}
+
+TEST(Integration, ProductionModelPredictsUnseenVariant) {
+  // Train on the full corpus, then predict a *new* application (a trait
+  // variant outside the registry), exactly like the tuning-loop example.
+  const auto& intel = corpora().intel;
+  core::FewRunsPredictor predictor;
+  predictor.train_all(intel);
+
+  measure::BenchmarkInfo variant = measure::find_benchmark("npb/cg");
+  variant.name = "cg-variant";
+  variant.traits.sync = 0.9;  // much jitterier than the original
+
+  const auto& system = *intel.system;
+  measure::BenchmarkRuns probe;
+  probe.counters = ml::Matrix(10, system.metric_count());
+  Rng rng(55);
+  for (std::size_t r = 0; r < 10; ++r) {
+    const auto run = measure::simulate_run(variant, system, rng);
+    probe.runtimes.push_back(run.runtime_seconds);
+    probe.modes.push_back(run.mode);
+    std::copy(run.counters.begin(), run.counters.end(),
+              probe.counters.row(r).begin());
+  }
+  std::vector<std::size_t> idx(10);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const auto predicted = predictor.predict_distribution(probe, idx, 1000, rng);
+
+  // Ground truth for the variant.
+  const auto mixture = system.runtime_distribution(variant);
+  Rng trng(66);
+  const auto truth = stats::to_relative(mixture.sample_many(trng, 1000));
+  EXPECT_LT(stats::ks_statistic(truth, predicted), 0.6);
+}
+
+}  // namespace
+}  // namespace varpred

@@ -1,0 +1,186 @@
+// Tests for the ML substrate plumbing: matrix, scaler, distances, dataset,
+// cross-validation splitters, and regression metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ml/cv.hpp"
+#include "ml/dataset.hpp"
+#include "ml/distance.hpp"
+#include "ml/matrix.hpp"
+#include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
+
+namespace varpred::ml {
+namespace {
+
+TEST(Matrix, BasicAccessAndRows) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  const auto row = m.row(1);
+  EXPECT_DOUBLE_EQ(row[2], 5.0);
+  EXPECT_THROW(m.at(2, 0), CheckError);
+  EXPECT_THROW(m.at(0, 3), CheckError);
+}
+
+TEST(Matrix, PushRowAndFromRows) {
+  Matrix m;
+  m.push_row(std::vector<double>{1.0, 2.0});
+  m.push_row(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_THROW(m.push_row(std::vector<double>{1.0}), std::invalid_argument);
+
+  const auto f = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(f.cols(), 3u);
+  EXPECT_DOUBLE_EQ(f(1, 1), 5.0);
+}
+
+TEST(Matrix, ColAndGather) {
+  const auto m = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const auto c = m.col(1);
+  EXPECT_EQ(c, (std::vector<double>{2, 4, 6}));
+  const std::vector<std::size_t> idx = {2, 0};
+  const auto g = m.gather_rows(idx);
+  EXPECT_DOUBLE_EQ(g(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 1.0);
+}
+
+TEST(Scaler, StandardizesColumns) {
+  const auto m = Matrix::from_rows({{1, 100}, {2, 200}, {3, 300}});
+  StandardScaler scaler;
+  const auto t = scaler.fit_transform(m);
+  // Column means are 2 and 200.
+  EXPECT_NEAR(t(0, 0) + t(1, 0) + t(2, 0), 0.0, 1e-12);
+  EXPECT_NEAR(t(0, 1) + t(1, 1) + t(2, 1), 0.0, 1e-12);
+  // Unit population variance.
+  double var = 0.0;
+  for (int r = 0; r < 3; ++r) var += t(r, 0) * t(r, 0);
+  EXPECT_NEAR(var / 3.0, 1.0, 1e-12);
+}
+
+TEST(Scaler, ConstantColumnIsSafe) {
+  const auto m = Matrix::from_rows({{5, 1}, {5, 2}, {5, 3}});
+  StandardScaler scaler;
+  const auto t = scaler.fit_transform(m);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(std::isfinite(t(r, 0)));
+    EXPECT_DOUBLE_EQ(t(r, 0), 0.0);
+  }
+}
+
+TEST(Scaler, TransformRowMatchesTransform) {
+  const auto m = Matrix::from_rows({{1, 10}, {3, 30}});
+  StandardScaler scaler;
+  scaler.fit(m);
+  const auto t = scaler.transform(m);
+  const auto row = scaler.transform_row(m.row(1));
+  EXPECT_DOUBLE_EQ(row[0], t(1, 0));
+  EXPECT_DOUBLE_EQ(row[1], t(1, 1));
+  EXPECT_THROW(scaler.transform_row(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Distance, CosineProperties) {
+  const std::vector<double> a = {1, 0};
+  const std::vector<double> b = {0, 1};
+  const std::vector<double> c = {2, 0};
+  EXPECT_NEAR(cosine_distance(a, b), 1.0, 1e-12);   // orthogonal
+  EXPECT_NEAR(cosine_distance(a, c), 0.0, 1e-12);   // parallel, scale-free
+  const std::vector<double> minus_a = {-1, 0};
+  EXPECT_NEAR(cosine_distance(a, minus_a), 2.0, 1e-12);  // opposite
+  const std::vector<double> zero = {0, 0};
+  EXPECT_DOUBLE_EQ(cosine_distance(a, zero), 1.0);  // degenerate convention
+}
+
+TEST(Distance, EuclideanAndManhattan) {
+  const std::vector<double> a = {0, 0};
+  const std::vector<double> b = {3, 4};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(manhattan_distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(distance(Metric::kEuclidean, a, b), 5.0);
+  EXPECT_THROW(euclidean_distance(a, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Dataset, ValidateAndSubset) {
+  Dataset d;
+  d.x = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  d.y = Matrix::from_rows({{1}, {2}, {3}});
+  d.groups = {0, 0, 1};
+  d.row_ids = {"a", "b", "c"};
+  d.validate();
+
+  const std::vector<std::size_t> rows = {0, 2};
+  const auto s = d.subset(rows);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.row_ids[1], "c");
+  EXPECT_EQ(s.groups[1], 1);
+  EXPECT_DOUBLE_EQ(s.y(1, 0), 3.0);
+
+  d.groups = {0};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Cv, LeaveOneGroupOutCoversEachGroupOnce) {
+  const std::vector<int> groups = {0, 0, 1, 2, 2, 2};
+  const auto folds = leave_one_group_out(groups);
+  ASSERT_EQ(folds.size(), 3u);
+  std::set<int> held;
+  for (const auto& f : folds) {
+    held.insert(f.held_out_group);
+    EXPECT_EQ(f.train.size() + f.test.size(), groups.size());
+    for (const std::size_t t : f.test) {
+      EXPECT_EQ(groups[t], f.held_out_group);
+    }
+    for (const std::size_t t : f.train) {
+      EXPECT_NE(groups[t], f.held_out_group);
+    }
+  }
+  EXPECT_EQ(held.size(), 3u);
+  EXPECT_THROW(leave_one_group_out(std::vector<int>{1, 1}),
+               std::invalid_argument);
+}
+
+TEST(Cv, KFoldPartitionsRows) {
+  const auto folds = k_fold(10, 3, 7);
+  ASSERT_EQ(folds.size(), 3u);
+  std::set<std::size_t> seen;
+  for (const auto& f : folds) {
+    for (const std::size_t t : f.test) {
+      EXPECT_TRUE(seen.insert(t).second) << "row tested twice";
+    }
+    EXPECT_EQ(f.train.size() + f.test.size(), 10u);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  // Deterministic for the same seed.
+  const auto again = k_fold(10, 3, 7);
+  EXPECT_EQ(again[0].test, folds[0].test);
+}
+
+TEST(Metrics, KnownValues) {
+  const std::vector<double> t = {1, 2, 3};
+  const std::vector<double> p = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(mse(t, p), 0.0);
+  EXPECT_DOUBLE_EQ(mae(t, p), 0.0);
+  EXPECT_DOUBLE_EQ(r2(t, p), 1.0);
+
+  const std::vector<double> q = {2, 2, 2};  // predicts the mean
+  EXPECT_DOUBLE_EQ(r2(t, q), 0.0);
+  EXPECT_NEAR(mse(t, q), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mae(t, q), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, R2DegenerateTruth) {
+  const std::vector<double> t = {2, 2};
+  EXPECT_DOUBLE_EQ(r2(t, std::vector<double>{2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(r2(t, std::vector<double>{1, 3}), 0.0);
+}
+
+}  // namespace
+}  // namespace varpred::ml

@@ -1,0 +1,330 @@
+// Tests for the three regressors (kNN, random forest, gradient boosting):
+// exact-fit sanity, generalization on synthetic functions, determinism,
+// multi-output behaviour, and a parameterized cross-model sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "ml/forest.hpp"
+#include "ml/gbt.hpp"
+#include "ml/knn.hpp"
+#include "ml/metrics.hpp"
+#include "ml/tree.hpp"
+
+namespace varpred::ml {
+namespace {
+
+// Synthetic regression problem: y0 = 2*x0 + x1^2, y1 = sin-free smooth mix.
+struct Problem {
+  Matrix x_train;
+  Matrix y_train;
+  Matrix x_test;
+  Matrix y_test;
+};
+
+Problem make_problem(std::size_t n_train, std::size_t n_test,
+                     std::uint64_t seed, double noise = 0.0) {
+  Rng rng(seed);
+  auto make = [&](std::size_t n, Matrix& x, Matrix& y) {
+    x = Matrix(n, 3);
+    y = Matrix(n, 2);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double a = rng.uniform(-1.0, 1.0);
+      const double b = rng.uniform(-1.0, 1.0);
+      const double c = rng.uniform(-1.0, 1.0);
+      x(r, 0) = a;
+      x(r, 1) = b;
+      x(r, 2) = c;
+      y(r, 0) = 2.0 * a + b * b + noise * rng.uniform(-1.0, 1.0);
+      y(r, 1) = a * b + 0.5 * c + noise * rng.uniform(-1.0, 1.0);
+    }
+  };
+  Problem p;
+  make(n_train, p.x_train, p.y_train);
+  make(n_test, p.x_test, p.y_test);
+  return p;
+}
+
+TEST(Knn, ExactNeighborRecovery) {
+  // With k=1 and train points far apart, prediction equals nearest target.
+  const auto x = Matrix::from_rows({{0, 0}, {10, 0}, {0, 10}});
+  const auto y = Matrix::from_rows({{1, -1}, {2, -2}, {3, -3}});
+  KnnParams params;
+  params.k = 1;
+  params.metric = Metric::kEuclidean;
+  params.standardize = false;
+  KnnRegressor knn(params);
+  knn.fit(x, y);
+  const auto p = knn.predict(std::vector<double>{9.0, 1.0});
+  EXPECT_DOUBLE_EQ(p[0], 2.0);
+  EXPECT_DOUBLE_EQ(p[1], -2.0);
+}
+
+TEST(Knn, AveragesKNeighbors) {
+  const auto x = Matrix::from_rows({{0.0}, {1.0}, {100.0}});
+  const auto y = Matrix::from_rows({{0.0}, {2.0}, {50.0}});
+  KnnParams params;
+  params.k = 2;
+  params.metric = Metric::kEuclidean;
+  params.standardize = false;
+  KnnRegressor knn(params);
+  knn.fit(x, y);
+  const auto p = knn.predict(std::vector<double>{0.4});
+  EXPECT_DOUBLE_EQ(p[0], 1.0);  // mean of 0 and 2
+}
+
+TEST(Knn, CosineIsScaleInvariant) {
+  // Under cosine distance (without standardization), scaled copies of a
+  // vector are identical.
+  const auto x = Matrix::from_rows({{1.0, 2.0}, {-3.0, 1.0}});
+  const auto y = Matrix::from_rows({{1.0}, {2.0}});
+  KnnParams params;
+  params.k = 1;
+  params.metric = Metric::kCosine;
+  params.standardize = false;
+  KnnRegressor knn(params);
+  knn.fit(x, y);
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{10.0, 20.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.1, 0.2})[0], 1.0);
+}
+
+TEST(Knn, KLargerThanTrainingSetIsClamped) {
+  const auto x = Matrix::from_rows({{0.0}, {1.0}});
+  const auto y = Matrix::from_rows({{2.0}, {4.0}});
+  KnnParams params;
+  params.k = 15;
+  KnnRegressor knn(params);
+  knn.fit(x, y);
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.5})[0], 3.0);
+}
+
+TEST(Knn, NeighborsSortedByDistance) {
+  const auto x = Matrix::from_rows({{5.0}, {1.0}, {3.0}});
+  const auto y = Matrix::from_rows({{0.0}, {0.0}, {0.0}});
+  KnnParams params;
+  params.k = 3;
+  params.metric = Metric::kEuclidean;
+  params.standardize = false;
+  KnnRegressor knn(params);
+  knn.fit(x, y);
+  const auto nn = knn.neighbors(std::vector<double>{0.0});
+  EXPECT_EQ(nn, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Tree, FitsConstantTarget) {
+  const auto x = Matrix::from_rows({{1}, {2}, {3}});
+  const auto y = Matrix::from_rows({{7}, {7}, {7}});
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.leaf_count(), 1u);  // pure node: no split
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1.5})[0], 7.0);
+}
+
+TEST(Tree, LearnsAStepFunctionExactly) {
+  Matrix x(20, 1);
+  Matrix y(20, 1);
+  for (int i = 0; i < 20; ++i) {
+    x(i, 0) = i;
+    y(i, 0) = i < 10 ? -1.0 : 1.0;
+  }
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{3.0})[0], -1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{15.0})[0], 1.0);
+  EXPECT_EQ(tree.leaf_count(), 2u);
+}
+
+TEST(Tree, RespectsMaxDepth) {
+  Matrix x(64, 1);
+  Matrix y(64, 1);
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    x(i, 0) = i;
+    y(i, 0) = rng.uniform();
+  }
+  TreeParams params;
+  params.max_depth = 3;
+  RegressionTree tree(params);
+  tree.fit(x, y);
+  EXPECT_LE(tree.depth(), 3u);
+  EXPECT_LE(tree.leaf_count(), 8u);
+}
+
+TEST(Tree, RespectsMinSamplesLeaf) {
+  Matrix x(30, 1);
+  Matrix y(30, 1);
+  for (int i = 0; i < 30; ++i) {
+    x(i, 0) = i;
+    y(i, 0) = i;  // forces many splits if unconstrained
+  }
+  TreeParams params;
+  params.max_depth = 32;
+  params.min_samples_leaf = 5;
+  RegressionTree tree(params);
+  tree.fit(x, y);
+  EXPECT_LE(tree.leaf_count(), 6u);  // 30 / 5
+}
+
+TEST(Tree, MultiOutputSplitsJointly) {
+  const auto p = make_problem(300, 100, 11);
+  TreeParams params;
+  params.max_depth = 8;
+  RegressionTree tree(params);
+  tree.fit(p.x_train, p.y_train);
+  const auto pred = tree.predict_batch(p.x_test);
+  EXPECT_GT(r2(p.y_test.col(0), pred.col(0)), 0.7);
+  EXPECT_GT(r2(p.y_test.col(1), pred.col(1)), 0.5);
+}
+
+TEST(Forest, OutperformsOrMatchesSingleTreeOnNoisyData) {
+  const auto p = make_problem(300, 200, 13, /*noise=*/0.3);
+  TreeParams tp;
+  tp.max_depth = 8;
+  RegressionTree tree(tp);
+  tree.fit(p.x_train, p.y_train);
+  const auto tree_pred = tree.predict_batch(p.x_test);
+  const double tree_r2 = r2(p.y_test.col(0), tree_pred.col(0));
+
+  ForestParams fp;
+  fp.n_trees = 60;
+  fp.tree.max_depth = 8;
+  fp.seed = 21;
+  RandomForest forest(fp);
+  forest.fit(p.x_train, p.y_train);
+  const auto forest_pred = forest.predict_batch(p.x_test);
+  const double forest_r2 = r2(p.y_test.col(0), forest_pred.col(0));
+
+  EXPECT_GT(forest_r2, 0.75);
+  EXPECT_GE(forest_r2, tree_r2 - 0.02);
+}
+
+TEST(Forest, DeterministicAcrossFits) {
+  const auto p = make_problem(100, 10, 17);
+  ForestParams fp;
+  fp.n_trees = 20;
+  fp.seed = 5;
+  RandomForest a(fp);
+  RandomForest b(fp);
+  a.fit(p.x_train, p.y_train);
+  b.fit(p.x_train, p.y_train);
+  for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
+    EXPECT_EQ(a.predict(p.x_test.row(r)), b.predict(p.x_test.row(r)));
+  }
+}
+
+TEST(Gbt, FitsTrainingDataClosely) {
+  const auto p = make_problem(200, 50, 19);
+  GbtParams gp;
+  gp.n_rounds = 150;
+  gp.learning_rate = 0.2;
+  gp.subsample = 1.0;
+  gp.colsample = 1.0;
+  GradientBoosting gbt(gp);
+  gbt.fit(p.x_train, p.y_train);
+  const auto pred = gbt.predict_batch(p.x_train);
+  EXPECT_GT(r2(p.y_train.col(0), pred.col(0)), 0.97);
+}
+
+TEST(Gbt, GeneralizesOnSmoothFunction) {
+  const auto p = make_problem(400, 200, 23, /*noise=*/0.1);
+  GradientBoosting gbt;  // defaults
+  gbt.fit(p.x_train, p.y_train);
+  const auto pred = gbt.predict_batch(p.x_test);
+  EXPECT_GT(r2(p.y_test.col(0), pred.col(0)), 0.8);
+  EXPECT_GT(r2(p.y_test.col(1), pred.col(1)), 0.6);
+}
+
+TEST(Gbt, ShrinkageReducesOverfitVsSingleBigStep) {
+  const auto p = make_problem(150, 150, 29, /*noise=*/0.4);
+  GbtParams fast;
+  fast.n_rounds = 5;
+  fast.learning_rate = 1.0;
+  GbtParams slow;
+  slow.n_rounds = 100;
+  slow.learning_rate = 0.1;
+  GradientBoosting a(fast);
+  GradientBoosting b(slow);
+  a.fit(p.x_train, p.y_train);
+  b.fit(p.x_train, p.y_train);
+  const double r2_fast = r2(p.y_test.col(0), a.predict_batch(p.x_test).col(0));
+  const double r2_slow = r2(p.y_test.col(0), b.predict_batch(p.x_test).col(0));
+  EXPECT_GE(r2_slow, r2_fast - 0.02);
+}
+
+TEST(AllModels, CloneIsIndependentAndEquivalent) {
+  const auto p = make_problem(100, 20, 31);
+  std::vector<std::unique_ptr<Regressor>> models;
+  models.push_back(std::make_unique<KnnRegressor>());
+  models.push_back(std::make_unique<RandomForest>(
+      ForestParams{.n_trees = 10, .tree = {}, .bootstrap = true,
+                   .feature_fraction = 1.0, .seed = 3}));
+  models.push_back(std::make_unique<GradientBoosting>(
+      GbtParams{.n_rounds = 10}));
+  for (auto& m : models) {
+    m->fit(p.x_train, p.y_train);
+    auto copy = m->clone();
+    EXPECT_TRUE(copy->trained());
+    for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
+      EXPECT_EQ(m->predict(p.x_test.row(r)), copy->predict(p.x_test.row(r)))
+          << m->name();
+    }
+  }
+}
+
+TEST(AllModels, RejectMismatchedFit) {
+  const auto x = Matrix::from_rows({{1, 2}, {3, 4}});
+  const auto y = Matrix::from_rows({{1}});
+  KnnRegressor knn;
+  EXPECT_THROW(knn.fit(x, y), std::invalid_argument);
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(x, y), std::invalid_argument);
+  GradientBoosting gbt;
+  EXPECT_THROW(gbt.fit(x, y), std::invalid_argument);
+}
+
+TEST(AllModels, PredictBeforeFitThrows) {
+  KnnRegressor knn;
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0}), CheckError);
+  RandomForest forest;
+  EXPECT_THROW(forest.predict(std::vector<double>{1.0}), CheckError);
+  GradientBoosting gbt;
+  EXPECT_THROW(gbt.predict(std::vector<double>{1.0}), CheckError);
+}
+
+// Parameterized sweep: every model should beat the predict-the-mean baseline
+// on the smooth synthetic problem.
+class ModelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelSweep, BeatsMeanBaseline) {
+  const auto p = make_problem(250, 150, 37, /*noise=*/0.2);
+  std::unique_ptr<Regressor> model;
+  switch (GetParam()) {
+    case 0:
+      model = std::make_unique<KnnRegressor>(
+          KnnParams{.k = 10, .metric = Metric::kEuclidean,
+                    .weighting = KnnWeighting::kDistance,
+                    .standardize = true});
+      break;
+    case 1:
+      model = std::make_unique<RandomForest>(
+          ForestParams{.n_trees = 50, .tree = {}, .bootstrap = true,
+                       .feature_fraction = 1.0, .seed = 9});
+      break;
+    default:
+      model = std::make_unique<GradientBoosting>();
+      break;
+  }
+  model->fit(p.x_train, p.y_train);
+  const auto pred = model->predict_batch(p.x_test);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_GT(r2(p.y_test.col(c), pred.col(c)), 0.35)
+        << model->name() << " output " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KnnRfGbt, ModelSweep, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace varpred::ml

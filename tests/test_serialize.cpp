@@ -1,0 +1,241 @@
+// Tests for model/predictor serialization: exact round trips for every
+// model type, the type-dispatching loader, predictor-level round trips, and
+// failure behaviour on malformed input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/crosssystem.hpp"
+#include "core/predictor.hpp"
+#include "io/serialize.hpp"
+#include "ml/forest.hpp"
+#include "ml/gbt.hpp"
+#include "ml/knn.hpp"
+#include "ml/serialize.hpp"
+#include "ml/tree.hpp"
+
+namespace varpred {
+namespace {
+
+ml::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  ml::Matrix m(rows, cols);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng.uniform(-3.0, 3.0);
+    }
+  }
+  return m;
+}
+
+TEST(SerializePrimitives, WriterReaderRoundTrip) {
+  std::stringstream ss;
+  io::Writer w(ss);
+  w.tag("header");
+  w.u64("count", 42);
+  w.i64("offset", -7);
+  w.f64("pi", 3.141592653589793);
+  w.f64("tiny", 1e-300);
+  w.boolean("flag", true);
+  w.text("name", "hello world, with: punctuation");
+  const std::vector<double> xs = {1.0, -2.5, 1e17, 0.1};
+  w.vec("xs", xs);
+
+  io::Reader r(ss);
+  r.tag("header");
+  EXPECT_EQ(r.u64("count"), 42u);
+  EXPECT_EQ(r.i64("offset"), -7);
+  EXPECT_DOUBLE_EQ(r.f64("pi"), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(r.f64("tiny"), 1e-300);
+  EXPECT_TRUE(r.boolean("flag"));
+  EXPECT_EQ(r.text("name"), "hello world, with: punctuation");
+  EXPECT_EQ(r.vec("xs"), xs);
+}
+
+TEST(SerializePrimitives, LabelMismatchThrows) {
+  std::stringstream ss;
+  io::Writer w(ss);
+  w.u64("alpha", 1);
+  io::Reader r(ss);
+  EXPECT_THROW(r.u64("beta"), std::invalid_argument);
+}
+
+TEST(SerializePrimitives, TruncatedStreamThrows) {
+  std::stringstream ss("xs 5 1.0 2.0");
+  io::Reader r(ss);
+  EXPECT_THROW(r.vec("xs"), std::invalid_argument);
+}
+
+TEST(SerializeMatrix, RoundTripExact) {
+  const auto m = random_matrix(7, 5, 1);
+  std::stringstream ss;
+  io::Writer w(ss);
+  ml::save_matrix(w, "m", m);
+  io::Reader r(ss);
+  const auto back = ml::load_matrix(r, "m");
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(back(i, j), m(i, j));
+    }
+  }
+}
+
+template <typename Model>
+void expect_identical_predictions(const Model& a, const ml::Regressor& b,
+                                  std::size_t n_features) {
+  const auto queries = random_matrix(20, n_features, 99);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    EXPECT_EQ(a.predict(queries.row(q)), b.predict(queries.row(q)));
+  }
+}
+
+TEST(SerializeModels, KnnRoundTrip) {
+  ml::KnnParams params;
+  params.k = 7;
+  params.metric = ml::Metric::kEuclidean;
+  params.weighting = ml::KnnWeighting::kDistance;
+  ml::KnnRegressor knn(params);
+  knn.fit(random_matrix(40, 6, 2), random_matrix(40, 3, 3));
+
+  std::stringstream ss;
+  knn.save(ss);
+  const auto back = ml::KnnRegressor::load(ss);
+  EXPECT_EQ(back.params().k, 7u);
+  EXPECT_EQ(back.params().metric, ml::Metric::kEuclidean);
+  expect_identical_predictions(knn, back, 6);
+}
+
+TEST(SerializeModels, UntrainedKnnRoundTrips) {
+  ml::KnnRegressor knn;
+  std::stringstream ss;
+  knn.save(ss);
+  const auto back = ml::KnnRegressor::load(ss);
+  EXPECT_FALSE(back.trained());
+}
+
+TEST(SerializeModels, TreeRoundTrip) {
+  ml::TreeParams params;
+  params.max_depth = 5;
+  ml::RegressionTree tree(params);
+  tree.fit(random_matrix(60, 4, 4), random_matrix(60, 2, 5));
+
+  std::stringstream ss;
+  tree.save(ss);
+  const auto back = ml::RegressionTree::load(ss);
+  EXPECT_EQ(back.node_count(), tree.node_count());
+  EXPECT_EQ(back.leaf_count(), tree.leaf_count());
+  expect_identical_predictions(tree, back, 4);
+}
+
+TEST(SerializeModels, ForestRoundTrip) {
+  ml::ForestParams params;
+  params.n_trees = 12;
+  params.seed = 9;
+  ml::RandomForest forest(params);
+  forest.fit(random_matrix(50, 5, 6), random_matrix(50, 2, 7));
+
+  std::stringstream ss;
+  forest.save(ss);
+  const auto back = ml::RandomForest::load(ss);
+  EXPECT_EQ(back.tree_count(), 12u);
+  expect_identical_predictions(forest, back, 5);
+}
+
+TEST(SerializeModels, GbtRoundTrip) {
+  ml::GbtParams params;
+  params.n_rounds = 15;
+  ml::GradientBoosting gbt(params);
+  gbt.fit(random_matrix(50, 5, 8), random_matrix(50, 3, 9));
+
+  std::stringstream ss;
+  gbt.save(ss);
+  const auto back = ml::GradientBoosting::load(ss);
+  expect_identical_predictions(gbt, back, 5);
+}
+
+TEST(SerializeModels, DispatcherRestoresEveryType) {
+  const auto x = random_matrix(30, 4, 10);
+  const auto y = random_matrix(30, 2, 11);
+  std::vector<std::unique_ptr<ml::Regressor>> models;
+  models.push_back(std::make_unique<ml::KnnRegressor>());
+  models.push_back(std::make_unique<ml::RegressionTree>());
+  models.push_back(std::make_unique<ml::RandomForest>(
+      ml::ForestParams{.n_trees = 5, .tree = {}, .bootstrap = true,
+                       .feature_fraction = 1.0, .seed = 2}));
+  models.push_back(std::make_unique<ml::GradientBoosting>(
+      ml::GbtParams{.n_rounds = 5}));
+  for (auto& model : models) {
+    model->fit(x, y);
+    std::stringstream ss;
+    model->save(ss);
+    const auto back = ml::load_regressor(ss);
+    EXPECT_EQ(back->name(), model->name());
+    for (std::size_t q = 0; q < 5; ++q) {
+      EXPECT_EQ(back->predict(x.row(q)), model->predict(x.row(q)))
+          << model->name();
+    }
+  }
+}
+
+TEST(SerializeModels, DispatcherRejectsGarbage) {
+  std::stringstream ss("not.a.model 1 2 3");
+  EXPECT_THROW(ml::load_regressor(ss), std::invalid_argument);
+  std::stringstream empty("");
+  EXPECT_THROW(ml::load_regressor(empty), std::invalid_argument);
+}
+
+TEST(SerializePredictors, FewRunsRoundTrip) {
+  const auto corpus =
+      measure::build_corpus(measure::SystemModel::intel(), 60, 7);
+  core::FewRunsConfig config;
+  config.n_probe_runs = 5;
+  core::FewRunsPredictor predictor(config);
+  predictor.train_all(corpus);
+
+  std::stringstream ss;
+  predictor.save(ss);
+  auto back = core::FewRunsPredictor::load(ss);
+  EXPECT_TRUE(back.trained());
+  EXPECT_EQ(back.config().n_probe_runs, 5u);
+  EXPECT_EQ(back.config().repr, config.repr);
+
+  const std::vector<std::size_t> probe = {0, 1, 2, 3, 4};
+  Rng r1(3);
+  Rng r2(3);
+  EXPECT_EQ(
+      predictor.predict_distribution(corpus.benchmarks[0], probe, 200, r1),
+      back.predict_distribution(corpus.benchmarks[0], probe, 200, r2));
+}
+
+TEST(SerializePredictors, CrossSystemRoundTrip) {
+  const auto amd = measure::build_corpus(measure::SystemModel::amd(), 60, 7);
+  const auto intel =
+      measure::build_corpus(measure::SystemModel::intel(), 60, 7);
+  core::CrossSystemPredictor predictor;
+  predictor.train_all(amd, intel);
+
+  std::stringstream ss;
+  predictor.save(ss);
+  auto back = core::CrossSystemPredictor::load(ss);
+  EXPECT_TRUE(back.trained());
+
+  Rng r1(4);
+  Rng r2(4);
+  EXPECT_EQ(predictor.predict_distribution(amd.benchmarks[2], 200, r1),
+            back.predict_distribution(amd.benchmarks[2], 200, r2));
+}
+
+TEST(SerializePredictors, UntrainedSaveThrows) {
+  core::FewRunsPredictor predictor;
+  std::stringstream ss;
+  EXPECT_THROW(predictor.save(ss), std::invalid_argument);
+  core::CrossSystemPredictor cross;
+  EXPECT_THROW(cross.save(ss), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varpred

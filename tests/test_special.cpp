@@ -1,0 +1,133 @@
+// Tests for special functions and quadrature against known closed-form
+// values and identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "special/functions.hpp"
+#include "special/quadrature.hpp"
+
+namespace varpred::special {
+namespace {
+
+TEST(SpecialFunctions, LogBetaMatchesFactorials) {
+  // B(a, b) = (a-1)!(b-1)!/(a+b-1)! for integers.
+  EXPECT_NEAR(std::exp(log_beta(2, 3)), 1.0 / 12.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_beta(1, 1)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_beta(5, 5)), 1.0 / 630.0, 1e-12);
+}
+
+TEST(SpecialFunctions, GammaPAtKnownPoints) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(a, 0) = 0, large-x limit 1.
+  EXPECT_DOUBLE_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_NEAR(gamma_p(3.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(SpecialFunctions, GammaPQSumToOne) {
+  for (const double a : {0.3, 1.0, 2.5, 10.0}) {
+    for (const double x : {0.01, 0.5, 1.0, 3.0, 25.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(SpecialFunctions, IncbetaUniformCase) {
+  // I_x(1, 1) = x.
+  for (const double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(incbeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(SpecialFunctions, IncbetaSymmetry) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (const double a : {0.5, 2.0, 7.0}) {
+    for (const double b : {1.5, 3.0}) {
+      for (const double x : {0.1, 0.4, 0.9}) {
+        EXPECT_NEAR(incbeta(a, b, x), 1.0 - incbeta(b, a, 1.0 - x), 1e-10);
+      }
+    }
+  }
+}
+
+TEST(SpecialFunctions, IncbetaMonotone) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = incbeta(2.5, 1.5, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SpecialFunctions, NormCdfKnownValues) {
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(norm_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(norm_cdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(SpecialFunctions, NormPpfInvertsCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(norm_cdf(norm_ppf(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(SpecialFunctions, ArgumentValidation) {
+  EXPECT_THROW(gamma_p(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(incbeta(1.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(norm_ppf(0.0), std::invalid_argument);
+  EXPECT_THROW(norm_ppf(1.0), std::invalid_argument);
+}
+
+TEST(Quadrature, RuleIntegratesPolynomialsExactly) {
+  // n-point Gauss-Legendre is exact for degree <= 2n-1.
+  const auto poly = [](double x) {
+    return 3.0 * x * x * x * x * x - 2.0 * x * x + x - 7.0;
+  };
+  // Exact integral over [-1, 1]: 0 - 4/3 + 0 - 14 = -46/3.
+  EXPECT_NEAR(integrate(poly, -1.0, 1.0, 3), -46.0 / 3.0, 1e-12);
+}
+
+TEST(Quadrature, IntegratesGaussianDensityToOne) {
+  const auto pdf = [](double x) { return norm_pdf(x); };
+  EXPECT_NEAR(integrate(pdf, -8.0, 8.0, 64), 1.0, 1e-12);
+  EXPECT_NEAR(integrate_composite(pdf, -8.0, 8.0, 8, 16), 1.0, 1e-12);
+}
+
+TEST(Quadrature, WeightsSumToIntervalLength) {
+  for (const std::size_t n : {1u, 2u, 5u, 16u, 64u, 96u}) {
+    const auto& rule = gauss_legendre(n);
+    double sum = 0.0;
+    for (const double w : rule.weights) sum += w;
+    EXPECT_NEAR(sum, 2.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Quadrature, NodesAreSortedAndSymmetric) {
+  const auto& rule = gauss_legendre(32);
+  for (std::size_t i = 1; i < rule.nodes.size(); ++i) {
+    EXPECT_LT(rule.nodes[i - 1], rule.nodes[i]);
+  }
+  for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
+    EXPECT_NEAR(rule.nodes[i], -rule.nodes[rule.nodes.size() - 1 - i], 1e-12);
+  }
+}
+
+TEST(Quadrature, ScaledRuleMatchesInterval) {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+  scaled_rule(16, 2.0, 5.0, nodes, weights);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_GT(nodes[i], 2.0);
+    EXPECT_LT(nodes[i], 5.0);
+    sum += weights[i];
+  }
+  EXPECT_NEAR(sum, 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace varpred::special

@@ -1,0 +1,293 @@
+// Tests for the statistics substrate: moments, quantiles/ECDF, KS,
+// histograms, KDE, bootstrap, and summaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rngdist/samplers.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/kde.hpp"
+#include "stats/ks.hpp"
+#include "stats/moments.hpp"
+#include "stats/summary.hpp"
+
+namespace varpred::stats {
+namespace {
+
+TEST(Moments, KnownSmallSample) {
+  // Symmetric sample: skewness 0.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto m = compute_moments(xs);
+  EXPECT_DOUBLE_EQ(m.mean, 3.0);
+  EXPECT_NEAR(m.stddev, std::sqrt(2.0), 1e-12);  // population sd
+  EXPECT_NEAR(m.skewness, 0.0, 1e-12);
+  EXPECT_NEAR(m.kurtosis, 1.7, 1e-12);  // discrete uniform on 5 points
+  EXPECT_EQ(m.count, 5u);
+}
+
+TEST(Moments, DegenerateSamples) {
+  const auto empty = compute_moments(std::vector<double>{});
+  EXPECT_EQ(empty.count, 0u);
+  const auto single = compute_moments(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(single.mean, 7.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+  const auto constant = compute_moments(std::vector<double>{2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(constant.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(constant.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(constant.kurtosis, 3.0);
+}
+
+TEST(Moments, AccumulatorMergeEqualsBatch) {
+  Rng rng(42);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rngdist::gamma(rng, 2.0, 1.5);
+
+  MomentAccumulator whole;
+  for (const double x : xs) whole.add(x);
+
+  MomentAccumulator left;
+  MomentAccumulator right;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 1234 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+
+  const auto a = whole.moments();
+  const auto b = left.moments();
+  EXPECT_NEAR(a.mean, b.mean, 1e-10);
+  EXPECT_NEAR(a.stddev, b.stddev, 1e-10);
+  EXPECT_NEAR(a.skewness, b.skewness, 1e-8);
+  EXPECT_NEAR(a.kurtosis, b.kurtosis, 1e-8);
+}
+
+TEST(Moments, MatchesNormalTheory) {
+  Rng rng(1);
+  MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rngdist::normal(rng, 5.0, 2.0));
+  const auto m = acc.moments();
+  EXPECT_NEAR(m.mean, 5.0, 0.02);
+  EXPECT_NEAR(m.stddev, 2.0, 0.02);
+  EXPECT_NEAR(m.skewness, 0.0, 0.03);
+  EXPECT_NEAR(m.kurtosis, 3.0, 0.06);
+}
+
+TEST(Moments, ToRelativeNormalizesMeanToOne) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0};
+  const auto rel = to_relative(xs);
+  EXPECT_NEAR(mean(rel), 1.0, 1e-12);
+  EXPECT_NEAR(rel[0], 0.5, 1e-12);
+  EXPECT_THROW(to_relative(std::vector<double>{-1.0, 1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Moments, VectorRoundTrip) {
+  Moments m;
+  m.mean = 1.0;
+  m.stddev = 0.1;
+  m.skewness = 0.5;
+  m.kurtosis = 4.2;
+  const auto v = m.to_vector();
+  const auto back = Moments::from_vector(v);
+  EXPECT_DOUBLE_EQ(back.kurtosis, 4.2);
+  EXPECT_DOUBLE_EQ(back.skewness, 0.5);
+}
+
+TEST(Ecdf, StepFunctionValues) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 4.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(3.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(9.0), 1.0);
+}
+
+TEST(Quantiles, LinearInterpolation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(iqr(xs), 1.5);
+  EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Ks, IdenticalSamplesScoreNearZero) {
+  Rng rng(3);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rngdist::normal(rng);
+  EXPECT_DOUBLE_EQ(ks_statistic(xs, xs), 0.0);
+}
+
+TEST(Ks, DisjointSamplesScoreOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 11.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(Ks, SymmetricInArguments) {
+  Rng rng(4);
+  std::vector<double> a(500);
+  std::vector<double> b(700);
+  for (auto& x : a) x = rngdist::normal(rng, 0.0, 1.0);
+  for (auto& x : b) x = rngdist::normal(rng, 0.3, 1.0);
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), ks_statistic(b, a));
+}
+
+TEST(Ks, DetectsLocationShift) {
+  Rng rng(5);
+  std::vector<double> a(5000);
+  std::vector<double> b(5000);
+  for (auto& x : a) x = rngdist::normal(rng, 0.0, 1.0);
+  for (auto& x : b) x = rngdist::normal(rng, 1.0, 1.0);
+  const double d = ks_statistic(a, b);
+  // Theoretical KS distance between N(0,1) and N(1,1) is 2*Phi(0.5)-1 ~ 0.383.
+  EXPECT_NEAR(d, 0.383, 0.03);
+}
+
+TEST(Ks, AgainstContinuousCdf) {
+  Rng rng(6);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.uniform();
+  const double d =
+      ks_statistic_cdf(xs, [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_LT(d, 0.02);
+}
+
+TEST(Ks, PvalueBehaviour) {
+  // Small statistic on large samples -> high p-value; large -> tiny.
+  EXPECT_GT(ks_pvalue(0.01, 1000, 1000), 0.9);
+  EXPECT_LT(ks_pvalue(0.5, 1000, 1000), 1e-6);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(-5.0);   // clamps into bin 0
+  h.add(0.05);   // bin 0
+  h.add(0.95);   // bin 9
+  h.add(2.0);    // clamps into bin 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.counts()[0], 2.0);
+  EXPECT_DOUBLE_EQ(h.counts()[9], 2.0);
+  const auto probs = h.probabilities();
+  double sum = 0.0;
+  for (const double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, BinCentersAndWidth) {
+  Histogram h(1.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.125);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 1.875);
+}
+
+TEST(Histogram, SampleFromProbsReproducesShape) {
+  // Two-bin histogram with 80/20 mass.
+  const std::vector<double> probs = {0.8, 0.2};
+  Rng rng(8);
+  const auto xs =
+      Histogram::sample_many_from_probs(probs, 0.0, 2.0, 50000, rng);
+  int low = 0;
+  for (const double x : xs) {
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 2.0);
+    low += (x < 1.0);
+  }
+  EXPECT_NEAR(static_cast<double>(low) / xs.size(), 0.8, 0.01);
+}
+
+TEST(Histogram, RoundTripKsIsSmall) {
+  // encode -> sample should approximately reproduce the distribution.
+  Rng rng(9);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rngdist::normal(rng, 1.0, 0.05);
+  const auto h = Histogram::fit(xs, 0.7, 1.3, 48);
+  const auto probs = h.probabilities();
+  const auto ys =
+      Histogram::sample_many_from_probs(probs, 0.7, 1.3, 20000, rng);
+  EXPECT_LT(ks_statistic(xs, ys), 0.03);
+}
+
+TEST(Histogram, SuggestBinsScalesWithSample) {
+  Rng rng(10);
+  std::vector<double> small(50);
+  std::vector<double> large(20000);
+  for (auto& x : small) x = rngdist::normal(rng);
+  for (auto& x : large) x = rngdist::normal(rng);
+  EXPECT_LE(suggest_bins(small), suggest_bins(large));
+  EXPECT_GE(suggest_bins(small), 8u);
+  EXPECT_LE(suggest_bins(large), 128u);
+}
+
+TEST(Kde, IntegratesToOne) {
+  Rng rng(11);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rngdist::normal(rng, 0.0, 1.0);
+  const Kde kde(xs);
+  // Trapezoid integral of the KDE over a wide range.
+  const auto grid = Kde::make_grid(-8.0, 8.0, 1601);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    integral += 0.5 * (kde(grid[i - 1]) + kde(grid[i])) *
+                (grid[i] - grid[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(Kde, PeaksNearTheMode) {
+  Rng rng(12);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rngdist::normal(rng, 2.0, 0.3);
+  const Kde kde(xs);
+  EXPECT_GT(kde(2.0), kde(1.0));
+  EXPECT_GT(kde(2.0), kde(3.0));
+}
+
+TEST(Kde, DegenerateSampleStaysFinite) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const Kde kde(xs);
+  EXPECT_TRUE(std::isfinite(kde(1.0)));
+  EXPECT_GT(kde(1.0), 0.0);
+}
+
+TEST(Bootstrap, CiCoversTrueMean) {
+  Rng rng(13);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rngdist::normal(rng, 10.0, 2.0);
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, 500, 0.05, rng);
+  EXPECT_LT(ci.lo, 10.0 + 0.3);
+  EXPECT_GT(ci.hi, 10.0 - 0.3);
+  EXPECT_LT(ci.lo, ci.hi);
+  EXPECT_NEAR(ci.point, 10.0, 0.3);
+}
+
+TEST(Summary, ViolinSummaryOrdering) {
+  const std::vector<double> xs = {0.3, 0.1, 0.5, 0.2, 0.4};
+  const auto s = ViolinSummary::from(xs);
+  EXPECT_DOUBLE_EQ(s.min, 0.1);
+  EXPECT_DOUBLE_EQ(s.max, 0.5);
+  EXPECT_DOUBLE_EQ(s.median, 0.3);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_NE(s.to_string().find("mean="), std::string::npos);
+}
+
+TEST(Summary, SparklinePeaksWhereMassIs) {
+  std::vector<double> xs(1000, 0.9);  // all mass near the left
+  const auto line = density_sparkline(xs, 0.0, 1.0, 10);
+  EXPECT_EQ(line.size(), 10u);
+  EXPECT_EQ(line[9], '@');  // 0.9 lands in the last bin
+  EXPECT_EQ(line[0], ' ');
+}
+
+}  // namespace
+}  // namespace varpred::stats

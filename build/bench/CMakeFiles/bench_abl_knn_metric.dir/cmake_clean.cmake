@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_knn_metric.dir/bench_abl_knn_metric.cpp.o"
+  "CMakeFiles/bench_abl_knn_metric.dir/bench_abl_knn_metric.cpp.o.d"
+  "bench_abl_knn_metric"
+  "bench_abl_knn_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_knn_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_knn_metric.
+# This may be replaced when dependencies are built.

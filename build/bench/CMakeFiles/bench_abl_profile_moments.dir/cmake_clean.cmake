@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_profile_moments.dir/bench_abl_profile_moments.cpp.o"
+  "CMakeFiles/bench_abl_profile_moments.dir/bench_abl_profile_moments.cpp.o.d"
+  "bench_abl_profile_moments"
+  "bench_abl_profile_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_profile_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_reprs_models.dir/bench_ext_reprs_models.cpp.o"
+  "CMakeFiles/bench_ext_reprs_models.dir/bench_ext_reprs_models.cpp.o.d"
+  "bench_ext_reprs_models"
+  "bench_ext_reprs_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_reprs_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_scores.dir/bench_ext_scores.cpp.o"
+  "CMakeFiles/bench_ext_scores.dir/bench_ext_scores.cpp.o.d"
+  "bench_ext_scores"
+  "bench_ext_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

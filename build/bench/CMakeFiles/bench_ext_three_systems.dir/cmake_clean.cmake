@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_three_systems.dir/bench_ext_three_systems.cpp.o"
+  "CMakeFiles/bench_ext_three_systems.dir/bench_ext_three_systems.cpp.o.d"
+  "bench_ext_three_systems"
+  "bench_ext_three_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_three_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

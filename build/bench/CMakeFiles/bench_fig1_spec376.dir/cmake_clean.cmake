@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_spec376.dir/bench_fig1_spec376.cpp.o"
+  "CMakeFiles/bench_fig1_spec376.dir/bench_fig1_spec376.cpp.o.d"
+  "bench_fig1_spec376"
+  "bench_fig1_spec376.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_spec376.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

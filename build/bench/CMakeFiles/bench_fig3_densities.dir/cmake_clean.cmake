@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_densities.dir/bench_fig3_densities.cpp.o"
+  "CMakeFiles/bench_fig3_densities.dir/bench_fig3_densities.cpp.o.d"
+  "bench_fig3_densities"
+  "bench_fig3_densities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_densities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

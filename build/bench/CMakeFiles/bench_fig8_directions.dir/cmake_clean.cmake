@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_directions.dir/bench_fig8_directions.cpp.o"
+  "CMakeFiles/bench_fig8_directions.dir/bench_fig8_directions.cpp.o.d"
+  "bench_fig8_directions"
+  "bench_fig8_directions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

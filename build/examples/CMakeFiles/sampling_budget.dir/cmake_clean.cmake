@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_budget.dir/sampling_budget.cpp.o"
+  "CMakeFiles/sampling_budget.dir/sampling_budget.cpp.o.d"
+  "sampling_budget"
+  "sampling_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

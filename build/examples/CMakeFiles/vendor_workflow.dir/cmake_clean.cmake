@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_workflow.dir/vendor_workflow.cpp.o"
+  "CMakeFiles/vendor_workflow.dir/vendor_workflow.cpp.o.d"
+  "vendor_workflow"
+  "vendor_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

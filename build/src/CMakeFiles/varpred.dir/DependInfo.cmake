@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/linalg.cpp" "src/CMakeFiles/varpred.dir/common/linalg.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/common/linalg.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/varpred.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/text.cpp" "src/CMakeFiles/varpred.dir/common/text.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/common/text.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/varpred.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/crosssystem.cpp" "src/CMakeFiles/varpred.dir/core/crosssystem.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/core/crosssystem.cpp.o.d"
+  "/root/repo/src/core/distrepr.cpp" "src/CMakeFiles/varpred.dir/core/distrepr.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/core/distrepr.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/varpred.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/models.cpp" "src/CMakeFiles/varpred.dir/core/models.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/core/models.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/CMakeFiles/varpred.dir/core/predictor.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/core/predictor.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/CMakeFiles/varpred.dir/core/profile.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/core/profile.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/varpred.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/io/ascii_plot.cpp" "src/CMakeFiles/varpred.dir/io/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/io/ascii_plot.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/varpred.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/varpred.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/io/svg_plot.cpp" "src/CMakeFiles/varpred.dir/io/svg_plot.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/io/svg_plot.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/varpred.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/io/table.cpp.o.d"
+  "/root/repo/src/maxent/maxent.cpp" "src/CMakeFiles/varpred.dir/maxent/maxent.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/maxent/maxent.cpp.o.d"
+  "/root/repo/src/measure/benchmarks.cpp" "src/CMakeFiles/varpred.dir/measure/benchmarks.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/measure/benchmarks.cpp.o.d"
+  "/root/repo/src/measure/corpus.cpp" "src/CMakeFiles/varpred.dir/measure/corpus.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/measure/corpus.cpp.o.d"
+  "/root/repo/src/measure/measurement_io.cpp" "src/CMakeFiles/varpred.dir/measure/measurement_io.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/measure/measurement_io.cpp.o.d"
+  "/root/repo/src/measure/metrics_catalog.cpp" "src/CMakeFiles/varpred.dir/measure/metrics_catalog.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/measure/metrics_catalog.cpp.o.d"
+  "/root/repo/src/measure/system_model.cpp" "src/CMakeFiles/varpred.dir/measure/system_model.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/measure/system_model.cpp.o.d"
+  "/root/repo/src/ml/cv.cpp" "src/CMakeFiles/varpred.dir/ml/cv.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/cv.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/varpred.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/distance.cpp" "src/CMakeFiles/varpred.dir/ml/distance.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/distance.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/CMakeFiles/varpred.dir/ml/forest.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/forest.cpp.o.d"
+  "/root/repo/src/ml/gbt.cpp" "src/CMakeFiles/varpred.dir/ml/gbt.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/gbt.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/varpred.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/CMakeFiles/varpred.dir/ml/matrix.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/varpred.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/regressor.cpp" "src/CMakeFiles/varpred.dir/ml/regressor.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/regressor.cpp.o.d"
+  "/root/repo/src/ml/ridge.cpp" "src/CMakeFiles/varpred.dir/ml/ridge.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/ridge.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/CMakeFiles/varpred.dir/ml/scaler.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/scaler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/CMakeFiles/varpred.dir/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/serialize.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/CMakeFiles/varpred.dir/ml/tree.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/tree.cpp.o.d"
+  "/root/repo/src/ml/tuning.cpp" "src/CMakeFiles/varpred.dir/ml/tuning.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/ml/tuning.cpp.o.d"
+  "/root/repo/src/pearson/pearson.cpp" "src/CMakeFiles/varpred.dir/pearson/pearson.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/pearson/pearson.cpp.o.d"
+  "/root/repo/src/rngdist/mixture.cpp" "src/CMakeFiles/varpred.dir/rngdist/mixture.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/rngdist/mixture.cpp.o.d"
+  "/root/repo/src/rngdist/samplers.cpp" "src/CMakeFiles/varpred.dir/rngdist/samplers.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/rngdist/samplers.cpp.o.d"
+  "/root/repo/src/special/functions.cpp" "src/CMakeFiles/varpred.dir/special/functions.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/special/functions.cpp.o.d"
+  "/root/repo/src/special/quadrature.cpp" "src/CMakeFiles/varpred.dir/special/quadrature.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/special/quadrature.cpp.o.d"
+  "/root/repo/src/stats/adaptive.cpp" "src/CMakeFiles/varpred.dir/stats/adaptive.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/stats/adaptive.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/CMakeFiles/varpred.dir/stats/bootstrap.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/stats/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/CMakeFiles/varpred.dir/stats/ecdf.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/stats/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/varpred.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/kde.cpp" "src/CMakeFiles/varpred.dir/stats/kde.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/stats/kde.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/CMakeFiles/varpred.dir/stats/ks.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/stats/ks.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/CMakeFiles/varpred.dir/stats/moments.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/stats/moments.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/varpred.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/wasserstein.cpp" "src/CMakeFiles/varpred.dir/stats/wasserstein.cpp.o" "gcc" "src/CMakeFiles/varpred.dir/stats/wasserstein.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

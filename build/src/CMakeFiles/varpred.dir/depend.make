@@ -1,0 +1,2 @@
+# Empty dependencies file for varpred.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxent.dir/test_maxent.cpp.o"
+  "CMakeFiles/test_maxent.dir/test_maxent.cpp.o.d"
+  "test_maxent"
+  "test_maxent.pdb"
+  "test_maxent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

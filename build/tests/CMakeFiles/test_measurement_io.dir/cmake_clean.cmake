@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measurement_io.dir/test_measurement_io.cpp.o"
+  "CMakeFiles/test_measurement_io.dir/test_measurement_io.cpp.o.d"
+  "test_measurement_io"
+  "test_measurement_io.pdb"
+  "test_measurement_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measurement_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_core.dir/test_ml_core.cpp.o"
+  "CMakeFiles/test_ml_core.dir/test_ml_core.cpp.o.d"
+  "test_ml_core"
+  "test_ml_core.pdb"
+  "test_ml_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pearson.dir/test_pearson.cpp.o"
+  "CMakeFiles/test_pearson.dir/test_pearson.cpp.o.d"
+  "test_pearson"
+  "test_pearson.pdb"
+  "test_pearson[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pearson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pearson.
+# This may be replaced when dependencies are built.

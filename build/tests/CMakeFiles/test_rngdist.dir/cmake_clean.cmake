@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rngdist.dir/test_rngdist.cpp.o"
+  "CMakeFiles/test_rngdist.dir/test_rngdist.cpp.o.d"
+  "test_rngdist"
+  "test_rngdist.pdb"
+  "test_rngdist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rngdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

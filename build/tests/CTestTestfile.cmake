@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_special[1]_include.cmake")
+include("/root/repo/build/tests/test_rngdist[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_pearson[1]_include.cmake")
+include("/root/repo/build/tests/test_maxent[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_core[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_models[1]_include.cmake")
+include("/root/repo/build/tests/test_measure[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_core_repr[1]_include.cmake")
+include("/root/repo/build/tests/test_core_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_measurement_io[1]_include.cmake")
+add_test(cli_systems "/root/repo/build/tools/varpred" "systems")
+set_tests_properties(cli_systems PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_benchmarks "/root/repo/build/tools/varpred" "benchmarks")
+set_tests_properties(cli_benchmarks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_metrics "/root/repo/build/tools/varpred" "metrics" "--system=amd")
+set_tests_properties(cli_metrics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_measure "/root/repo/build/tools/varpred" "measure" "--system=intel" "--benchmark=npb/bt" "--runs=20")
+set_tests_properties(cli_measure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/varpred")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varpred_cli.dir/varpred_cli.cpp.o"
+  "CMakeFiles/varpred_cli.dir/varpred_cli.cpp.o.d"
+  "varpred"
+  "varpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varpred_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/text.hpp"
+#include "common/thread_pool.hpp"
 #include "core/varpred.hpp"
 
 namespace varpred::bench {
@@ -66,6 +67,27 @@ inline io::TextTable violin_table(const std::string& first_col,
                                   const std::string& second_col) {
   return io::TextTable({first_col, second_col, "meanKS", "median", "q1", "q3",
                         "min", "max", "violin(0..0.8)"});
+}
+
+/// Prints the global pool's telemetry snapshot — how many parallel spans the
+/// harness ran, how chunked they were, and the workers' busy/idle split.
+inline void print_pool_stats(const char* tag) {
+  const PoolStats s = ThreadPool::global().stats();
+  const double avg_chunk =
+      s.chunks == 0 ? 0.0
+                    : static_cast<double>(s.iterations) /
+                          static_cast<double>(s.chunks);
+  std::printf(
+      "[pool] %s: workers=%zu spans=%llu chunks=%llu iters=%llu "
+      "(avg %.1f iters/chunk) wakeups=%llu stale=%llu busy=%.3fs idle=%.3fs\n",
+      tag, ThreadPool::global().worker_count(),
+      static_cast<unsigned long long>(s.jobs),
+      static_cast<unsigned long long>(s.chunks),
+      static_cast<unsigned long long>(s.iterations), avg_chunk,
+      static_cast<unsigned long long>(s.wakeups),
+      static_cast<unsigned long long>(s.stale_skipped),
+      static_cast<double>(s.busy_ns) * 1e-9,
+      static_cast<double>(s.idle_ns) * 1e-9);
 }
 
 }  // namespace varpred::bench

@@ -40,5 +40,6 @@ int main(int argc, char** argv) {
   std::printf("best cell: %s (mean KS %.3f)\n", best_cell.c_str(), best_mean);
   std::printf("\nPaper: PearsonRnd + kNN wins (0.241), Histogram 0.278, "
               "PyMaxEnt 0.302; kNN 0.241 vs XGBoost 0.247 / RF 0.248.\n");
+  bench::print_pool_stats("fig4 matrix");
   return 0;
 }

@@ -42,5 +42,6 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render(2).c_str());
   std::printf("Paper: significant improvement from 1 sample to several, "
               "then steady improvement with more samples.\n");
+  bench::print_pool_stats("fig6 sweep");
   return 0;
 }

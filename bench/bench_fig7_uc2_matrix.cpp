@@ -38,5 +38,6 @@ int main(int argc, char** argv) {
   std::printf("best cell: %s (mean KS %.3f)\n", best_cell.c_str(), best_mean);
   std::printf("\nPaper: PearsonRnd + kNN wins (0.236); Histogram 0.264, "
               "PyMaxEnt 0.277; kNN 0.236 vs RF 0.263 / XGBoost 0.291.\n");
+  bench::print_pool_stats("fig7 matrix");
   return 0;
 }

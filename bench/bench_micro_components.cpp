@@ -4,6 +4,13 @@
 // document where the pipeline spends its time.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.hpp"
 #include "core/varpred.hpp"
 #include "rngdist/samplers.hpp"
 #include "maxent/maxent.hpp"
@@ -21,6 +28,128 @@ std::vector<double> make_sample(std::size_t n, std::uint64_t seed) {
   for (auto& v : out) v = rngdist::normal(rng, 1.0, 0.02);
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Parallel runtime: chunked scheduler vs the pre-rebuild per-index one.
+//
+// LegacyPerIndexPool reimplements the scheduler this repo shipped before the
+// chunked rebuild: one queued std::function per helper, and every iteration
+// pays a shared fetch_add plus a std::function dispatch. It exists only as
+// the baseline for the BM_ParallelFor* pair below (the body is captured by
+// value here, sidestepping the dangling-capture bug the rebuild fixed).
+class LegacyPerIndexPool {
+ public:
+  explicit LegacyPerIndexPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~LegacyPerIndexPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body) {
+    struct Shared {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::mutex done_mutex;
+      std::condition_variable done_cv;
+    };
+    auto shared = std::make_shared<Shared>();
+    auto drain = [shared, n, body] {
+      for (;;) {
+        const std::size_t i =
+            shared->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        body(i);
+        if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          std::lock_guard lock(shared->done_mutex);
+          shared->done_cv.notify_all();
+        }
+      }
+    };
+    {
+      std::lock_guard lock(mutex_);
+      const std::size_t helpers = std::min(threads_.size(), n - 1);
+      for (std::size_t w = 0; w < helpers; ++w) tasks_.emplace_back(drain);
+    }
+    cv_.notify_all();
+    drain();
+    std::unique_lock lock(shared->done_mutex);
+    shared->done_cv.wait(lock, [&] {
+      return shared->done.load(std::memory_order_acquire) >= n;
+    });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+constexpr std::size_t kLoopIters = 1u << 20;  // 1M trivial iterations
+constexpr std::size_t kLoopWorkers = 4;
+
+void BM_ParallelForPerIndexLegacy(benchmark::State& state) {
+  LegacyPerIndexPool pool(kLoopWorkers);
+  std::vector<double> out(kLoopIters);
+  for (auto _ : state) {
+    pool.parallel_for(kLoopIters, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.0000001;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kLoopIters));
+}
+BENCHMARK(BM_ParallelForPerIndexLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForChunked(benchmark::State& state) {
+  ThreadPool pool(kLoopWorkers);
+  std::vector<double> out(kLoopIters);
+  for (auto _ : state) {
+    pool.parallel_for(kLoopIters, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.0000001;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kLoopIters));
+}
+BENCHMARK(BM_ParallelForChunked)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelReduceMoments(benchmark::State& state) {
+  const auto xs = make_sample(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::compute_moments_parallel(xs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelReduceMoments)->Arg(1 << 17)->Arg(1 << 20);
 
 void BM_Moments(benchmark::State& state) {
   const auto xs = make_sample(static_cast<std::size_t>(state.range(0)), 1);

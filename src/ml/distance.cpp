@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace varpred::ml {
 
@@ -63,6 +64,28 @@ double distance(Metric metric, std::span<const double> a,
       return manhattan_distance(a, b);
   }
   return 0.0;
+}
+
+void distances_to_rows(Metric metric, std::span<const double> rows,
+                       std::size_t dim, std::span<const double> query,
+                       std::span<double> out) {
+  VARPRED_CHECK_ARG(dim > 0, "row dimension must be positive");
+  VARPRED_CHECK_ARG(rows.size() == out.size() * dim,
+                    "row block / output size mismatch");
+  VARPRED_CHECK_ARG(query.size() == dim, "query dimension mismatch");
+  const auto kernel = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      out[r] = distance(metric, query, rows.subspan(r * dim, dim));
+    }
+  };
+  // ~64k multiply-adds amortize the span dispatch; below that (e.g. the
+  // paper's 118x272 training set inside an already-parallel LOGO fold) the
+  // serial kernel wins.
+  if (out.size() * dim >= (1u << 16) && out.size() > 1) {
+    ThreadPool::global().parallel_for_range(out.size(), kernel);
+  } else {
+    kernel(0, out.size());
+  }
 }
 
 }  // namespace varpred::ml

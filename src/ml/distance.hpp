@@ -28,4 +28,12 @@ double manhattan_distance(std::span<const double> a,
 double distance(Metric metric, std::span<const double> a,
                 std::span<const double> b);
 
+/// Batched kernel: out[r] = distance(metric, query, rows[r*dim .. +dim)) for
+/// every row of a row-major block. Large blocks run as a chunked parallel
+/// span on the global pool; each slot is written exactly once by index, so
+/// the output is independent of the worker count.
+void distances_to_rows(Metric metric, std::span<const double> rows,
+                       std::size_t dim, std::span<const double> query,
+                       std::span<double> out);
+
 }  // namespace varpred::ml

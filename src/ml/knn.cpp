@@ -30,9 +30,7 @@ std::vector<std::size_t> KnnRegressor::neighbors(
                           : std::vector<double>(row.begin(), row.end());
 
   std::vector<double> dist(x_.rows());
-  for (std::size_t r = 0; r < x_.rows(); ++r) {
-    dist[r] = distance(params_.metric, q, x_.row(r));
-  }
+  distances_to_rows(params_.metric, x_.data(), x_.cols(), q, dist);
   const std::size_t k = std::min(params_.k, x_.rows());
   std::vector<std::size_t> order(x_.rows());
   std::iota(order.begin(), order.end(), std::size_t{0});

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "stats/ecdf.hpp"
 
 namespace varpred::stats {
@@ -20,11 +21,16 @@ BootstrapCi bootstrap_ci(
     std::size_t replicates, double alpha, Rng& rng) {
   VARPRED_CHECK_ARG(replicates >= 2, "need >= 2 bootstrap replicates");
   VARPRED_CHECK_ARG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+  // Replicates run on the pool. Each replicate seeds its own stream from a
+  // single draw of the caller's rng plus its index, so the resamples — and
+  // therefore the CI — are identical for any worker count.
+  const std::uint64_t base_seed = rng.next_u64();
   std::vector<double> stats(replicates);
-  for (auto& s : stats) {
-    const auto re = resample(sample, rng);
-    s = statistic(re);
-  }
+  parallel_for(replicates, [&](std::size_t r) {
+    Rng replicate_rng(seed_combine(base_seed, r));
+    const auto re = resample(sample, replicate_rng);
+    stats[r] = statistic(re);
+  });
   std::sort(stats.begin(), stats.end());
   BootstrapCi ci;
   ci.point = statistic(sample);

@@ -21,7 +21,11 @@ struct BootstrapCi {
 };
 
 /// Computes the [alpha/2, 1-alpha/2] percentile CI of `statistic` over
-/// `replicates` bootstrap resamples.
+/// `replicates` bootstrap resamples. Replicates are evaluated in parallel on
+/// the global pool: `rng` is advanced exactly once to derive a base seed and
+/// each replicate gets an independent per-index stream, so the result is
+/// deterministic and independent of the worker count. `statistic` must be
+/// safe to call concurrently.
 BootstrapCi bootstrap_ci(
     std::span<const double> sample,
     const std::function<double(std::span<const double>)>& statistic,

@@ -48,20 +48,44 @@ double ks_statistic_cdf(std::span<const double> sample,
   return d;
 }
 
+double kolmogorov_survival(double t) {
+  if (t <= 0.0) return 1.0;
+  constexpr double kPi = 3.14159265358979323846;
+  if (t < 1.18) {
+    // Theta-function form: Q(t) = 1 - sqrt(2*pi)/t * sum exp(-(2k-1)^2
+    // pi^2 / (8 t^2)). The alternating tail series degenerates here — for
+    // t -> 0 its terms stay at +-2 and the partial sum oscillates instead
+    // of converging to 1. This series' terms underflow harmlessly instead.
+    const double x = kPi * kPi / (8.0 * t * t);
+    double sum = 0.0;
+    for (int k = 1; k <= 20; ++k) {
+      const double term = std::exp(-static_cast<double>(2 * k - 1) *
+                                   static_cast<double>(2 * k - 1) * x);
+      sum += term;
+      if (term < 1e-18 * sum || term == 0.0) break;
+    }
+    const double cdf = std::sqrt(2.0 * kPi) / t * sum;
+    return std::clamp(1.0 - cdf, 0.0, 1.0);
+  }
+  // Alternating tail series, rapidly convergent for t >= 1.18.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = 2.0 * std::exp(-2.0 * static_cast<double>(k) *
+                                       static_cast<double>(k) * t * t);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-15) break;
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+
 double ks_pvalue(double statistic, std::size_t n1, std::size_t n2) {
   VARPRED_CHECK_ARG(n1 > 0 && n2 > 0, "KS p-value needs positive sizes");
   const double n = static_cast<double>(n1) * static_cast<double>(n2) /
                    static_cast<double>(n1 + n2);
   const double t = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * statistic;
-  // Kolmogorov distribution tail sum.
-  double sum = 0.0;
-  for (int k = 1; k <= 100; ++k) {
-    const double term =
-        2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * t * t);
-    sum += term;
-    if (std::fabs(term) < 1e-12) break;
-  }
-  return std::clamp(sum, 0.0, 1.0);
+  return kolmogorov_survival(t);
 }
 
 }  // namespace varpred::stats

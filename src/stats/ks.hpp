@@ -15,6 +15,13 @@ double ks_statistic(std::span<const double> a, std::span<const double> b);
 double ks_statistic_cdf(std::span<const double> sample,
                         const std::function<double(double)>& cdf);
 
+/// Kolmogorov distribution survival function Q(t) = P(D > t). Uses the
+/// theta-function series for small t (where the textbook alternating series
+/// suffers catastrophic cancellation and a tiny statistic would yield
+/// p ≈ 0 instead of p ≈ 1) and the alternating tail series for large t.
+/// Matches scipy.special.kolmogorov to ~1e-15 over the whole range.
+double kolmogorov_survival(double t);
+
 /// Asymptotic two-sample KS p-value (Kolmogorov distribution).
 double ks_pvalue(double statistic, std::size_t n1, std::size_t n2);
 

@@ -3,8 +3,17 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace varpred::stats {
+namespace {
+
+// Below this size the per-chunk dispatch costs more than it saves; profiles
+// and per-benchmark run vectors (~1000 values) stay on the serial path so
+// existing golden outputs are untouched.
+constexpr std::size_t kParallelMomentsThreshold = 1u << 15;
+
+}  // namespace
 
 Moments Moments::from_vector(std::span<const double> v) {
   VARPRED_CHECK_ARG(v.size() >= 4, "moment vector needs 4 entries");
@@ -80,8 +89,26 @@ Moments MomentAccumulator::moments() const {
 }
 
 Moments compute_moments(std::span<const double> sample) {
+  if (sample.size() >= kParallelMomentsThreshold) {
+    return compute_moments_parallel(sample);
+  }
   MomentAccumulator acc;
   for (const double x : sample) acc.add(x);
+  return acc.moments();
+}
+
+Moments compute_moments_parallel(std::span<const double> sample) {
+  const MomentAccumulator acc = ThreadPool::global().parallel_reduce(
+      sample.size(), MomentAccumulator{},
+      [&](std::size_t begin, std::size_t end) {
+        MomentAccumulator part;
+        for (std::size_t i = begin; i < end; ++i) part.add(sample[i]);
+        return part;
+      },
+      [](MomentAccumulator a, const MomentAccumulator& b) {
+        a.merge(b);
+        return a;
+      });
   return acc.moments();
 }
 
@@ -98,6 +125,14 @@ double sample_variance(std::span<const double> sample) {
   double acc = 0.0;
   for (const double x : sample) acc += (x - mu) * (x - mu);
   return acc / static_cast<double>(sample.size() - 1);
+}
+
+double population_variance(std::span<const double> sample) {
+  if (sample.size() < 2) return 0.0;
+  const double mu = mean(sample);
+  double acc = 0.0;
+  for (const double x : sample) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(sample.size());
 }
 
 std::vector<double> to_relative(std::span<const double> sample) {

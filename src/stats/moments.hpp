@@ -31,7 +31,14 @@ struct Moments {
 /// Computes moments in one pass (numerically-stable updating formulas).
 /// Degenerate samples (n < 2 or zero variance) report stddev 0, skewness 0,
 /// kurtosis 3 so downstream reconstruction degrades to a point mass/normal.
+/// Large samples dispatch to compute_moments_parallel.
 Moments compute_moments(std::span<const double> sample);
+
+/// Moments via a chunked parallel_reduce over the global pool: per-chunk
+/// MomentAccumulators merged in chunk order. Chunk boundaries depend only on
+/// the sample size, so the result is independent of the worker count (it may
+/// differ from the serial path by floating-point merge error only).
+Moments compute_moments_parallel(std::span<const double> sample);
 
 /// Streaming accumulator (Welford extended through the 4th moment).
 /// merge() makes it usable from parallel reductions.
@@ -56,6 +63,10 @@ double mean(std::span<const double> sample);
 
 /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
 double sample_variance(std::span<const double> sample);
+
+/// Population variance (n denominator, the MATLAB-style convention the rest
+/// of the stats layer reports via Moments::stddev); 0 for n < 2.
+double population_variance(std::span<const double> sample);
 
 /// Rescales a sample to relative time: x_i / mean(x). The paper predicts
 /// distributions of relative time so outputs share a scale across

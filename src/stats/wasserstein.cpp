@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -43,10 +44,17 @@ double wasserstein1(std::span<const double> a, std::span<const double> b) {
 double wasserstein1_normalized(std::span<const double> a,
                                std::span<const double> b) {
   const double w = wasserstein1(a, b);
-  const double va = sample_variance(a);
-  const double vb = sample_variance(b);
+  // Population (n-denominator) variances, matching the MATLAB convention the
+  // rest of the stats layer uses (see Moments::stddev in moments.hpp).
+  const double va = population_variance(a);
+  const double vb = population_variance(b);
   const double pooled = std::sqrt(0.5 * (va + vb));
-  if (pooled <= 0.0) return w == 0.0 ? 0.0 : 1e9;
+  // Two distinct point masses have zero pooled spread but nonzero transport
+  // cost: the scale-free distance is genuinely unbounded, so report infinity
+  // rather than a magic finite sentinel.
+  if (pooled <= 0.0) {
+    return w == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
   return w / pooled;
 }
 

@@ -15,8 +15,11 @@ namespace varpred::stats {
 /// integral |F1(x) - F2(x)| dx, computed exactly from the sorted samples.
 double wasserstein1(std::span<const double> a, std::span<const double> b);
 
-/// W1 normalized by the pooled standard deviation (scale-free variant,
-/// comparable across benchmarks). Returns 0 for two identical point masses.
+/// W1 normalized by the pooled *population* standard deviation (scale-free
+/// variant, comparable across benchmarks; population convention per
+/// DESIGN.md, consistent with Moments::stddev). Returns 0 for two identical
+/// point masses and +infinity for distinct point masses (zero pooled spread
+/// but nonzero transport cost).
 double wasserstein1_normalized(std::span<const double> a,
                                std::span<const double> b);
 

@@ -124,6 +124,140 @@ TEST(ThreadPool, ZeroAndOneIterations) {
   EXPECT_EQ(count, 1);
 }
 
+// Regression for the stale-task bug: the old scheduler enqueued one helper
+// task per worker, and when the loop finished before every helper had been
+// dequeued, the leftovers stayed in the queue holding a dangling reference
+// to the caller's (stack-lived) body. The rebuilt pool erases its span's
+// entries (by epoch) before parallel_for returns, so the queue must be empty
+// at return — every time, not just when the timing is lucky.
+TEST(ThreadPool, NoTaskSurvivesParallelFor) {
+  ThreadPool pool(8);
+  for (int rep = 0; rep < 200; ++rep) {
+    // Tiny loop bodies: with 8 workers and only a handful of chunks, most
+    // helper entries would go stale under the old scheduler.
+    pool.parallel_for(4, [](std::size_t) {});
+    EXPECT_EQ(pool.stats().queue_depth, 0u);
+  }
+}
+
+TEST(ThreadPool, ChunkedRunsEveryIterationOnce) {
+  ThreadPool pool(4);
+  // Large enough that the default grain exceeds 1 (chunks of ~n/256).
+  std::vector<std::atomic<int>> hits(100000);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRangeCoversDisjointChunks) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  const std::size_t grain = 512;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<int> oversized{0};
+  pool.parallel_for_range(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        if (end - begin > grain) oversized.fetch_add(1);
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      grain);
+  EXPECT_EQ(oversized.load(), 0);
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RangeExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_range(100000,
+                                       [](std::size_t begin, std::size_t) {
+                                         if (begin > 0)
+                                           throw std::runtime_error("x");
+                                       }),
+               std::runtime_error);
+  EXPECT_EQ(pool.stats().queue_depth, 0u);
+}
+
+// The seed guarantee: identical results for 1, 2, and N workers. For
+// parallel_reduce this is bitwise equality — chunk boundaries depend only on
+// (n, grain) and partials are combined in chunk order, so the floating-point
+// evaluation tree never depends on which worker ran which chunk.
+TEST(ThreadPool, ParallelReduceIndependentOfWorkerCount) {
+  const std::size_t n = 123457;
+  const auto run = [n](std::size_t workers) {
+    ThreadPool pool(workers);
+    return pool.parallel_reduce(
+        n, 0.0,
+        [](std::size_t begin, std::size_t end) {
+          double s = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const double x = static_cast<double>(i) * 1e-3;
+            s += std::sin(x) / (1.0 + x);  // order-sensitive in FP
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double one = run(1);
+  const double two = run(2);
+  const double many = run(8);
+  EXPECT_EQ(one, two);  // bitwise, not approximate
+  EXPECT_EQ(one, many);
+  // And sane: close to the serial left-to-right sum.
+  double serial = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) * 1e-3;
+    serial += std::sin(x) / (1.0 + x);
+  }
+  EXPECT_NEAR(one, serial, 1e-9 * std::fabs(serial));
+}
+
+TEST(ThreadPool, ParallelForIndependentOfWorkerCount) {
+  const std::size_t n = 10007;
+  const auto run = [n](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      out[i] = std::cos(static_cast<double>(i));
+    });
+    return out;
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+TEST(ThreadPool, StatsCountersTrackSpans) {
+  ThreadPool pool(4);
+  const PoolStats before = pool.stats();
+  EXPECT_EQ(before.jobs, 0u);
+  EXPECT_EQ(before.iterations, 0u);
+
+  pool.parallel_for(100000, [](std::size_t) {});
+  pool.parallel_for_range(50000, [](std::size_t, std::size_t) {});
+
+  const PoolStats after = pool.stats();
+  EXPECT_EQ(after.jobs, 2u);
+  EXPECT_EQ(after.iterations, 150000u);
+  EXPECT_GE(after.chunks, 2u);
+  // Every dequeued entry either ran chunks or was counted as stale.
+  EXPECT_GE(after.wakeups, after.stale_skipped);
+  EXPECT_EQ(after.queue_depth, 0u);
+
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().jobs, 0u);
+  EXPECT_EQ(pool.stats().iterations, 0u);
+}
+
+TEST(ThreadPool, GrainIsPureFunctionOfN) {
+  EXPECT_EQ(ThreadPool::grain_for(1), 1u);
+  EXPECT_EQ(ThreadPool::grain_for(255), 1u);
+  EXPECT_EQ(ThreadPool::grain_for(1u << 20), (1u << 20) / 256);
+  // Chunk count stays bounded for huge n.
+  const std::size_t n = 100000000;
+  const std::size_t grain = ThreadPool::grain_for(n);
+  EXPECT_LE((n + grain - 1) / grain, 257u);
+}
+
 TEST(Linalg, SolvesIdentity) {
   const std::vector<double> a = {1, 0, 0, 0, 1, 0, 0, 0, 1};
   const std::vector<double> b = {3, -1, 2};

@@ -188,6 +188,27 @@ TEST(Wasserstein, NormalizedVariantIsScaleFree) {
               stats::wasserstein1_normalized(a10, b10), 1e-9);
 }
 
+TEST(Wasserstein, NormalizedUsesPopulationConvention) {
+  // W1({0,1}, {1,2}) = 1; each sample's population variance is 0.25, so the
+  // pooled population sd is 0.5 and the normalized distance is exactly 2.
+  // (The n-1 sample convention would give sqrt(0.5) * 2 instead.)
+  const std::vector<double> a = {0.0, 1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_NEAR(stats::wasserstein1_normalized(a, b), 2.0, 1e-12);
+}
+
+TEST(Wasserstein, DegenerateSamplesReportZeroOrInfinity) {
+  // Identical point masses: no transport, zero distance.
+  const std::vector<double> p = {3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stats::wasserstein1_normalized(p, p), 0.0);
+  // Distinct point masses: nonzero transport over zero pooled spread — the
+  // scale-free distance is unbounded, reported as +infinity (not a magic
+  // finite sentinel).
+  const std::vector<double> q = {4.0, 4.0};
+  EXPECT_TRUE(std::isinf(stats::wasserstein1_normalized(p, q)));
+  EXPECT_GT(stats::wasserstein1_normalized(p, q), 0.0);
+}
+
 TEST(Adaptive, StopsEarlyOnStableWorkload) {
   Rng rng(16);
   stats::AdaptiveConfig config;

@@ -96,6 +96,105 @@ TEST_P(MomentMerge, ArbitraryPartitionEqualsBatch) {
 INSTANTIATE_TEST_SUITE_P(Cuts, MomentMerge,
                          ::testing::Values(0, 1, 7, 100, 499, 996, 997));
 
+// Adversarial inputs for batch-add vs arbitrary-split merge: huge common
+// offsets (catastrophic cancellation in naive formulas), near-constant
+// samples (variance at the edge of representability), and magnitudes mixed
+// across twelve orders. The Welford/Chan update formulas must keep the two
+// evaluation orders in tight agreement on all of them.
+struct AdversarialCase {
+  const char* name;
+  std::vector<double> (*make)(std::size_t n);
+};
+
+std::vector<double> huge_offset_sample(std::size_t n) {
+  Rng rng(41);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = 1e9 + rngdist::normal(rng, 0.0, 0.5);
+  return xs;
+}
+
+std::vector<double> near_constant_sample(std::size_t n) {
+  Rng rng(43);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = 2.5 + 1e-9 * rngdist::normal(rng, 0.0, 1.0);
+  return xs;
+}
+
+std::vector<double> mixed_magnitude_sample(std::size_t n) {
+  Rng rng(47);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = std::pow(10.0, rng.uniform(-6.0, 6.0));
+    xs[i] = (rng.uniform() < 0.5 ? -1.0 : 1.0) * mag;
+  }
+  return xs;
+}
+
+class MomentMergeAdversarial
+    : public ::testing::TestWithParam<AdversarialCase> {};
+
+TEST_P(MomentMergeAdversarial, SplitMergeAgreesWithBatch) {
+  const auto xs = GetParam().make(1501);
+
+  stats::MomentAccumulator whole;
+  for (const double x : xs) whole.add(x);
+  const auto ref = whole.moments();
+
+  for (const std::size_t parts : {2u, 3u, 7u}) {
+    std::vector<stats::MomentAccumulator> accs(parts);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      accs[i * parts / xs.size()].add(xs[i]);
+    }
+    stats::MomentAccumulator merged;
+    for (const auto& a : accs) merged.merge(a);
+    const auto got = merged.moments();
+
+    EXPECT_EQ(got.count, ref.count);
+    EXPECT_NEAR(got.mean, ref.mean,
+                1e-9 * std::max(1.0, std::fabs(ref.mean)));
+    EXPECT_NEAR(got.stddev, ref.stddev,
+                1e-6 * std::max(1e-12, ref.stddev));
+    EXPECT_NEAR(got.skewness, ref.skewness,
+                1e-5 * std::max(1.0, std::fabs(ref.skewness)));
+    EXPECT_NEAR(got.kurtosis, ref.kurtosis,
+                1e-5 * std::max(1.0, std::fabs(ref.kurtosis)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MomentMergeAdversarial,
+    ::testing::Values(AdversarialCase{"huge_offset", huge_offset_sample},
+                      AdversarialCase{"near_constant", near_constant_sample},
+                      AdversarialCase{"mixed_magnitude",
+                                      mixed_magnitude_sample}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(MomentsParallel, MatchesSerialOnLargeSample) {
+  Rng rng(53);
+  std::vector<double> xs(200000);
+  for (auto& x : xs) x = rngdist::lognormal(rng, 0.0, 0.5);
+
+  stats::MomentAccumulator acc;
+  for (const double x : xs) acc.add(x);
+  const auto serial = acc.moments();
+  // Goes through the chunked parallel_reduce path (n >= 2^15).
+  const auto parallel = stats::compute_moments(xs);
+
+  EXPECT_EQ(parallel.count, serial.count);
+  EXPECT_NEAR(parallel.mean, serial.mean, 1e-12 * std::fabs(serial.mean));
+  EXPECT_NEAR(parallel.stddev, serial.stddev, 1e-9 * serial.stddev);
+  EXPECT_NEAR(parallel.skewness, serial.skewness, 1e-7);
+  EXPECT_NEAR(parallel.kurtosis, serial.kurtosis, 1e-7);
+
+  // Chunk boundaries depend only on n, so two parallel evaluations are
+  // bitwise identical even though worker interleaving differs.
+  const auto again = stats::compute_moments_parallel(xs);
+  EXPECT_EQ(parallel.mean, again.mean);
+  EXPECT_EQ(parallel.stddev, again.stddev);
+  EXPECT_EQ(parallel.skewness, again.skewness);
+  EXPECT_EQ(parallel.kurtosis, again.kurtosis);
+}
+
 // ---------------------------------------------------------------------------
 // Histogram: mass conservation and round-trip fidelity across shapes.
 class HistogramShapes : public ::testing::TestWithParam<std::uint64_t> {};

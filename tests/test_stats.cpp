@@ -166,6 +166,38 @@ TEST(Ks, PvalueBehaviour) {
   EXPECT_LT(ks_pvalue(0.5, 1000, 1000), 1e-6);
 }
 
+TEST(Ks, KolmogorovSurvivalMatchesScipy) {
+  // Golden values: scipy.special.kolmogorov(t), cross-checked against both
+  // the theta-function and alternating series at 15 significant digits.
+  EXPECT_NEAR(kolmogorov_survival(0.2), 0.999999999999495, 1e-12);
+  EXPECT_NEAR(kolmogorov_survival(0.3), 0.999990694198665, 1e-12);
+  EXPECT_NEAR(kolmogorov_survival(0.5), 0.963945243664875, 1e-12);
+  EXPECT_NEAR(kolmogorov_survival(0.8), 0.544142411574198, 1e-12);
+  EXPECT_NEAR(kolmogorov_survival(1.0), 0.269999671677355, 1e-12);
+  EXPECT_NEAR(kolmogorov_survival(1.18), 0.123453809429766, 1e-12);
+  EXPECT_NEAR(kolmogorov_survival(1.5), 0.0222179626165252, 1e-12);
+  EXPECT_NEAR(kolmogorov_survival(2.0), 0.00067092525577972, 1e-12);
+}
+
+TEST(Ks, SurvivalIsMonotoneAndBounded) {
+  double prev = 1.0;
+  for (double t = 0.0; t <= 3.0; t += 0.01) {
+    const double q = kolmogorov_survival(t);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, prev + 1e-15);
+    prev = q;
+  }
+}
+
+// Regression: the old single-series implementation oscillated for small t
+// (terms alternate +-2 and never shrink below the convergence cutoff), so a
+// near-zero KS statistic reported p ~ 0 instead of p ~ 1.
+TEST(Ks, TinyStatisticYieldsPvalueOne) {
+  EXPECT_NEAR(ks_pvalue(1e-6, 1000, 1000), 1.0, 1e-12);
+  EXPECT_NEAR(ks_pvalue(1e-9, 50, 50), 1.0, 1e-12);
+  EXPECT_NEAR(ks_pvalue(0.0, 10, 10), 1.0, 0.0);
+}
+
 TEST(Histogram, CountsAndClamping) {
   Histogram h(0.0, 1.0, 10);
   h.add(-5.0);   // clamps into bin 0
@@ -267,6 +299,25 @@ TEST(Bootstrap, CiCoversTrueMean) {
   EXPECT_GT(ci.hi, 10.0 - 0.3);
   EXPECT_LT(ci.lo, ci.hi);
   EXPECT_NEAR(ci.point, 10.0, 0.3);
+}
+
+TEST(Bootstrap, DeterministicAndWorkerCountIndependent) {
+  Rng rng(99);
+  std::vector<double> xs(300);
+  for (auto& x : xs) x = rngdist::normal(rng, 5.0, 1.0);
+
+  // Replicates are seeded per index from one rng draw, so two runs from the
+  // same rng state produce bit-identical CIs no matter how the pool
+  // schedules them.
+  Rng r1(7);
+  Rng r2(7);
+  const auto a = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, 200, 0.05, r1);
+  const auto b = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, 200, 0.05, r2);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_EQ(a.point, b.point);
 }
 
 TEST(Summary, ViolinSummaryOrdering) {

@@ -11,7 +11,10 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("abl_profile_moments", args);
+  run.stage("corpus");
   const auto intel = bench::intel_corpus(args);
+  run.stage("evaluate");
   const core::EvalOptions options;
 
   std::printf("=== Ablation A2a: profile features (PearsonRnd + kNN, 10 "

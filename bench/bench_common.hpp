@@ -1,17 +1,32 @@
 // Shared helpers for the experiment harnesses: corpus construction with the
-// canonical seeds, command-line parsing, and result formatting. Every
-// bench_fig* / bench_table* binary regenerates one table or figure of the
-// paper and prints the rows/series the paper reports.
+// canonical seeds, command-line parsing, result formatting, and the
+// machine-readable telemetry hook. Every bench_fig* / bench_table* binary
+// regenerates one table or figure of the paper, prints the rows/series the
+// paper reports, and emits a BENCH_<name>.json document (per-stage wall
+// time, pool telemetry, peak RSS, seed, git describe) so the perf
+// trajectory accumulates as machine-readable history.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/text.hpp"
 #include "common/thread_pool.hpp"
 #include "core/varpred.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+// Injected by bench/CMakeLists.txt from `git describe --always --dirty` at
+// configure time; "unknown" outside a git checkout.
+#ifndef VARPRED_GIT_DESCRIBE
+#define VARPRED_GIT_DESCRIBE "unknown"
+#endif
 
 namespace varpred::bench {
 
@@ -23,18 +38,41 @@ inline constexpr std::uint64_t kCorpusSeed = 7;
 struct HarnessArgs {
   std::size_t runs = kRuns;
   bool fast = false;  ///< --fast: smaller corpora / fewer cells for smoke use
+  /// --obs=off|summary|trace; overrides the VARPRED_OBS environment
+  /// variable when present.
+  std::optional<obs::Mode> obs_mode;
+  /// --obs-out=<path>: telemetry JSON path (default BENCH_<name>.json).
+  std::string obs_out;
+
+  /// Handles one argv entry if it is a flag this parser owns. Shared by
+  /// parse() and the google-benchmark harness (which must pass everything
+  /// else through to the benchmark library).
+  bool consume(const char* arg) {
+    if (std::strcmp(arg, "--fast") == 0) {
+      fast = true;
+      runs = 300;
+    } else if (std::strncmp(arg, "--runs=", 7) == 0) {
+      runs = static_cast<std::size_t>(std::strtoul(arg + 7, nullptr, 10));
+    } else if (std::strncmp(arg, "--obs=", 6) == 0) {
+      obs::Mode mode;
+      if (!obs::parse_mode(arg + 6, mode)) return false;
+      obs_mode = mode;
+    } else if (std::strncmp(arg, "--obs-out=", 10) == 0) {
+      obs_out = arg + 10;
+    } else {
+      return false;
+    }
+    return true;
+  }
 
   static HarnessArgs parse(int argc, char** argv) {
     HarnessArgs args;
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--fast") == 0) {
-        args.fast = true;
-        args.runs = 300;
-      } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
-        args.runs = static_cast<std::size_t>(std::strtoul(argv[i] + 7,
-                                                          nullptr, 10));
-      } else {
-        std::fprintf(stderr, "usage: %s [--fast] [--runs=N]\n", argv[0]);
+      if (!args.consume(argv[i])) {
+        std::fprintf(stderr,
+                     "usage: %s [--fast] [--runs=N] "
+                     "[--obs=off|summary|trace] [--obs-out=PATH]\n",
+                     argv[0]);
         std::exit(2);
       }
     }
@@ -89,5 +127,129 @@ inline void print_pool_stats(const char* tag) {
       static_cast<double>(s.busy_ns) * 1e-9,
       static_cast<double>(s.idle_ns) * 1e-9);
 }
+
+/// Per-run telemetry harness. Construct it first thing in main(): it
+/// applies the --obs override, prints a reproducibility header (name, seed,
+/// corpus size, worker count, obs mode, git describe — enough to rerun the
+/// binary from a log alone), and starts a fresh pool-stats epoch. Mark
+/// stage boundaries with stage("name"); the destructor closes the last
+/// stage and writes BENCH_<name>.json (plus BENCH_<name>.trace.json in
+/// trace mode).
+class Run {
+ public:
+  Run(std::string name, const HarnessArgs& args,
+      std::uint64_t seed = kCorpusSeed)
+      : name_(std::move(name)), args_(args), seed_(seed) {
+    if (args_.obs_mode) obs::set_mode(*args_.obs_mode);
+    std::printf("[bench] %s seed=%llu runs=%zu workers=%zu obs=%s git=%s\n",
+                name_.c_str(), static_cast<unsigned long long>(seed_),
+                args_.runs, ThreadPool::global().worker_count(),
+                obs::to_string(obs::mode()), VARPRED_GIT_DESCRIBE);
+    ThreadPool::global().reset_stats();
+    start_ = clock::now();
+    stage_start_ = start_;
+  }
+
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  /// Closes the current stage (if any) and opens a new one.
+  void stage(const char* name) {
+    close_stage();
+    current_stage_ = name;
+    stage_start_ = clock::now();
+  }
+
+  ~Run() {
+    close_stage();
+    const double wall = seconds_since(start_);
+    const PoolStats pool = ThreadPool::global().stats();
+    const std::string path =
+        args_.obs_out.empty() ? "BENCH_" + name_ + ".json" : args_.obs_out;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+      return;
+    }
+    write_json(out, wall, pool);
+    std::printf("[bench] telemetry -> %s\n", path.c_str());
+
+    if (obs::mode() == obs::Mode::kTrace) {
+      const std::string trace_path = trace_path_for(path);
+      std::ofstream trace(trace_path);
+      if (trace) {
+        obs::write_trace_json(trace);
+        std::printf("[bench] chrome trace -> %s\n", trace_path.c_str());
+      }
+    }
+    if (obs::mode() == obs::Mode::kSummary) {
+      std::printf("%s", obs::summary_text().c_str());
+    }
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  static double seconds_since(clock::time_point t0) {
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  }
+
+  static std::string trace_path_for(std::string path) {
+    const std::string suffix = ".json";
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      path.resize(path.size() - suffix.size());
+    }
+    return path + ".trace.json";
+  }
+
+  void close_stage() {
+    if (current_stage_ == nullptr) return;
+    stages_.emplace_back(current_stage_, seconds_since(stage_start_));
+    current_stage_ = nullptr;
+  }
+
+  void write_json(std::ofstream& out, double wall, const PoolStats& pool) {
+    namespace json = obs::json;
+    out << "{\"bench\":\"" << json::escape(name_) << "\""
+        << ",\"git\":\"" << json::escape(VARPRED_GIT_DESCRIBE) << "\""
+        << ",\"seed\":" << seed_ << ",\"runs\":" << args_.runs
+        << ",\"fast\":" << (args_.fast ? "true" : "false")
+        << ",\"workers\":" << ThreadPool::global().worker_count()
+        << ",\"obs_mode\":\"" << obs::to_string(obs::mode()) << "\""
+        << ",\"wall_seconds\":" << json::number(wall) << ",\"stages\":[";
+    bool first = true;
+    for (const auto& [name, secs] : stages_) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << json::escape(name)
+          << "\",\"seconds\":" << json::number(secs) << "}";
+    }
+    out << "],\"pool\":{"
+        << "\"spans\":" << pool.jobs << ",\"chunks\":" << pool.chunks
+        << ",\"iterations\":" << pool.iterations
+        << ",\"wakeups\":" << pool.wakeups
+        << ",\"stale\":" << pool.stale_skipped << ",\"busy_seconds\":"
+        << json::number(static_cast<double>(pool.busy_ns) * 1e-9)
+        << ",\"idle_seconds\":"
+        << json::number(static_cast<double>(pool.idle_ns) * 1e-9) << "}"
+        << ",\"peak_rss_kb\":" << obs::peak_rss_kb() << ",\"metrics\":";
+    if (obs::enabled()) {
+      obs::write_metrics_json(out);
+    } else {
+      out << "null";
+    }
+    out << "}\n";
+  }
+
+  std::string name_;
+  HarnessArgs args_;
+  std::uint64_t seed_;
+  clock::time_point start_;
+  clock::time_point stage_start_;
+  const char* current_stage_ = nullptr;
+  std::vector<std::pair<std::string, double>> stages_;
+};
 
 }  // namespace varpred::bench

@@ -15,9 +15,12 @@ int main(int argc, char** argv) {
   using namespace varpred;
   auto args = bench::HarnessArgs::parse(argc, argv);
   if (!args.fast) args.runs = std::min<std::size_t>(args.runs, 500);
+  bench::Run run("ext_importance", args);
+  run.stage("corpus");
   const auto corpus = bench::intel_corpus(args);
   const auto& system = *corpus.system;
 
+  run.stage("fit");
   // Training matrix: full-corpus profiles -> moment targets.
   core::PearsonRepr repr;
   ml::Matrix x;

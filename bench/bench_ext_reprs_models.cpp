@@ -8,7 +8,10 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("ext_reprs_models", args);
+  run.stage("corpus");
   const auto corpus = bench::intel_corpus(args);
+  run.stage("evaluate");
   const core::EvalOptions options;
 
   std::printf("=== Extension E2: representations x models beyond the paper "

@@ -11,7 +11,10 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("ext_scores", args);
+  run.stage("corpus");
   const auto corpus = bench::intel_corpus(args);
+  run.stage("evaluate");
   const core::EvalOptions options;
 
   std::printf("=== Extension E3: KS vs 1-Wasserstein scoring (use case 1, "

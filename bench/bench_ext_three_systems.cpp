@@ -9,16 +9,19 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("ext_three_systems", args);
 
   std::printf("=== Extension E1: system-to-system prediction across three "
               "systems (PearsonRnd + kNN) ===\n\n");
 
+  run.stage("corpus");
   std::vector<measure::Corpus> corpora;
   for (const auto* system : measure::SystemModel::all_systems()) {
     corpora.push_back(
         measure::build_corpus(*system, args.runs, bench::kCorpusSeed));
   }
 
+  run.stage("evaluate");
   const core::CrossSystemConfig config;
   const core::EvalOptions options;
   auto table = bench::violin_table("direction", "model");

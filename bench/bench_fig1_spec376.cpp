@@ -8,7 +8,10 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("fig1_spec376", args);
+  run.stage("corpus");
   const auto corpus = bench::intel_corpus(args);
+  run.stage("plots");
   const std::size_t bench_idx = measure::benchmark_index("specomp/376");
   const auto& runs = corpus.benchmarks[bench_idx];
   const auto measured = runs.relative_times();
@@ -43,6 +46,7 @@ int main(int argc, char** argv) {
   }
 
   // (f): use case 1 prediction from 10 runs, leave-376-out.
+  run.stage("predict");
   core::FewRunsConfig config;  // PearsonRnd + kNN, 10 probe runs
   core::EvalOptions options;
   const auto predicted =

@@ -6,7 +6,10 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("fig3_densities", args);
+  run.stage("corpus");
   const auto corpus = bench::intel_corpus(args);
+  run.stage("render");
 
   std::printf("=== Fig. 3: relative-time densities, all benchmarks, Intel "
               "system (%zu runs each) ===\n\n", args.runs);

@@ -11,7 +11,10 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("fig4_uc1_matrix", args);
+  run.stage("corpus");
   const auto corpus = bench::intel_corpus(args);
+  run.stage("evaluate");
   const core::EvalOptions options;
 
   std::printf("=== Fig. 4: use case 1 -- KS by representation x model "

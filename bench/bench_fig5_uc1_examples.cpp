@@ -10,7 +10,10 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("fig5_uc1_examples", args);
+  run.stage("corpus");
   const auto corpus = bench::intel_corpus(args);
+  run.stage("predict");
   const core::FewRunsConfig config;  // PearsonRnd + kNN, 10 runs
   const core::EvalOptions options;
 

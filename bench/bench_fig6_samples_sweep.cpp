@@ -11,7 +11,10 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("fig6_samples_sweep", args);
+  run.stage("corpus");
   const auto corpus = bench::intel_corpus(args);
+  run.stage("sweep");
 
   const std::size_t counts[] = {1, 2, 3, 5, 10, 20, 50, 100};
   const std::uint64_t seeds[] = {4242, 777, 31337, 90210, 1};

@@ -9,8 +9,11 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("fig8_directions", args);
+  run.stage("corpus");
   const auto intel = bench::intel_corpus(args);
   const auto amd = bench::amd_corpus(args);
+  run.stage("evaluate");
   const core::CrossSystemConfig config;  // PearsonRnd + kNN
   const core::EvalOptions options;
 

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "bench_common.hpp"
 #include "common/thread_pool.hpp"
 #include "core/varpred.hpp"
 #include "rngdist/samplers.hpp"
@@ -289,4 +290,26 @@ BENCHMARK(BM_GbtFit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the harness-owned flags
+// (--fast/--runs/--obs/--obs-out) before google-benchmark sees argv — it
+// aborts on flags it does not recognize — then run under a bench::Run so
+// this binary emits BENCH_micro_components.json like every other harness.
+int main(int argc, char** argv) {
+  varpred::bench::HarnessArgs args;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (!args.consume(argv[i])) passthrough.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  varpred::bench::Run run("micro_components", args);
+  run.stage("benchmarks");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

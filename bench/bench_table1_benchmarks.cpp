@@ -3,8 +3,11 @@
 // composition is auditable.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace varpred;
+  const auto args = bench::HarnessArgs::parse(argc, argv);
+  bench::Run run("table1_benchmarks", args);
+  run.stage("render");
   std::printf("=== Table I: benchmarks used in the evaluation ===\n\n");
 
   io::TextTable table({"suite", "benchmark", "base_s", "compute", "memory",

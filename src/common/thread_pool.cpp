@@ -171,15 +171,26 @@ void ThreadPool::parallel_for(std::size_t n,
   });
 }
 
+PoolStats ThreadPool::raw_minus_baseline() const {
+  PoolStats s;
+  s.jobs = jobs_.load(std::memory_order_relaxed) - baseline_.jobs;
+  s.chunks = chunks_.load(std::memory_order_relaxed) - baseline_.chunks;
+  s.iterations =
+      iterations_.load(std::memory_order_relaxed) - baseline_.iterations;
+  s.wakeups = wakeups_.load(std::memory_order_relaxed) - baseline_.wakeups;
+  s.stale_skipped =
+      stale_skipped_.load(std::memory_order_relaxed) - baseline_.stale_skipped;
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed) - baseline_.busy_ns;
+  s.idle_ns = idle_ns_.load(std::memory_order_relaxed) - baseline_.idle_ns;
+  return s;
+}
+
 PoolStats ThreadPool::stats() const {
   PoolStats s;
-  s.jobs = jobs_.load(std::memory_order_relaxed);
-  s.chunks = chunks_.load(std::memory_order_relaxed);
-  s.iterations = iterations_.load(std::memory_order_relaxed);
-  s.wakeups = wakeups_.load(std::memory_order_relaxed);
-  s.stale_skipped = stale_skipped_.load(std::memory_order_relaxed);
-  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
-  s.idle_ns = idle_ns_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(stats_mutex_);
+    s = raw_minus_baseline();
+  }
   {
     std::lock_guard lock(mutex_);
     s.queue_depth = tasks_.size();
@@ -187,14 +198,27 @@ PoolStats ThreadPool::stats() const {
   return s;
 }
 
-void ThreadPool::reset_stats() {
-  jobs_.store(0, std::memory_order_relaxed);
-  chunks_.store(0, std::memory_order_relaxed);
-  iterations_.store(0, std::memory_order_relaxed);
-  wakeups_.store(0, std::memory_order_relaxed);
-  stale_skipped_.store(0, std::memory_order_relaxed);
-  busy_ns_.store(0, std::memory_order_relaxed);
-  idle_ns_.store(0, std::memory_order_relaxed);
+PoolStats ThreadPool::reset_stats() {
+  PoolStats previous;
+  {
+    std::lock_guard lock(stats_mutex_);
+    previous = raw_minus_baseline();
+    // Advance the baseline instead of zeroing the hot counters: writers
+    // keep racing relaxed increments, but every reader subtracts a baseline
+    // frozen under stats_mutex_, so no snapshot can mix counting epochs.
+    baseline_.jobs += previous.jobs;
+    baseline_.chunks += previous.chunks;
+    baseline_.iterations += previous.iterations;
+    baseline_.wakeups += previous.wakeups;
+    baseline_.stale_skipped += previous.stale_skipped;
+    baseline_.busy_ns += previous.busy_ns;
+    baseline_.idle_ns += previous.idle_ns;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    previous.queue_depth = tasks_.size();
+  }
+  return previous;
 }
 
 ThreadPool& ThreadPool::global() {

@@ -115,10 +115,14 @@ class ThreadPool {
     return g == 0 ? 1 : g;
   }
 
-  /// Telemetry snapshot (counters are cumulative; queue_depth is current).
+  /// Telemetry snapshot: counters accumulated since construction or the
+  /// last reset_stats(); queue_depth is current. All counter fields are
+  /// taken against one consistent baseline under a single lock, so a
+  /// concurrent reset can never yield a mixed-epoch snapshot.
   PoolStats stats() const;
-  /// Zeroes the cumulative counters (queue_depth is unaffected).
-  void reset_stats();
+  /// Starts a new counting epoch and returns the counters accumulated over
+  /// the previous one (exact delta accounting; queue_depth is current).
+  PoolStats reset_stats();
 
   /// Process-wide shared pool (lazily constructed, sized to the machine).
   static ThreadPool& global();
@@ -144,7 +148,14 @@ class ThreadPool {
   bool stopping_ = false;
   std::uint64_t next_epoch_ = 0;  // guarded by mutex_
 
-  // Telemetry (relaxed atomics; written by workers and callers).
+  /// Raw counter values minus the current baseline. Caller holds
+  /// stats_mutex_ so the baseline cannot move mid-read.
+  PoolStats raw_minus_baseline() const;
+
+  // Telemetry (relaxed atomics; written by workers and callers). The raw
+  // counters are monotone and never zeroed; reset_stats() instead advances
+  // baseline_ (guarded by stats_mutex_), so readers subtract a baseline
+  // that is consistent across all fields.
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> chunks_{0};
   std::atomic<std::uint64_t> iterations_{0};
@@ -152,6 +163,8 @@ class ThreadPool {
   std::atomic<std::uint64_t> stale_skipped_{0};
   std::atomic<std::uint64_t> busy_ns_{0};
   std::atomic<std::uint64_t> idle_ns_{0};
+  mutable std::mutex stats_mutex_;
+  PoolStats baseline_;  // guarded by stats_mutex_
 };
 
 /// Convenience wrappers over the global pool. parallel_for falls back to a

@@ -1,6 +1,7 @@
 #include "core/crosssystem.hpp"
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace varpred::core {
 
@@ -22,6 +23,8 @@ void CrossSystemPredictor::train(
   VARPRED_CHECK_ARG(!train_benchmarks.empty(), "no training benchmarks");
   VARPRED_CHECK_ARG(source.benchmarks.size() == target.benchmarks.size(),
                     "corpora must cover the same benchmark set");
+  obs::Span span("xsys.train");
+  VARPRED_OBS_COUNT("xsys.trainings", 1);
   source_system_ = source.system;
   ml::Matrix x;
   ml::Matrix y;
@@ -53,6 +56,8 @@ std::vector<double> CrossSystemPredictor::predict_distribution(
     const measure::BenchmarkRuns& source_runs, std::size_t n_samples,
     Rng& rng) const {
   VARPRED_CHECK(source_system_ != nullptr, "predict before train");
+  obs::Span span("xsys.predict");
+  VARPRED_OBS_COUNT("xsys.predictions", 1);
   const auto features = make_features(*source_system_, source_runs);
   const auto encoded = predict_encoded(features);
   return repr_->reconstruct(encoded, n_samples, rng);

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "maxent/maxent.hpp"
+#include "obs/obs.hpp"
 #include "pearson/pearson.hpp"
 #include "rngdist/samplers.hpp"
 #include "stats/ecdf.hpp"
@@ -121,6 +122,7 @@ std::vector<double> HistogramRepr::reconstruct(
   if (total <= 0.0) {
     // Completely degenerate prediction: fall back to a point mass at the
     // distribution mean (relative time 1).
+    VARPRED_OBS_COUNT("repr.histogram.degenerate_fallbacks", 1);
     return std::vector<double>(n, 1.0);
   }
   return stats::Histogram::sample_many_from_probs(probs, lo_, hi_, n, rng);
@@ -160,6 +162,9 @@ std::vector<double> MaxEntRepr::reconstruct(std::span<const double> encoded,
       const maxent::MaxEntDensity density(
           std::span<const double>(raw.data(), order), kMaxEntLo, kMaxEntHi,
           options);
+      if (order < raw.size()) {
+        VARPRED_OBS_COUNT("repr.maxent.degraded_solves", 1);
+      }
       return density.sample_many(rng, n);
     } catch (const CheckError&) {
       // retry with fewer moments
@@ -170,6 +175,7 @@ std::vector<double> MaxEntRepr::reconstruct(std::span<const double> encoded,
   // Every solve failed: the real tooling returns an unconverged (garbage)
   // density here; the uninformative uniform over the support is the honest
   // equivalent.
+  VARPRED_OBS_COUNT("repr.maxent.uniform_fallbacks", 1);
   std::vector<double> out(n);
   for (auto& v : out) v = rng.uniform(kMaxEntLo, kMaxEntHi);
   return out;
@@ -186,6 +192,7 @@ std::vector<double> PearsonRepr::reconstruct(std::span<const double> encoded,
   } catch (const CheckError&) {
     // Family fit failed on a numerically extreme prediction: degrade to the
     // normal distribution with the predicted mean/stddev.
+    VARPRED_OBS_COUNT("repr.pearson.normal_fallbacks", 1);
     std::vector<double> out(n);
     for (auto& v : out) {
       v = rngdist::normal(rng, moments.mean, moments.stddev);

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "stats/ks.hpp"
 
 namespace varpred::core {
@@ -63,10 +64,12 @@ EvalResult evaluate_few_runs(const measure::Corpus& corpus,
                              const FewRunsConfig& config,
                              const EvalOptions& options) {
   const std::size_t n = corpus.benchmarks.size();
+  obs::Span span("eval.few_runs", obs::Span::kPoolStats);
   EvalResult result;
   result.benchmark_names.resize(n);
   result.ks.resize(n);
   parallel_for(n, [&](std::size_t b) {
+    obs::Span fold("eval.fold");
     const auto predicted =
         predict_held_out_few_runs(corpus, b, config, options);
     const auto measured = corpus.benchmarks[b].relative_times();
@@ -74,6 +77,7 @@ EvalResult evaluate_few_runs(const measure::Corpus& corpus,
     result.benchmark_names[b] =
         measure::benchmark_table()[corpus.benchmarks[b].benchmark].full_name();
   });
+  VARPRED_OBS_COUNT("eval.few_runs.folds", n);
   return result;
 }
 
@@ -84,10 +88,12 @@ EvalResult evaluate_cross_system(const measure::Corpus& source,
   VARPRED_CHECK_ARG(source.benchmarks.size() == target.benchmarks.size(),
                     "corpora must cover the same benchmark set");
   const std::size_t n = source.benchmarks.size();
+  obs::Span span("eval.cross_system", obs::Span::kPoolStats);
   EvalResult result;
   result.benchmark_names.resize(n);
   result.ks.resize(n);
   parallel_for(n, [&](std::size_t b) {
+    obs::Span fold("eval.fold");
     const auto predicted =
         predict_held_out_cross_system(source, target, b, config, options);
     const auto measured = target.benchmarks[b].relative_times();
@@ -96,6 +102,7 @@ EvalResult evaluate_cross_system(const measure::Corpus& source,
         measure::benchmark_table()[source.benchmarks[b].benchmark]
             .full_name();
   });
+  VARPRED_OBS_COUNT("eval.cross_system.folds", n);
   return result;
 }
 

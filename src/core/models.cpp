@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "ml/forest.hpp"
+#include "obs/obs.hpp"
 #include "ml/gbt.hpp"
 #include "ml/knn.hpp"
 #include "ml/ridge.hpp"
@@ -35,6 +36,7 @@ std::span<const ModelKind> extended_model_kinds() {
 }
 
 std::unique_ptr<ml::Regressor> make_model(ModelKind kind, std::uint64_t seed) {
+  VARPRED_OBS_COUNT("core.models_created", 1);
   switch (kind) {
     case ModelKind::kKnn: {
       ml::KnnParams params;

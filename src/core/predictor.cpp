@@ -1,6 +1,7 @@
 #include "core/predictor.hpp"
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace varpred::core {
 
@@ -13,6 +14,7 @@ FewRunsPredictor::FewRunsPredictor(FewRunsConfig config)
 void FewRunsPredictor::train(const measure::Corpus& corpus,
                              std::span<const std::size_t> train_benchmarks) {
   VARPRED_CHECK_ARG(!train_benchmarks.empty(), "no training benchmarks");
+  obs::Span span("predictor.train");
   system_ = corpus.system;
   ml::Matrix x;
   ml::Matrix y;
@@ -36,6 +38,8 @@ void FewRunsPredictor::train(const measure::Corpus& corpus,
   model_ = config_.model_factory ? config_.model_factory()
                                  : make_model(config_.model, config_.seed);
   model_->fit(x, y);
+  VARPRED_OBS_COUNT("predictor.trainings", 1);
+  VARPRED_OBS_COUNT("predictor.train_rows", x.rows());
 }
 
 void FewRunsPredictor::train_all(const measure::Corpus& corpus) {
@@ -55,6 +59,8 @@ std::vector<double> FewRunsPredictor::predict_distribution(
     std::span<const std::size_t> probe_runs, std::size_t n_samples,
     Rng& rng) const {
   VARPRED_CHECK(system_ != nullptr, "predict before train");
+  obs::Span span("predictor.predict");
+  VARPRED_OBS_COUNT("predictor.predictions", 1);
   const auto features =
       build_profile(*system_, runs, probe_runs, config_.profile);
   const auto encoded = predict_encoded(features);

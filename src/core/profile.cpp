@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 #include "stats/moments.hpp"
 
 namespace varpred::core {
@@ -12,6 +13,8 @@ std::vector<double> build_profile(const measure::SystemModel& system,
                                   std::span<const std::size_t> run_indices,
                                   const ProfileOptions& options) {
   VARPRED_CHECK_ARG(!run_indices.empty(), "profile needs at least one run");
+  VARPRED_OBS_COUNT("profile.builds", 1);
+  VARPRED_OBS_COUNT("profile.runs_aggregated", run_indices.size());
   const std::size_t n_metrics = runs.counters.cols();
   VARPRED_CHECK_ARG(n_metrics == system.metric_count(),
                     "runs/system metric count mismatch");

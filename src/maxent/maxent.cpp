@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/linalg.hpp"
+#include "obs/obs.hpp"
 #include "special/quadrature.hpp"
 
 namespace varpred::maxent {
@@ -145,6 +146,7 @@ MaxEntDensity::MaxEntDensity(std::span<const double> raw_moments, double lo,
         }
         alpha *= 0.5;
       }
+      if (!accepted) VARPRED_OBS_COUNT("maxent.failed_solves", 1);
       VARPRED_CHECK(accepted, "max-entropy Newton iteration stalled");
     } else {
       // Unsafeguarded full Newton step (fsolve-style).
@@ -154,8 +156,15 @@ MaxEntDensity::MaxEntDensity(std::span<const double> raw_moments, double lo,
     }
     compute_residual(lambda_, r, &jac);
     best = residual_norm(r);
+    if (!std::isfinite(best)) {
+      VARPRED_OBS_COUNT("maxent.failed_solves", 1);
+    }
     VARPRED_CHECK(std::isfinite(best), "max-entropy iteration diverged");
   }
+  VARPRED_OBS_COUNT("maxent.solves", 1);
+  VARPRED_OBS_COUNT("maxent.newton_iterations", iterations_);
+  VARPRED_OBS_HIST("maxent.iterations_per_solve", iterations_);
+  if (best >= 1e-6) VARPRED_OBS_COUNT("maxent.failed_solves", 1);
   VARPRED_CHECK(best < 1e-6, "max-entropy moment solve did not converge");
 
   build_cdf_table();

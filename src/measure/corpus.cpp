@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "rngdist/samplers.hpp"
 #include "stats/moments.hpp"
 
@@ -73,6 +74,8 @@ BenchmarkRuns measure_benchmark(std::size_t benchmark_index,
                     "benchmark index out of range");
   VARPRED_CHECK_ARG(n_runs >= 1, "need at least one run");
   const auto& bench = benchmark_table()[benchmark_index];
+  obs::Span span("measure.benchmark");
+  VARPRED_OBS_COUNT("measure.runs_simulated", n_runs);
 
   BenchmarkRuns out;
   out.benchmark = benchmark_index;
@@ -94,6 +97,7 @@ BenchmarkRuns measure_benchmark(std::size_t benchmark_index,
 
 Corpus build_corpus(const SystemModel& system, std::size_t n_runs,
                     std::uint64_t seed) {
+  obs::Span span("measure.build_corpus", obs::Span::kPoolStats);
   Corpus corpus;
   corpus.system = &system;
   corpus.benchmarks.resize(benchmark_table().size());

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace varpred::ml {
 
@@ -27,6 +28,7 @@ std::vector<Fold> leave_one_group_out(std::span<const int> groups) {
     }
     folds.push_back(std::move(fold));
   }
+  VARPRED_OBS_COUNT("ml.cv.logo_folds", folds.size());
   return folds;
 }
 
@@ -52,6 +54,7 @@ std::vector<Fold> k_fold(std::size_t n_rows, std::size_t k,
       }
     }
   }
+  VARPRED_OBS_COUNT("ml.cv.kfold_folds", folds.size());
   return folds;
 }
 

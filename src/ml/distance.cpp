@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace varpred::ml {
 
@@ -73,6 +74,8 @@ void distances_to_rows(Metric metric, std::span<const double> rows,
   VARPRED_CHECK_ARG(rows.size() == out.size() * dim,
                     "row block / output size mismatch");
   VARPRED_CHECK_ARG(query.size() == dim, "query dimension mismatch");
+  VARPRED_OBS_COUNT("ml.distance.row_blocks", 1);
+  VARPRED_OBS_COUNT("ml.distance.rows", out.size());
   const auto kernel = [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
       out[r] = distance(metric, query, rows.subspan(r * dim, dim));

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace varpred::ml {
 
@@ -18,6 +19,9 @@ RandomForest::RandomForest(ForestParams params) : params_(params) {
 void RandomForest::fit(const Matrix& x, const Matrix& y) {
   VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
   VARPRED_CHECK_ARG(x.rows() >= 1, "need at least one training row");
+  obs::Span span("ml.forest.fit");
+  VARPRED_OBS_COUNT("ml.forest.fits", 1);
+  VARPRED_OBS_COUNT("ml.forest.trees_trained", params_.n_trees);
   n_outputs_ = y.cols();
 
   TreeParams tp = params_.tree;

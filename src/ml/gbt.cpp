@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace varpred::ml {
 
@@ -157,6 +158,9 @@ GradientBoosting::BoostTree GradientBoosting::fit_tree(
 void GradientBoosting::fit(const Matrix& x, const Matrix& y) {
   VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
   VARPRED_CHECK_ARG(x.rows() >= 1, "need at least one training row");
+  obs::Span span("ml.gbt.fit");
+  VARPRED_OBS_COUNT("ml.gbt.fits", 1);
+  VARPRED_OBS_COUNT("ml.gbt.rounds_trained", params_.n_rounds * y.cols());
   const std::size_t n = x.rows();
   const std::size_t n_outputs = y.cols();
   ensembles_.assign(n_outputs, Ensemble{});

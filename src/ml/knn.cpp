@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.hpp"
+
 namespace varpred::ml {
 
 KnnRegressor::KnnRegressor(KnnParams params) : params_(params) {
@@ -25,6 +27,7 @@ void KnnRegressor::fit(const Matrix& x, const Matrix& y) {
 std::vector<std::size_t> KnnRegressor::neighbors(
     std::span<const double> row) const {
   VARPRED_CHECK(trained_, "predict before fit");
+  VARPRED_OBS_COUNT("ml.knn.queries", 1);
   const std::vector<double> q =
       params_.standardize ? scaler_.transform_row(row)
                           : std::vector<double>(row.begin(), row.end());

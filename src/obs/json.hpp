@@ -1,0 +1,58 @@
+// Minimal JSON support for the observability sinks: string escaping and
+// locale-independent number formatting for the writers, plus a small
+// recursive-descent parser used to read telemetry documents back (the
+// test round-trips and the tools/obs_validate schema checker).
+//
+// The parser accepts the JSON this repo emits (and standard JSON in
+// general: objects, arrays, strings with \-escapes incl. \uXXXX, numbers,
+// true/false/null). It is not a streaming parser and keeps the whole
+// document in memory — telemetry files are small.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace varpred::obs::json {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// added).
+std::string escape(std::string_view text);
+
+/// Formats a double as a JSON number: shortest round-trip-safe decimal,
+/// never locale-dependent, "0" for negative zero, and integral values
+/// without a trailing ".0". Non-finite values render as 0 (JSON has no
+/// Inf/NaN).
+std::string number(double value);
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  /// Insertion-ordered; duplicate keys keep both entries (find returns the
+  /// first).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// First member with this key, or nullptr (also nullptr on non-objects).
+  const Value* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document; throws std::invalid_argument (with a
+/// byte offset in the message) on malformed input or trailing garbage.
+Value parse(std::string_view text);
+
+}  // namespace varpred::obs::json

@@ -1,0 +1,401 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace varpred::obs {
+namespace {
+
+Mode env_mode() {
+  const char* raw = std::getenv("VARPRED_OBS");
+  Mode m = Mode::kOff;
+  if (raw != nullptr) parse_mode(raw, m);
+  return m;
+}
+
+std::atomic<int>& mode_cell() noexcept {
+  // Initialized from the environment exactly once; set_mode overwrites.
+  static std::atomic<int> cell{static_cast<int>(env_mode())};
+  return cell;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Stable small per-thread ids for trace events.
+std::uint32_t this_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local std::uint32_t t_open_spans = 0;
+
+// Global trace buffer. Span completion is stage-grained, so one mutex is
+// plenty; the cap is a runaway guard (dropped events are counted).
+constexpr std::size_t kMaxTraceEvents = 1u << 20;
+
+struct TraceBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+TraceBuffer& trace_buffer() {
+  static TraceBuffer* buffer = new TraceBuffer();  // leaked: outlive statics
+  return *buffer;
+}
+
+}  // namespace
+
+bool parse_mode(std::string_view text, Mode& out) {
+  if (text == "off") {
+    out = Mode::kOff;
+  } else if (text == "summary") {
+    out = Mode::kSummary;
+  } else if (text == "trace") {
+    out = Mode::kTrace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kSummary:
+      return "summary";
+    case Mode::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+
+Mode mode() noexcept {
+  return static_cast<Mode>(mode_cell().load(std::memory_order_relaxed));
+}
+
+void set_mode(Mode mode) noexcept {
+  mode_cell().store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+std::size_t peak_rss_kb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Stripe {
+  mutable std::mutex mutex;
+  // std::map keeps each stripe name-sorted; unique_ptr gives the metric
+  // objects a stable address across rehashing-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : stripes_(new Stripe[kStripes]) {}
+Registry::~Registry() { delete[] stripes_; }
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // leaked: outlive statics
+  return *registry;
+}
+
+Registry::Stripe& Registry::stripe_for(std::string_view name) const {
+  // FNV-1a over the name; only stripe selection, not exposed.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return stripes_[h % kStripes];
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Stripe& s = stripe_for(name);
+  std::lock_guard lock(s.mutex);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end()) {
+    it = s.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Stripe& s = stripe_for(name);
+  std::lock_guard lock(s.mutex);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end()) {
+    it = s.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Stripe& s = stripe_for(name);
+  std::lock_guard lock(s.mutex);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end()) {
+    it = s.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    const Stripe& s = stripes_[i];
+    std::lock_guard lock(s.mutex);
+    for (const auto& [name, c] : s.counters) {
+      out.counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, g] : s.gauges) {
+      out.gauges.emplace_back(name, g->value());
+    }
+    for (const auto& [name, h] : s.histograms) {
+      HistogramSnapshot snap;
+      snap.name = name;
+      snap.count = h->count();
+      snap.sum = h->sum();
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        const std::uint64_t n = h->bucket_count(b);
+        if (n != 0) snap.buckets.emplace_back(b, n);
+      }
+      out.histograms.push_back(std::move(snap));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset_values() {
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    Stripe& s = stripes_[i];
+    std::lock_guard lock(s.mutex);
+    for (auto& [name, c] : s.counters) c->reset();
+    for (auto& [name, g] : s.gauges) g->reset();
+    for (auto& [name, h] : s.histograms) h->reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Span
+
+Span::Span(const char* name, unsigned flags) noexcept : name_(name) {
+  if (mode() == Mode::kOff) return;
+  active_ = true;
+  depth_ = t_open_spans++;
+  pool_delta_ = (flags & kPoolStats) != 0;
+  if (pool_delta_) pool_before_ = ThreadPool::global().stats();
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end_ns = now_ns();
+  --t_open_spans;
+  const Mode m = mode();
+  if (m == Mode::kOff) return;  // switched off mid-span: just unwind depth
+
+  const std::uint64_t dur = end_ns - start_ns_;
+  Registry::global()
+      .histogram(std::string("span.") + name_)
+      .record(dur);
+
+  if (m != Mode::kTrace) return;
+  TraceEvent event;
+  event.name = name_;
+  event.tid = this_thread_id();
+  event.depth = depth_;
+  event.start_ns = start_ns_;
+  event.dur_ns = dur;
+  if (pool_delta_) {
+    const PoolStats after = ThreadPool::global().stats();
+    event.args.emplace_back(
+        "pool.jobs", static_cast<double>(after.jobs - pool_before_.jobs));
+    event.args.emplace_back(
+        "pool.chunks",
+        static_cast<double>(after.chunks - pool_before_.chunks));
+    event.args.emplace_back(
+        "pool.iterations",
+        static_cast<double>(after.iterations - pool_before_.iterations));
+    event.args.emplace_back(
+        "pool.busy_ms",
+        static_cast<double>(after.busy_ns - pool_before_.busy_ns) * 1e-6);
+    event.args.emplace_back(
+        "pool.idle_ms",
+        static_cast<double>(after.idle_ns - pool_before_.idle_ns) * 1e-6);
+  }
+  TraceBuffer& buffer = trace_buffer();
+  std::lock_guard lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxTraceEvents) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(std::move(event));
+}
+
+std::uint32_t Span::current_depth() noexcept { return t_open_spans; }
+
+std::vector<TraceEvent> trace_events() {
+  TraceBuffer& buffer = trace_buffer();
+  std::lock_guard lock(buffer.mutex);
+  return buffer.events;
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+
+void write_trace_json(std::ostream& out) {
+  const auto events = trace_events();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << json::escape(e.name)
+        << "\",\"cat\":\"varpred\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << json::number(static_cast<double>(e.start_ns) * 1e-3)
+        << ",\"dur\":" << json::number(static_cast<double>(e.dur_ns) * 1e-3)
+        << ",\"args\":{\"depth\":" << e.depth;
+    for (const auto& [key, value] : e.args) {
+      out << ",\"" << json::escape(key) << "\":" << json::number(value);
+    }
+    out << "}}";
+  }
+  out << "]}";
+}
+
+std::string trace_json() {
+  std::ostringstream out;
+  write_trace_json(out);
+  return out.str();
+}
+
+void write_metrics_json(std::ostream& out) {
+  const auto snap = Registry::global().snapshot();
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json::escape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json::escape(name) << "\":" << json::number(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json::escape(h.name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& [bucket, n] : h.buckets) {
+      if (!bfirst) out << ",";
+      bfirst = false;
+      out << "{\"lo\":" << Histogram::bucket_lo(bucket)
+          << ",\"hi\":" << Histogram::bucket_hi(bucket) << ",\"count\":" << n
+          << "}";
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+std::string metrics_json() {
+  std::ostringstream out;
+  write_metrics_json(out);
+  return out.str();
+}
+
+std::string summary_text() {
+  const auto snap = Registry::global().snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    if (value == 0) continue;
+    out << "[obs] " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (value == 0.0) continue;
+    out << "[obs] " << name << " = " << json::number(value) << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0) continue;
+    const double mean =
+        static_cast<double>(h.sum) / static_cast<double>(h.count);
+    out << "[obs] " << h.name << ": count=" << h.count << " sum=" << h.sum
+        << " mean=" << json::number(mean) << "\n";
+  }
+  return out.str();
+}
+
+void reset() {
+  {
+    TraceBuffer& buffer = trace_buffer();
+    std::lock_guard lock(buffer.mutex);
+    buffer.events.clear();
+    buffer.dropped = 0;
+  }
+  Registry::global().reset_values();
+}
+
+}  // namespace varpred::obs

@@ -1,0 +1,270 @@
+// varpred::obs — low-overhead tracing and metrics for the prediction
+// pipeline.
+//
+// Three pieces:
+//   * Span: an RAII scoped timer with thread-safe hierarchical nesting
+//     (per-thread depth tracking, monotonic-clock timestamps). With
+//     observability off, constructing a span costs one relaxed atomic load
+//     and a branch; nothing is allocated or recorded.
+//   * Registry: a lock-striped global table of named counters, gauges, and
+//     log2-bucketed histograms. Metric objects are never deleted, so hot
+//     paths cache a reference once (see VARPRED_OBS_COUNT) and afterwards
+//     pay one relaxed fetch_add per event.
+//   * Sinks: a Chrome trace_event JSON exporter for spans, a flat metrics
+//     JSON document, and a compact text reporter.
+//
+// The mode is read from the VARPRED_OBS environment variable
+// (off | summary | trace, default off) on first use and may be overridden
+// programmatically with set_mode() (the bench harnesses map their --obs
+// flag onto it). `summary` records metrics and span histograms; `trace`
+// additionally buffers every span as a trace event.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"  // PoolStats deltas attached to spans
+
+namespace varpred::obs {
+
+enum class Mode { kOff = 0, kSummary = 1, kTrace = 2 };
+
+/// Parses "off" / "summary" / "trace" (case-sensitive). Returns false and
+/// leaves `out` untouched on anything else.
+bool parse_mode(std::string_view text, Mode& out);
+const char* to_string(Mode mode);
+
+/// Current mode. First call reads VARPRED_OBS; later calls are a relaxed
+/// atomic load.
+Mode mode() noexcept;
+void set_mode(Mode mode) noexcept;
+inline bool enabled() noexcept { return mode() != Mode::kOff; }
+
+/// Nanoseconds on the monotonic clock since the process's trace epoch
+/// (the first obs call). Small values keep trace timestamps readable.
+std::uint64_t now_ns() noexcept;
+
+/// Peak resident set size in kB (VmHWM from /proc/self/status); 0 when the
+/// platform does not expose it.
+std::size_t peak_rss_kb();
+
+// ---------------------------------------------------------------------------
+// Metric primitives. All operations are thread-safe; counters wrap modulo
+// 2^64 (they are deltas over monotone event streams, never clock readings).
+
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scaled histogram over non-negative integer values (latencies in ns,
+/// iteration counts, ...). Bucket b holds values whose bit width is b:
+/// bucket 0 = {0}, bucket 1 = {1}, bucket 2 = [2, 3], bucket 3 = [4, 7],
+/// ..., bucket 63 = [2^62, 2^63 - 1]; larger values clamp into the last
+/// bucket. Doubling bucket widths mirror the fixed-ratio bin convention of
+/// stats::Histogram while staying O(1) and lock-free to record.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  static std::size_t bucket_index(std::uint64_t value) noexcept {
+    std::size_t bits = 0;
+    while (value != 0) {
+      ++bits;
+      value >>= 1;
+    }
+    return bits < kBuckets ? bits : kBuckets - 1;
+  }
+  /// Smallest value landing in bucket `b`.
+  static std::uint64_t bucket_lo(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Largest value landing in bucket `b` (inclusive).
+  static std::uint64_t bucket_hi(std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Registry: named metrics behind striped locks. Lookup is a per-stripe
+// mutex + map walk; the returned references stay valid for the process
+// lifetime (reset_values zeroes, never deletes), so call sites cache them.
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  /// (bucket index, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Name-sorted copy of every metric's current value.
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every metric value; references stay valid.
+  void reset_values();
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct Stripe;
+
+  Registry();
+  ~Registry();
+  Stripe& stripe_for(std::string_view name) const;
+
+  Stripe* stripes_;  // fixed array of kStripes
+};
+
+// ---------------------------------------------------------------------------
+// Spans and the trace buffer.
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;    ///< stable per-thread id, assigned on first span
+  std::uint32_t depth = 0;  ///< open spans above this one on the same thread
+  std::uint64_t start_ns = 0;  ///< since the trace epoch
+  std::uint64_t dur_ns = 0;
+  std::vector<std::pair<std::string, double>> args;  ///< e.g. pool deltas
+};
+
+/// RAII scoped timer. In summary/trace mode the destructor records the
+/// duration into histogram "span.<name>" (ns); in trace mode it also
+/// appends a TraceEvent. Pass kPoolStats to attach the global ThreadPool's
+/// counter deltas over the span's lifetime to the trace event.
+class Span {
+ public:
+  enum Flags : unsigned { kNone = 0, kPoolStats = 1u };
+
+  explicit Span(const char* name, unsigned flags = kNone) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const noexcept { return active_; }
+  std::uint32_t depth() const noexcept { return depth_; }
+
+  /// Number of spans currently open on the calling thread.
+  static std::uint32_t current_depth() noexcept;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  PoolStats pool_before_{};
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+  bool pool_delta_ = false;
+};
+
+/// Copy of the trace buffer (order of insertion = span completion order).
+std::vector<TraceEvent> trace_events();
+
+// ---------------------------------------------------------------------------
+// Sinks.
+
+/// Chrome trace_event JSON ("ph":"X" complete events, ts/dur in us). Loads
+/// in chrome://tracing and Perfetto.
+void write_trace_json(std::ostream& out);
+std::string trace_json();
+
+/// Flat metrics document: {"counters":{...},"gauges":{...},
+/// "histograms":{name:{count,sum,buckets:[{lo,hi,count}]}}}.
+void write_metrics_json(std::ostream& out);
+std::string metrics_json();
+
+/// Compact human-readable report of every non-zero metric; empty string
+/// when nothing was recorded.
+std::string summary_text();
+
+/// Clears the trace buffer and zeroes every registry value (references and
+/// thread ids survive). Intended for tests and harness warm-up boundaries.
+void reset();
+
+}  // namespace varpred::obs
+
+/// Bumps a named counter with a one-time registry lookup per call site.
+/// The branch on enabled() keeps the off-mode cost to a relaxed load.
+#define VARPRED_OBS_COUNT(name, delta)                            \
+  do {                                                            \
+    if (::varpred::obs::enabled()) {                              \
+      static ::varpred::obs::Counter& varpred_obs_counter_ =      \
+          ::varpred::obs::Registry::global().counter(name);       \
+      varpred_obs_counter_.add(delta);                            \
+    }                                                             \
+  } while (0)
+
+/// Records a value into a named log2 histogram (same caching scheme).
+#define VARPRED_OBS_HIST(name, value)                             \
+  do {                                                            \
+    if (::varpred::obs::enabled()) {                              \
+      static ::varpred::obs::Histogram& varpred_obs_hist_ =       \
+          ::varpred::obs::Registry::global().histogram(name);     \
+      varpred_obs_hist_.record(value);                            \
+    }                                                             \
+  } while (0)

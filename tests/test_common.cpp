@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
@@ -246,6 +248,61 @@ TEST(ThreadPool, StatsCountersTrackSpans) {
   pool.reset_stats();
   EXPECT_EQ(pool.stats().jobs, 0u);
   EXPECT_EQ(pool.stats().iterations, 0u);
+}
+
+// reset_stats() returns the counters accumulated since the previous reset,
+// so callers get exact per-epoch deltas: the returned snapshots partition
+// the total work with nothing dropped between epochs.
+TEST(ThreadPool, ResetStatsReturnsEpochDelta) {
+  ThreadPool pool(4);
+  pool.parallel_for(10000, [](std::size_t) {});
+  const PoolStats epoch1 = pool.reset_stats();
+  EXPECT_EQ(epoch1.jobs, 1u);
+  EXPECT_EQ(epoch1.iterations, 10000u);
+
+  pool.parallel_for(2000, [](std::size_t) {});
+  pool.parallel_for(3000, [](std::size_t) {});
+  const PoolStats epoch2 = pool.reset_stats();
+  EXPECT_EQ(epoch2.jobs, 2u);
+  EXPECT_EQ(epoch2.iterations, 5000u);
+
+  const PoolStats epoch3 = pool.reset_stats();
+  EXPECT_EQ(epoch3.jobs, 0u);
+  EXPECT_EQ(epoch3.iterations, 0u);
+  EXPECT_EQ(epoch3.chunks, 0u);
+}
+
+// Concurrent reset_stats() calls partition the counter stream: every event
+// lands in exactly one returned epoch, never zero (lost between a read and
+// a zeroing store) and never two. Under the old read-then-zero scheme this
+// test races a second resetter against the worker threads and loses events.
+TEST(ThreadPool, ConcurrentResetsPartitionTheCounterStream) {
+  ThreadPool pool(2);
+  constexpr std::size_t kJobs = 200;
+  constexpr std::size_t kIters = 1000;
+  std::atomic<bool> stop{false};
+  std::uint64_t stolen_jobs = 0;
+  std::uint64_t stolen_iters = 0;
+  std::thread resetter([&] {
+    while (!stop.load()) {
+      const PoolStats s = pool.reset_stats();
+      stolen_jobs += s.jobs;
+      stolen_iters += s.iterations;
+    }
+  });
+  std::uint64_t main_jobs = 0;
+  std::uint64_t main_iters = 0;
+  for (std::size_t rep = 0; rep < kJobs; ++rep) {
+    pool.parallel_for(kIters, [](std::size_t) {});
+    const PoolStats s = pool.reset_stats();
+    main_jobs += s.jobs;
+    main_iters += s.iterations;
+  }
+  stop.store(true);
+  resetter.join();
+  const PoolStats tail = pool.reset_stats();
+  EXPECT_EQ(stolen_jobs + main_jobs + tail.jobs, kJobs);
+  EXPECT_EQ(stolen_iters + main_iters + tail.iterations, kJobs * kIters);
 }
 
 TEST(ThreadPool, GrainIsPureFunctionOfN) {

@@ -1,0 +1,309 @@
+// Tests for varpred::obs: span nesting (including across pool workers),
+// histogram bucket boundaries, counter wrap-around, the JSON sinks (parsed
+// back with the in-repo parser), and the off-mode no-op guarantee.
+//
+// gtest_discover_tests runs every TEST in its own process, so set_mode()
+// calls here cannot leak into other tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace varpred {
+namespace {
+
+TEST(ObsMode, ParsesKnownNamesAndRejectsOthers) {
+  obs::Mode mode = obs::Mode::kOff;
+  EXPECT_TRUE(obs::parse_mode("summary", mode));
+  EXPECT_EQ(mode, obs::Mode::kSummary);
+  EXPECT_TRUE(obs::parse_mode("trace", mode));
+  EXPECT_EQ(mode, obs::Mode::kTrace);
+  EXPECT_TRUE(obs::parse_mode("off", mode));
+  EXPECT_EQ(mode, obs::Mode::kOff);
+
+  mode = obs::Mode::kTrace;
+  EXPECT_FALSE(obs::parse_mode("verbose", mode));
+  EXPECT_FALSE(obs::parse_mode("", mode));
+  EXPECT_FALSE(obs::parse_mode("Trace", mode));
+  EXPECT_EQ(mode, obs::Mode::kTrace) << "failed parse must not clobber out";
+}
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // Bucket b holds values of bit width b: 0 -> 0, 1 -> 1, [2,3] -> 2, ...
+  EXPECT_EQ(obs::Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_index((1ull << 62) - 1), 62u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1ull << 62), 63u);
+  EXPECT_EQ(obs::Histogram::bucket_index(~std::uint64_t{0}), 63u);
+
+  // lo/hi invert bucket_index at the edges of every bucket.
+  for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+    EXPECT_EQ(obs::Histogram::bucket_index(obs::Histogram::bucket_lo(b)), b);
+    EXPECT_EQ(obs::Histogram::bucket_index(obs::Histogram::bucket_hi(b)), b);
+  }
+
+  obs::Histogram h;
+  h.record(0);
+  h.record(3);
+  h.record(3);
+  h.record(1000);  // bit width 10
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+TEST(ObsCounter, WrapsModulo64Bits) {
+  obs::Counter c;
+  c.add(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(c.value(), std::numeric_limits<std::uint64_t>::max());
+  c.add(1);  // documented wrap, not saturation
+  EXPECT_EQ(c.value(), 0u);
+  c.add(41);
+  EXPECT_EQ(c.value(), 41u);
+}
+
+TEST(ObsRegistry, StableReferencesAndSortedSnapshot) {
+  obs::set_mode(obs::Mode::kSummary);
+  obs::reset();
+  auto& reg = obs::Registry::global();
+  obs::Counter& a1 = reg.counter("test.alpha");
+  obs::Counter& b1 = reg.counter("test.beta");
+  a1.add(2);
+  b1.add(5);
+  // Same name returns the same object (hot paths cache the reference).
+  EXPECT_EQ(&reg.counter("test.alpha"), &a1);
+  reg.gauge("test.gamma").set(1.5);
+  reg.histogram("test.delta").record(9);
+
+  const auto snap = reg.snapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+  bool saw_alpha = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.alpha") {
+      saw_alpha = true;
+      EXPECT_EQ(value, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_alpha);
+
+  // reset zeroes values but keeps the reference usable.
+  obs::reset();
+  EXPECT_EQ(a1.value(), 0u);
+  a1.add(7);
+  EXPECT_EQ(reg.counter("test.alpha").value(), 7u);
+}
+
+TEST(ObsSpan, NestsWithinAThread) {
+  obs::set_mode(obs::Mode::kTrace);
+  obs::reset();
+  EXPECT_EQ(obs::Span::current_depth(), 0u);
+  {
+    obs::Span outer("test.outer");
+    EXPECT_EQ(outer.depth(), 0u);
+    EXPECT_EQ(obs::Span::current_depth(), 1u);
+    {
+      obs::Span inner("test.inner");
+      EXPECT_EQ(inner.depth(), 1u);
+      EXPECT_EQ(obs::Span::current_depth(), 2u);
+    }
+    EXPECT_EQ(obs::Span::current_depth(), 1u);
+  }
+  EXPECT_EQ(obs::Span::current_depth(), 0u);
+
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete inner-first.
+  EXPECT_EQ(events[0].name, "test.inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name, "test.outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // The inner span is contained in the outer one on the monotonic clock.
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+}
+
+TEST(ObsSpan, NestsAcrossParallelForWorkers) {
+  obs::set_mode(obs::Mode::kTrace);
+  obs::reset();
+  constexpr std::size_t kIters = 64;
+  std::atomic<std::uint32_t> max_depth{0};
+  {
+    obs::Span outer("test.parallel", obs::Span::kPoolStats);
+    parallel_for(kIters, [&](std::size_t) {
+      obs::Span body("test.body");
+      // Depth is tracked per thread: a pool worker starts at depth 0, the
+      // submitting thread (which also drains chunks) nests under "outer".
+      const std::uint32_t d = obs::Span::current_depth();
+      EXPECT_GE(d, 1u);
+      std::uint32_t seen = max_depth.load();
+      while (d > seen && !max_depth.compare_exchange_weak(seen, d)) {
+      }
+    });
+  }
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), kIters + 1);
+  std::size_t body_count = 0;
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : events) {
+    if (e.name == "test.body") {
+      ++body_count;
+      tids.push_back(e.tid);
+    }
+  }
+  EXPECT_EQ(body_count, kIters);
+  // Every per-iteration span sits inside the outer span's wall-clock window.
+  const auto& outer_event = events.back();
+  EXPECT_EQ(outer_event.name, "test.parallel");
+  for (const auto& e : events) {
+    EXPECT_GE(e.start_ns, outer_event.start_ns);
+    EXPECT_LE(e.start_ns + e.dur_ns,
+              outer_event.start_ns + outer_event.dur_ns);
+  }
+  // The outer span carries the pool-delta args.
+  bool saw_iters = false;
+  for (const auto& [key, value] : outer_event.args) {
+    if (key == "pool.iterations") {
+      saw_iters = true;
+      EXPECT_EQ(value, static_cast<double>(kIters));
+    }
+  }
+  EXPECT_TRUE(saw_iters);
+  // The summary histogram recorded every span too.
+  const auto& hist = obs::Registry::global().histogram("span.test.body");
+  EXPECT_EQ(hist.count(), kIters);
+}
+
+TEST(ObsSinks, TraceJsonRoundTrips) {
+  obs::set_mode(obs::Mode::kTrace);
+  obs::reset();
+  {
+    obs::Span outer("test.sink_outer");
+    obs::Span inner("test.sink_inner");
+  }
+  const std::string text = obs::trace_json();
+  const auto doc = obs::json::parse(text);
+  ASSERT_TRUE(doc.is_object());
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  for (const auto& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_EQ(e.find("ph")->str, "X");
+    EXPECT_EQ(e.find("cat")->str, "varpred");
+    EXPECT_TRUE(e.find("ts")->is_number());
+    EXPECT_TRUE(e.find("dur")->is_number());
+    EXPECT_TRUE(e.find("tid")->is_number());
+  }
+  EXPECT_EQ(events->array[0].find("name")->str, "test.sink_inner");
+  EXPECT_EQ(events->array[1].find("name")->str, "test.sink_outer");
+}
+
+TEST(ObsSinks, MetricsJsonRoundTrips) {
+  obs::set_mode(obs::Mode::kSummary);
+  obs::reset();
+  obs::Registry::global().counter("test.metric_count").add(42);
+  obs::Registry::global().gauge("test.metric_gauge").set(2.25);
+  obs::Registry::global().histogram("test.metric_hist").record(5);
+  obs::Registry::global().histogram("test.metric_hist").record(6);
+
+  const auto doc = obs::json::parse(obs::metrics_json());
+  ASSERT_TRUE(doc.is_object());
+  const auto* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* count = counters->find("test.metric_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->num, 42.0);
+  const auto* gauge = doc.find("gauges")->find("test.metric_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->num, 2.25);
+  const auto* hist = doc.find("histograms")->find("test.metric_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->num, 2.0);
+  EXPECT_EQ(hist->find("sum")->num, 11.0);
+  const auto* buckets = hist->find("buckets");
+  ASSERT_TRUE(buckets->is_array());
+  ASSERT_EQ(buckets->array.size(), 1u);  // 5 and 6 share bucket [4, 7]
+  EXPECT_EQ(buckets->array[0].find("lo")->num, 4.0);
+  EXPECT_EQ(buckets->array[0].find("hi")->num, 7.0);
+  EXPECT_EQ(buckets->array[0].find("count")->num, 2.0);
+}
+
+TEST(ObsOffMode, EmitsNothingAndCountsNothing) {
+  obs::set_mode(obs::Mode::kOff);
+  obs::reset();
+  {
+    obs::Span span("test.off_span", obs::Span::kPoolStats);
+    EXPECT_FALSE(span.active());
+    VARPRED_OBS_COUNT("test.off_counter", 3);
+    VARPRED_OBS_HIST("test.off_hist", 9);
+  }
+  EXPECT_TRUE(obs::trace_events().empty());
+  EXPECT_EQ(obs::summary_text(), "");
+  const auto snap = obs::Registry::global().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
+  for (const auto& h : snap.histograms) {
+    EXPECT_EQ(h.count, 0u) << h.name;
+  }
+}
+
+TEST(ObsJson, ParserHandlesEscapesAndRejectsGarbage) {
+  const auto doc = obs::json::parse(
+      "{\"a\\u0041\":[1,2.5,-3e2,true,false,null,\"x\\n\\\"y\"]}");
+  ASSERT_TRUE(doc.is_object());
+  const auto* arr = doc.find("aA");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->array.size(), 7u);
+  EXPECT_EQ(arr->array[0].num, 1.0);
+  EXPECT_EQ(arr->array[1].num, 2.5);
+  EXPECT_EQ(arr->array[2].num, -300.0);
+  EXPECT_TRUE(arr->array[3].boolean);
+  EXPECT_FALSE(arr->array[4].boolean);
+  EXPECT_TRUE(arr->array[5].is_null());
+  EXPECT_EQ(arr->array[6].str, "x\n\"y");
+
+  EXPECT_THROW(obs::json::parse(""), std::invalid_argument);
+  EXPECT_THROW(obs::json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(obs::json::parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(obs::json::parse("{\"k\":}"), std::invalid_argument);
+  EXPECT_THROW(obs::json::parse("[1,]"), std::invalid_argument);
+}
+
+TEST(ObsJson, NumberFormattingRoundTrips) {
+  EXPECT_EQ(obs::json::number(0.0), "0");
+  EXPECT_EQ(obs::json::number(42.0), "42");
+  EXPECT_EQ(obs::json::number(-7.0), "-7");
+  // Non-integral values parse back to the same double.
+  for (const double v : {0.1, 1.0 / 3.0, 1e-9, 123456.789, 2.5e17}) {
+    const auto doc = obs::json::parse(obs::json::number(v));
+    EXPECT_EQ(doc.num, v) << obs::json::number(v);
+  }
+}
+
+}  // namespace
+}  // namespace varpred

@@ -1,0 +1,163 @@
+// obs_validate: checks JSON documents against a schema written in the
+// subset of JSON Schema this repo uses (type / required / properties /
+// items / enum). Exists so CI can gate the BENCH_*.json telemetry format
+// without a Python dependency.
+//
+//   obs_validate <schema.json> <document.json> [<document.json> ...]
+//
+// Exit code 0 when every document validates; 1 on the first failure, with
+// a JSON-pointer-style path to the offending node on stderr.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using varpred::obs::json::Value;
+
+std::string type_name(const Value& v) {
+  if (v.is_null()) return "null";
+  if (v.is_bool()) return "boolean";
+  if (v.is_number()) return "number";
+  if (v.is_string()) return "string";
+  if (v.is_array()) return "array";
+  return "object";
+}
+
+bool type_matches(const Value& v, const std::string& want) {
+  if (want == "null") return v.is_null();
+  if (want == "boolean") return v.is_bool();
+  if (want == "number") return v.is_number();
+  if (want == "string") return v.is_string();
+  if (want == "array") return v.is_array();
+  if (want == "object") return v.is_object();
+  std::fprintf(stderr, "schema error: unknown type \"%s\"\n", want.c_str());
+  return false;
+}
+
+bool validate(const Value& doc, const Value& schema, const std::string& path);
+
+bool check_type(const Value& doc, const Value& spec, const std::string& path) {
+  // "type" is a single name or a list of alternatives.
+  if (spec.is_string()) {
+    if (type_matches(doc, spec.str)) return true;
+    std::fprintf(stderr, "%s: expected %s, got %s\n", path.c_str(),
+                 spec.str.c_str(), type_name(doc).c_str());
+    return false;
+  }
+  if (spec.is_array()) {
+    for (const auto& alt : spec.array) {
+      if (alt.is_string() && type_matches(doc, alt.str)) return true;
+    }
+    std::fprintf(stderr, "%s: got %s, which matches no allowed type\n",
+                 path.c_str(), type_name(doc).c_str());
+    return false;
+  }
+  std::fprintf(stderr, "schema error at %s: bad \"type\" spec\n",
+               path.c_str());
+  return false;
+}
+
+bool check_enum(const Value& doc, const Value& options,
+                const std::string& path) {
+  for (const auto& option : options.array) {
+    if (option.is_string() && doc.is_string() && option.str == doc.str) {
+      return true;
+    }
+    if (option.is_number() && doc.is_number() && option.num == doc.num) {
+      return true;
+    }
+  }
+  std::fprintf(stderr, "%s: value not in enum\n", path.c_str());
+  return false;
+}
+
+bool validate(const Value& doc, const Value& schema,
+              const std::string& path) {
+  if (!schema.is_object()) {
+    std::fprintf(stderr, "schema error at %s: schema must be an object\n",
+                 path.c_str());
+    return false;
+  }
+  if (const Value* type = schema.find("type")) {
+    if (!check_type(doc, *type, path)) return false;
+  }
+  if (const Value* options = schema.find("enum")) {
+    if (!check_enum(doc, *options, path)) return false;
+  }
+  if (const Value* required = schema.find("required"); required != nullptr &&
+                                                       doc.is_object()) {
+    for (const auto& key : required->array) {
+      if (doc.find(key.str) == nullptr) {
+        std::fprintf(stderr, "%s: missing required key \"%s\"\n",
+                     path.c_str(), key.str.c_str());
+        return false;
+      }
+    }
+  }
+  if (const Value* props = schema.find("properties"); props != nullptr &&
+                                                      doc.is_object()) {
+    for (const auto& [key, sub] : props->object) {
+      if (const Value* child = doc.find(key)) {
+        if (!validate(*child, sub, path + "/" + key)) return false;
+      }
+    }
+  }
+  if (const Value* items = schema.find("items"); items != nullptr &&
+                                                 doc.is_array()) {
+    for (std::size_t i = 0; i < doc.array.size(); ++i) {
+      if (!validate(doc.array[i], *items,
+                    path + "/" + std::to_string(i))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <schema.json> <document.json> [...]\n", argv[0]);
+    return 2;
+  }
+  std::string text;
+  if (!read_file(argv[1], text)) return 2;
+  Value schema;
+  try {
+    schema = varpred::obs::json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], e.what());
+    return 2;
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (!read_file(argv[i], text)) return 1;
+    Value doc;
+    try {
+      doc = varpred::obs::json::parse(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+      return 1;
+    }
+    if (!validate(doc, schema, std::string(argv[i]) + "#")) return 1;
+    std::printf("%s: ok\n", argv[i]);
+  }
+  return 0;
+}

@@ -9,48 +9,48 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("abl_knn_metric", args);
-  run.stage("corpus");
-  const auto intel = bench::intel_corpus(args);
-  const auto amd = bench::amd_corpus(args);
-  run.stage("evaluate");
-  const core::EvalOptions options;
+  return bench::run_repeated("abl_knn_metric", args, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto intel = bench::intel_corpus(args);
+    const auto amd = bench::amd_corpus(args);
+    run.stage("evaluate");
+    const core::EvalOptions options;
 
-  const ml::Metric metrics[] = {ml::Metric::kCosine, ml::Metric::kEuclidean,
-                                ml::Metric::kManhattan};
+    const ml::Metric metrics[] = {ml::Metric::kCosine, ml::Metric::kEuclidean,
+                                  ml::Metric::kManhattan};
 
-  std::printf("=== Ablation A1: kNN distance metric (PearsonRnd, k = 15) "
-              "===\n\n");
-  auto table = bench::violin_table("use case", "metric");
-  for (const auto metric : metrics) {
-    auto factory = [metric]() -> std::unique_ptr<ml::Regressor> {
-      ml::KnnParams params;
-      params.k = 15;
-      params.metric = metric;
-      return std::make_unique<ml::KnnRegressor>(params);
-    };
-    core::FewRunsConfig uc1;
-    uc1.model_factory = factory;
-    bench::print_violin_row(table, "UC1 (few runs)", ml::to_string(metric),
-                            core::evaluate_few_runs(intel, uc1, options));
-    std::fflush(stdout);
-  }
-  for (const auto metric : metrics) {
-    auto factory = [metric]() -> std::unique_ptr<ml::Regressor> {
-      ml::KnnParams params;
-      params.k = 15;
-      params.metric = metric;
-      return std::make_unique<ml::KnnRegressor>(params);
-    };
-    core::CrossSystemConfig uc2;
-    uc2.model_factory = factory;
-    bench::print_violin_row(
-        table, "UC2 (AMD->Intel)", ml::to_string(metric),
-        core::evaluate_cross_system(amd, intel, uc2, options));
-    std::fflush(stdout);
-  }
-  std::printf("%s\n", table.render(2).c_str());
-  std::printf("Paper: cosine similarity outperformed Euclidean and other "
-              "metrics for profile feature vectors.\n");
-  return 0;
+    std::printf("=== Ablation A1: kNN distance metric (PearsonRnd, k = 15) "
+                "===\n\n");
+    auto table = bench::violin_table("use case", "metric");
+    for (const auto metric : metrics) {
+      auto factory = [metric]() -> std::unique_ptr<ml::Regressor> {
+        ml::KnnParams params;
+        params.k = 15;
+        params.metric = metric;
+        return std::make_unique<ml::KnnRegressor>(params);
+      };
+      core::FewRunsConfig uc1;
+      uc1.model_factory = factory;
+      bench::print_violin_row(table, "UC1 (few runs)", ml::to_string(metric),
+                              core::evaluate_few_runs(intel, uc1, options));
+      std::fflush(stdout);
+    }
+    for (const auto metric : metrics) {
+      auto factory = [metric]() -> std::unique_ptr<ml::Regressor> {
+        ml::KnnParams params;
+        params.k = 15;
+        params.metric = metric;
+        return std::make_unique<ml::KnnRegressor>(params);
+      };
+      core::CrossSystemConfig uc2;
+      uc2.model_factory = factory;
+      bench::print_violin_row(
+          table, "UC2 (AMD->Intel)", ml::to_string(metric),
+          core::evaluate_cross_system(amd, intel, uc2, options));
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", table.render(2).c_str());
+    std::printf("Paper: cosine similarity outperformed Euclidean and other "
+                "metrics for profile feature vectors.\n");
+  });
 }

@@ -11,43 +11,43 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("abl_profile_moments", args);
-  run.stage("corpus");
-  const auto intel = bench::intel_corpus(args);
-  run.stage("evaluate");
-  const core::EvalOptions options;
+  return bench::run_repeated("abl_profile_moments", args, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto intel = bench::intel_corpus(args);
+    run.stage("evaluate");
+    const core::EvalOptions options;
 
-  std::printf("=== Ablation A2a: profile features (PearsonRnd + kNN, 10 "
-              "runs) ===\n\n");
-  auto table = bench::violin_table("profile", "model");
-  {
-    core::FewRunsConfig mean_only;
-    mean_only.profile.include_higher_moments = false;
-    bench::print_violin_row(table, "means only", "kNN",
-                            core::evaluate_few_runs(intel, mean_only,
-                                                    options));
-    core::FewRunsConfig full;
-    bench::print_violin_row(table, "mean+sd+skew+kurt", "kNN",
-                            core::evaluate_few_runs(intel, full, options));
-  }
-  std::printf("%s\n", table.render(2).c_str());
+    std::printf("=== Ablation A2a: profile features (PearsonRnd + kNN, 10 "
+                "runs) ===\n\n");
+    auto table = bench::violin_table("profile", "model");
+    {
+      core::FewRunsConfig mean_only;
+      mean_only.profile.include_higher_moments = false;
+      bench::print_violin_row(table, "means only", "kNN",
+                              core::evaluate_few_runs(intel, mean_only,
+                                                      options));
+      core::FewRunsConfig full;
+      bench::print_violin_row(table, "mean+sd+skew+kurt", "kNN",
+                              core::evaluate_few_runs(intel, full, options));
+    }
+    std::printf("%s\n", table.render(2).c_str());
 
-  std::printf("=== Ablation A2b: neighbor count k (PearsonRnd, full "
-              "profile) ===\n\n");
-  auto ktable = bench::violin_table("k", "model");
-  for (const std::size_t k : {1, 5, 10, 15, 25, 40}) {
-    core::FewRunsConfig config;
-    config.model_factory = [k]() -> std::unique_ptr<ml::Regressor> {
-      ml::KnnParams params;
-      params.k = k;
-      return std::make_unique<ml::KnnRegressor>(params);
-    };
-    bench::print_violin_row(ktable, std::to_string(k), "kNN",
-                            core::evaluate_few_runs(intel, config, options));
-    std::fflush(stdout);
-  }
-  std::printf("%s\n", ktable.render(2).c_str());
-  std::printf("Paper: the four-moment profile is the configuration used "
-              "throughout; k is fixed at 15.\n");
-  return 0;
+    std::printf("=== Ablation A2b: neighbor count k (PearsonRnd, full "
+                "profile) ===\n\n");
+    auto ktable = bench::violin_table("k", "model");
+    for (const std::size_t k : {1, 5, 10, 15, 25, 40}) {
+      core::FewRunsConfig config;
+      config.model_factory = [k]() -> std::unique_ptr<ml::Regressor> {
+        ml::KnnParams params;
+        params.k = k;
+        return std::make_unique<ml::KnnRegressor>(params);
+      };
+      bench::print_violin_row(ktable, std::to_string(k), "kNN",
+                              core::evaluate_few_runs(intel, config, options));
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", ktable.render(2).c_str());
+    std::printf("Paper: the four-moment profile is the configuration used "
+                "throughout; k is fixed at 15.\n");
+  });
 }

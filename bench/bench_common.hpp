@@ -7,6 +7,7 @@
 // trajectory accumulates as machine-readable history.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/text.hpp"
@@ -21,6 +23,13 @@
 #include "core/varpred.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "stats/moments.hpp"
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define VARPRED_BENCH_HAVE_FD_SILENCER 1
+#endif
 
 // Injected by bench/CMakeLists.txt from `git describe --always --dirty` at
 // configure time; "unknown" outside a git checkout.
@@ -38,11 +47,26 @@ inline constexpr std::uint64_t kCorpusSeed = 7;
 struct HarnessArgs {
   std::size_t runs = kRuns;
   bool fast = false;  ///< --fast: smaller corpora / fewer cells for smoke use
+  /// --repeat=N: time the whole harness body N times so every stage emits a
+  /// wall-time *sample distribution* instead of a point estimate (the raw
+  /// material for tools/bench_diff). Stage prints repeat only on the first
+  /// pass; telemetry aggregates all N.
+  std::size_t repeat = 1;
   /// --obs=off|summary|trace; overrides the VARPRED_OBS environment
   /// variable when present.
   std::optional<obs::Mode> obs_mode;
   /// --obs-out=<path>: telemetry JSON path (default BENCH_<name>.json).
   std::string obs_out;
+
+  /// Strict positive-integer flag value: rejects empty, non-numeric, and
+  /// trailing-garbage values (e.g. --repeat=bogus) instead of reading 0.
+  static bool parse_count(const char* text, std::size_t& out) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || v == 0) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  }
 
   /// Handles one argv entry if it is a flag this parser owns. Shared by
   /// parse() and the google-benchmark harness (which must pass everything
@@ -52,7 +76,9 @@ struct HarnessArgs {
       fast = true;
       runs = 300;
     } else if (std::strncmp(arg, "--runs=", 7) == 0) {
-      runs = static_cast<std::size_t>(std::strtoul(arg + 7, nullptr, 10));
+      if (!parse_count(arg + 7, runs)) return false;
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      if (!parse_count(arg + 9, repeat)) return false;
     } else if (std::strncmp(arg, "--obs=", 6) == 0) {
       obs::Mode mode;
       if (!obs::parse_mode(arg + 6, mode)) return false;
@@ -70,7 +96,7 @@ struct HarnessArgs {
     for (int i = 1; i < argc; ++i) {
       if (!args.consume(argv[i])) {
         std::fprintf(stderr,
-                     "usage: %s [--fast] [--runs=N] "
+                     "usage: %s [--fast] [--runs=N] [--repeat=N] "
                      "[--obs=off|summary|trace] [--obs-out=PATH]\n",
                      argv[0]);
         std::exit(2);
@@ -130,21 +156,31 @@ inline void print_pool_stats(const char* tag) {
 
 /// Per-run telemetry harness. Construct it first thing in main(): it
 /// applies the --obs override, prints a reproducibility header (name, seed,
-/// corpus size, worker count, obs mode, git describe — enough to rerun the
-/// binary from a log alone), and starts a fresh pool-stats epoch. Mark
-/// stage boundaries with stage("name"); the destructor closes the last
-/// stage and writes BENCH_<name>.json (plus BENCH_<name>.trace.json in
-/// trace mode).
+/// corpus size, worker count, obs mode, git describe, hostname, wall-clock
+/// timestamp — enough to rerun the binary from a log alone), and starts a
+/// fresh pool-stats epoch. Mark stage boundaries with stage("name"); under
+/// --repeat=N the harness body runs N times (see run_repeated) and each
+/// stage accumulates one wall-time sample per repetition. The destructor
+/// closes the last stage and writes BENCH_<name>.json — telemetry schema
+/// v2: per-stage sample vectors plus streaming moments — (and
+/// BENCH_<name>.trace.json in trace mode).
 class Run {
  public:
   Run(std::string name, const HarnessArgs& args,
       std::uint64_t seed = kCorpusSeed)
-      : name_(std::move(name)), args_(args), seed_(seed) {
+      : name_(std::move(name)),
+        args_(args),
+        seed_(seed),
+        hostname_(obs::hostname()),
+        timestamp_(obs::iso8601_utc_now()) {
     if (args_.obs_mode) obs::set_mode(*args_.obs_mode);
-    std::printf("[bench] %s seed=%llu runs=%zu workers=%zu obs=%s git=%s\n",
-                name_.c_str(), static_cast<unsigned long long>(seed_),
-                args_.runs, ThreadPool::global().worker_count(),
-                obs::to_string(obs::mode()), VARPRED_GIT_DESCRIBE);
+    std::printf(
+        "[bench] %s seed=%llu runs=%zu repeat=%zu workers=%zu obs=%s "
+        "git=%s host=%s time=%s\n",
+        name_.c_str(), static_cast<unsigned long long>(seed_), args_.runs,
+        args_.repeat, ThreadPool::global().worker_count(),
+        obs::to_string(obs::mode()), VARPRED_GIT_DESCRIBE, hostname_.c_str(),
+        timestamp_.c_str());
     ThreadPool::global().reset_stats();
     start_ = clock::now();
     stage_start_ = start_;
@@ -153,12 +189,19 @@ class Run {
   Run(const Run&) = delete;
   Run& operator=(const Run&) = delete;
 
-  /// Closes the current stage (if any) and opens a new one.
+  std::size_t repeat() const { return args_.repeat; }
+
+  /// Closes the current stage (if any) and opens a new one. Calling
+  /// stage("x") again on a later repetition appends another sample to x.
   void stage(const char* name) {
     close_stage();
     current_stage_ = name;
     stage_start_ = clock::now();
   }
+
+  /// Repetition boundary (run_repeated calls this before every pass):
+  /// closes the open stage so its sample lands in the finished repetition.
+  void begin_repetition() { close_stage(); }
 
   ~Run() {
     close_stage();
@@ -190,6 +233,12 @@ class Run {
  private:
   using clock = std::chrono::steady_clock;
 
+  /// Samples for one stage name, in arrival (repetition) order.
+  struct StageAgg {
+    std::string name;
+    std::vector<double> samples;
+  };
+
   static double seconds_since(clock::time_point t0) {
     return std::chrono::duration<double>(clock::now() - t0).count();
   }
@@ -206,25 +255,64 @@ class Run {
 
   void close_stage() {
     if (current_stage_ == nullptr) return;
-    stages_.emplace_back(current_stage_, seconds_since(stage_start_));
+    const double secs = seconds_since(stage_start_);
+    StageAgg* agg = nullptr;
+    for (StageAgg& s : stages_) {
+      if (s.name == current_stage_) {
+        agg = &s;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      stages_.push_back(StageAgg{current_stage_, {}});
+      agg = &stages_.back();
+    }
+    agg->samples.push_back(secs);
     current_stage_ = nullptr;
   }
 
   void write_json(std::ofstream& out, double wall, const PoolStats& pool) {
     namespace json = obs::json;
-    out << "{\"bench\":\"" << json::escape(name_) << "\""
+    out << "{\"schema_version\":2"
+        << ",\"bench\":\"" << json::escape(name_) << "\""
         << ",\"git\":\"" << json::escape(VARPRED_GIT_DESCRIBE) << "\""
+        << ",\"hostname\":\"" << json::escape(hostname_) << "\""
+        << ",\"timestamp\":\"" << json::escape(timestamp_) << "\""
         << ",\"seed\":" << seed_ << ",\"runs\":" << args_.runs
+        << ",\"repeat\":" << args_.repeat
         << ",\"fast\":" << (args_.fast ? "true" : "false")
         << ",\"workers\":" << ThreadPool::global().worker_count()
         << ",\"obs_mode\":\"" << obs::to_string(obs::mode()) << "\""
         << ",\"wall_seconds\":" << json::number(wall) << ",\"stages\":[";
     bool first = true;
-    for (const auto& [name, secs] : stages_) {
+    for (const StageAgg& stage : stages_) {
       if (!first) out << ",";
       first = false;
-      out << "{\"name\":\"" << json::escape(name)
-          << "\",\"seconds\":" << json::number(secs) << "}";
+      // Streaming moments + extremes alongside the raw sample vector:
+      // "seconds" keeps the v1 meaning (total over all repetitions).
+      stats::MomentAccumulator acc;
+      double total = 0.0;
+      double min = stage.samples.front();
+      double max = stage.samples.front();
+      for (const double s : stage.samples) {
+        acc.add(s);
+        total += s;
+        min = std::min(min, s);
+        max = std::max(max, s);
+      }
+      const stats::Moments m = acc.moments();
+      out << "{\"name\":\"" << json::escape(stage.name)
+          << "\",\"seconds\":" << json::number(total) << ",\"samples\":[";
+      bool first_sample = true;
+      for (const double s : stage.samples) {
+        if (!first_sample) out << ",";
+        first_sample = false;
+        out << json::number(s);
+      }
+      out << "],\"mean\":" << json::number(m.mean)
+          << ",\"stddev\":" << json::number(m.stddev)
+          << ",\"min\":" << json::number(min)
+          << ",\"max\":" << json::number(max) << "}";
     }
     out << "],\"pool\":{"
         << "\"spans\":" << pool.jobs << ",\"chunks\":" << pool.chunks
@@ -246,10 +334,72 @@ class Run {
   std::string name_;
   HarnessArgs args_;
   std::uint64_t seed_;
+  std::string hostname_;
+  std::string timestamp_;
   clock::time_point start_;
   clock::time_point stage_start_;
   const char* current_stage_ = nullptr;
-  std::vector<std::pair<std::string, double>> stages_;
+  std::vector<StageAgg> stages_;
 };
+
+/// Redirects fd 1 to /dev/null between silence() and restore() so repeated
+/// harness passes don't print the same tables N times. Covers printf and
+/// C++ streams alike; a no-op on platforms without dup2.
+class StdoutSilencer {
+ public:
+  StdoutSilencer() = default;
+  ~StdoutSilencer() { restore(); }
+  StdoutSilencer(const StdoutSilencer&) = delete;
+  StdoutSilencer& operator=(const StdoutSilencer&) = delete;
+
+  void silence() {
+#if VARPRED_BENCH_HAVE_FD_SILENCER
+    if (saved_fd_ != -1) return;
+    std::fflush(stdout);
+    saved_fd_ = ::dup(1);
+    if (saved_fd_ == -1) return;
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull == -1) {
+      ::close(saved_fd_);
+      saved_fd_ = -1;
+      return;
+    }
+    ::dup2(devnull, 1);
+    ::close(devnull);
+#endif
+  }
+
+  void restore() {
+#if VARPRED_BENCH_HAVE_FD_SILENCER
+    if (saved_fd_ == -1) return;
+    std::fflush(stdout);
+    ::dup2(saved_fd_, 1);
+    ::close(saved_fd_);
+    saved_fd_ = -1;
+#endif
+  }
+
+ private:
+  int saved_fd_ = -1;
+};
+
+/// Runs a harness body under a bench::Run, honoring --repeat=N: the body
+/// executes N times against the same Run, so every run.stage("x") call
+/// contributes one wall-time sample per repetition to stage x. The first
+/// pass prints normally; later passes are silenced (they exist to be
+/// timed, not read). Telemetry is written once, after the last pass.
+template <typename Body>
+int run_repeated(std::string name, const HarnessArgs& args, Body&& body) {
+  Run run(std::move(name), args);
+  {
+    StdoutSilencer silencer;
+    for (std::size_t rep = 0; rep < run.repeat(); ++rep) {
+      if (rep == 1) silencer.silence();
+      run.begin_repetition();
+      body(run);
+    }
+  }  // stdout restored before ~Run prints the telemetry path
+  return 0;
+}
 
 }  // namespace varpred::bench

@@ -8,38 +8,38 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("ext_reprs_models", args);
-  run.stage("corpus");
-  const auto corpus = bench::intel_corpus(args);
-  run.stage("evaluate");
-  const core::EvalOptions options;
+  return bench::run_repeated("ext_reprs_models", args, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto corpus = bench::intel_corpus(args);
+    run.stage("evaluate");
+    const core::EvalOptions options;
 
-  std::printf("=== Extension E2: representations x models beyond the paper "
-              "(use case 1, Intel, 10 runs) ===\n\n");
-  auto table = bench::violin_table("representation", "model");
+    std::printf("=== Extension E2: representations x models beyond the paper "
+                "(use case 1, Intel, 10 runs) ===\n\n");
+    auto table = bench::violin_table("representation", "model");
 
-  // Quantile representation across the paper's models.
-  for (const auto model : core::all_model_kinds()) {
-    core::FewRunsConfig config;
-    config.repr = core::ReprKind::kQuantile;
-    config.model = model;
-    bench::print_violin_row(table, "Quantile", core::to_string(model),
-                            core::evaluate_few_runs(corpus, config, options));
-    std::fflush(stdout);
-  }
-  // Ridge baseline across all four representations.
-  for (const auto repr : core::extended_repr_kinds()) {
-    core::FewRunsConfig config;
-    config.repr = repr;
-    config.model = core::ModelKind::kRidge;
-    bench::print_violin_row(table, core::to_string(repr), "Ridge",
-                            core::evaluate_few_runs(corpus, config, options));
-    std::fflush(stdout);
-  }
-  std::printf("%s\n", table.render(2).c_str());
-  std::printf("Reading: if Ridge lands close to the nonlinear models, most "
-              "of the achievable accuracy comes from coarse,\nnear-linear "
-              "structure in the profiles -- consistent with the small "
-              "model-to-model gaps in the paper's Figs. 4/7.\n");
-  return 0;
+    // Quantile representation across the paper's models.
+    for (const auto model : core::all_model_kinds()) {
+      core::FewRunsConfig config;
+      config.repr = core::ReprKind::kQuantile;
+      config.model = model;
+      bench::print_violin_row(table, "Quantile", core::to_string(model),
+                              core::evaluate_few_runs(corpus, config, options));
+      std::fflush(stdout);
+    }
+    // Ridge baseline across all four representations.
+    for (const auto repr : core::extended_repr_kinds()) {
+      core::FewRunsConfig config;
+      config.repr = repr;
+      config.model = core::ModelKind::kRidge;
+      bench::print_violin_row(table, core::to_string(repr), "Ridge",
+                              core::evaluate_few_runs(corpus, config, options));
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", table.render(2).c_str());
+    std::printf("Reading: if Ridge lands close to the nonlinear models, most "
+                "of the achievable accuracy comes from coarse,\nnear-linear "
+                "structure in the profiles -- consistent with the small "
+                "model-to-model gaps in the paper's Figs. 4/7.\n");
+  });
 }

@@ -9,39 +9,39 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("ext_three_systems", args);
+  return bench::run_repeated("ext_three_systems", args, [&](bench::Run& run) {
 
-  std::printf("=== Extension E1: system-to-system prediction across three "
-              "systems (PearsonRnd + kNN) ===\n\n");
+    std::printf("=== Extension E1: system-to-system prediction across three "
+                "systems (PearsonRnd + kNN) ===\n\n");
 
-  run.stage("corpus");
-  std::vector<measure::Corpus> corpora;
-  for (const auto* system : measure::SystemModel::all_systems()) {
-    corpora.push_back(
-        measure::build_corpus(*system, args.runs, bench::kCorpusSeed));
-  }
-
-  run.stage("evaluate");
-  const core::CrossSystemConfig config;
-  const core::EvalOptions options;
-  auto table = bench::violin_table("direction", "model");
-  for (std::size_t s = 0; s < corpora.size(); ++s) {
-    for (std::size_t t = 0; t < corpora.size(); ++t) {
-      if (s == t) continue;
-      const auto result =
-          core::evaluate_cross_system(corpora[s], corpora[t], config,
-                                      options);
-      bench::print_violin_row(
-          table,
-          corpora[s].system->name() + " -> " + corpora[t].system->name(),
-          "kNN", result);
-      std::fflush(stdout);
+    run.stage("corpus");
+    std::vector<measure::Corpus> corpora;
+    for (const auto* system : measure::SystemModel::all_systems()) {
+      corpora.push_back(
+          measure::build_corpus(*system, args.runs, bench::kCorpusSeed));
     }
-  }
-  std::printf("%s\n", table.render(2).c_str());
-  std::printf("The paper's conjecture: the method generalizes beyond the "
-              "two evaluated machines. All six directions should\nstay far "
-              "below the uninformed baseline (KS ~0.8), with predictions "
-              "toward tamer machines somewhat easier.\n");
-  return 0;
+
+    run.stage("evaluate");
+    const core::CrossSystemConfig config;
+    const core::EvalOptions options;
+    auto table = bench::violin_table("direction", "model");
+    for (std::size_t s = 0; s < corpora.size(); ++s) {
+      for (std::size_t t = 0; t < corpora.size(); ++t) {
+        if (s == t) continue;
+        const auto result =
+            core::evaluate_cross_system(corpora[s], corpora[t], config,
+                                        options);
+        bench::print_violin_row(
+            table,
+            corpora[s].system->name() + " -> " + corpora[t].system->name(),
+            "kNN", result);
+        std::fflush(stdout);
+      }
+    }
+    std::printf("%s\n", table.render(2).c_str());
+    std::printf("The paper's conjecture: the method generalizes beyond the "
+                "two evaluated machines. All six directions should\nstay far "
+                "below the uninformed baseline (KS ~0.8), with predictions "
+                "toward tamer machines somewhat easier.\n");
+  });
 }

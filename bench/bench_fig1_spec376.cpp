@@ -8,61 +8,61 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("fig1_spec376", args);
-  run.stage("corpus");
-  const auto corpus = bench::intel_corpus(args);
-  run.stage("plots");
-  const std::size_t bench_idx = measure::benchmark_index("specomp/376");
-  const auto& runs = corpus.benchmarks[bench_idx];
-  const auto measured = runs.relative_times();
+  return bench::run_repeated("fig1_spec376", args, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto corpus = bench::intel_corpus(args);
+    run.stage("plots");
+    const std::size_t bench_idx = measure::benchmark_index("specomp/376");
+    const auto& runs = corpus.benchmarks[bench_idx];
+    const auto measured = runs.relative_times();
 
-  double lo;
-  double hi;
-  io::plot_range(measured, measured, lo, hi);
+    double lo;
+    double hi;
+    io::plot_range(measured, measured, lo, hi);
 
-  std::printf("=== Fig. 1: SPEC OMP 376 on the Intel system ===\n\n");
+    std::printf("=== Fig. 1: SPEC OMP 376 on the Intel system ===\n\n");
 
-  const auto truth_moments = stats::compute_moments(measured);
-  std::printf("(a) measured distribution, %zu runs   mean(rel)=%.3f sd=%.4f "
-              "skew=%+.2f kurt=%.2f\n",
-              measured.size(), truth_moments.mean, truth_moments.stddev,
-              truth_moments.skewness, truth_moments.kurtosis);
-  std::printf("%s\n", io::density_plot(measured, lo, hi).c_str());
+    const auto truth_moments = stats::compute_moments(measured);
+    std::printf("(a) measured distribution, %zu runs   mean(rel)=%.3f sd=%.4f "
+                "skew=%+.2f kurt=%.2f\n",
+                measured.size(), truth_moments.mean, truth_moments.stddev,
+                truth_moments.skewness, truth_moments.kurtosis);
+    std::printf("%s\n", io::density_plot(measured, lo, hi).c_str());
 
-  const char* labels[] = {"(b)", "(c)", "(d)", "(e)"};
-  const std::size_t few_counts[] = {2, 3, 5, 10};
-  Rng pick_rng(1234);
-  for (std::size_t i = 0; i < 4; ++i) {
-    const auto idx =
-        core::choose_run_indices(runs.run_count(), few_counts[i], pick_rng);
-    std::vector<double> few;
-    for (const auto r : idx) few.push_back(runs.runtimes[r]);
-    const double mean = stats::mean(few);
-    for (auto& v : few) v /= mean;
-    const double ks = stats::ks_statistic(measured, few);
-    std::printf("%s measured from %zu samples            KS vs truth = %.3f\n",
-                labels[i], few_counts[i], ks);
-    std::printf("%s\n", io::density_plot(few, lo, hi).c_str());
-  }
+    const char* labels[] = {"(b)", "(c)", "(d)", "(e)"};
+    const std::size_t few_counts[] = {2, 3, 5, 10};
+    Rng pick_rng(1234);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto idx =
+          core::choose_run_indices(runs.run_count(), few_counts[i], pick_rng);
+      std::vector<double> few;
+      for (const auto r : idx) few.push_back(runs.runtimes[r]);
+      const double mean = stats::mean(few);
+      for (auto& v : few) v /= mean;
+      const double ks = stats::ks_statistic(measured, few);
+      std::printf("%s measured from %zu samples            KS vs truth = %.3f\n",
+                  labels[i], few_counts[i], ks);
+      std::printf("%s\n", io::density_plot(few, lo, hi).c_str());
+    }
 
-  // (f): use case 1 prediction from 10 runs, leave-376-out.
-  run.stage("predict");
-  core::FewRunsConfig config;  // PearsonRnd + kNN, 10 probe runs
-  core::EvalOptions options;
-  const auto predicted =
-      core::predict_held_out_few_runs(corpus, bench_idx, config, options);
-  const double ks = stats::ks_statistic(measured, predicted);
-  const auto pred_moments = stats::compute_moments(predicted);
-  std::printf("(f) PREDICTED from 10 runs (PearsonRnd + kNN)   KS = %.3f   "
-              "sd=%.4f skew=%+.2f kurt=%.2f\n",
-              ks, pred_moments.stddev, pred_moments.skewness,
-              pred_moments.kurtosis);
-  std::printf("%s\n",
-              io::density_overlay(measured, predicted, lo, hi).c_str());
+    // (f): use case 1 prediction from 10 runs, leave-376-out.
+    run.stage("predict");
+    core::FewRunsConfig config;  // PearsonRnd + kNN, 10 probe runs
+    core::EvalOptions options;
+    const auto predicted =
+        core::predict_held_out_few_runs(corpus, bench_idx, config, options);
+    const double ks = stats::ks_statistic(measured, predicted);
+    const auto pred_moments = stats::compute_moments(predicted);
+    std::printf("(f) PREDICTED from 10 runs (PearsonRnd + kNN)   KS = %.3f   "
+                "sd=%.4f skew=%+.2f kurt=%.2f\n",
+                ks, pred_moments.stddev, pred_moments.skewness,
+                pred_moments.kurtosis);
+    std::printf("%s\n",
+                io::density_overlay(measured, predicted, lo, hi).c_str());
 
-  std::printf("Paper: the measured distribution is bimodal with the larger "
-              "mode faster; small samples miss the\nstructure entirely, "
-              "while the prediction recovers the mode count and their "
-              "relative locations/sizes.\n");
-  return 0;
+    std::printf("Paper: the measured distribution is bimodal with the larger "
+                "mode faster; small samples miss the\nstructure entirely, "
+                "while the prediction recovers the mode count and their "
+                "relative locations/sizes.\n");
+  });
 }

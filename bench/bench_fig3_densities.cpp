@@ -6,37 +6,37 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("fig3_densities", args);
-  run.stage("corpus");
-  const auto corpus = bench::intel_corpus(args);
-  run.stage("render");
+  return bench::run_repeated("fig3_densities", args, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto corpus = bench::intel_corpus(args);
+    run.stage("render");
 
-  std::printf("=== Fig. 3: relative-time densities, all benchmarks, Intel "
-              "system (%zu runs each) ===\n\n", args.runs);
-  io::TextTable table({"benchmark", "density(0.9..1.2 rel time)", "sd",
-                       "skew", "kurt", "modes"});
-  std::size_t narrow = 0;
-  std::size_t multi = 0;
-  std::size_t tailed = 0;
-  for (const auto& runs : corpus.benchmarks) {
-    const auto rel = runs.relative_times();
-    const auto m = stats::compute_moments(rel);
-    const auto mixture = corpus.system->runtime_distribution(
-        measure::benchmark_table()[runs.benchmark]);
-    const std::size_t modes = mixture.components().size();
-    narrow += (m.stddev < 0.004);
-    multi += (modes >= 2);
-    tailed += (m.skewness > 1.0);
-    table.add_row({measure::benchmark_table()[runs.benchmark].full_name(),
-                   stats::density_sparkline(rel, 0.9, 1.2, 36),
-                   format_fixed(m.stddev, 4), format_fixed(m.skewness, 2),
-                   format_fixed(m.kurtosis, 2), std::to_string(modes)});
-  }
-  std::printf("%s\n", table.render(2).c_str());
-  std::printf("shape diversity: %zu very narrow (sd < 0.004), %zu "
-              "multi-component, %zu long right tail (skew > 1)\n",
-              narrow, multi, tailed);
-  std::printf("\nPaper: the diversity of shapes -- narrow, wide, skewed, "
-              "multimodal -- shows why scalar summaries are inadequate.\n");
-  return 0;
+    std::printf("=== Fig. 3: relative-time densities, all benchmarks, Intel "
+                "system (%zu runs each) ===\n\n", args.runs);
+    io::TextTable table({"benchmark", "density(0.9..1.2 rel time)", "sd",
+                         "skew", "kurt", "modes"});
+    std::size_t narrow = 0;
+    std::size_t multi = 0;
+    std::size_t tailed = 0;
+    for (const auto& runs : corpus.benchmarks) {
+      const auto rel = runs.relative_times();
+      const auto m = stats::compute_moments(rel);
+      const auto mixture = corpus.system->runtime_distribution(
+          measure::benchmark_table()[runs.benchmark]);
+      const std::size_t modes = mixture.components().size();
+      narrow += (m.stddev < 0.004);
+      multi += (modes >= 2);
+      tailed += (m.skewness > 1.0);
+      table.add_row({measure::benchmark_table()[runs.benchmark].full_name(),
+                     stats::density_sparkline(rel, 0.9, 1.2, 36),
+                     format_fixed(m.stddev, 4), format_fixed(m.skewness, 2),
+                     format_fixed(m.kurtosis, 2), std::to_string(modes)});
+    }
+    std::printf("%s\n", table.render(2).c_str());
+    std::printf("shape diversity: %zu very narrow (sd < 0.004), %zu "
+                "multi-component, %zu long right tail (skew > 1)\n",
+                narrow, multi, tailed);
+    std::printf("\nPaper: the diversity of shapes -- narrow, wide, skewed, "
+                "multimodal -- shows why scalar summaries are inadequate.\n");
+  });
 }

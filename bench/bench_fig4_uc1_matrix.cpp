@@ -11,38 +11,38 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("fig4_uc1_matrix", args);
-  run.stage("corpus");
-  const auto corpus = bench::intel_corpus(args);
-  run.stage("evaluate");
-  const core::EvalOptions options;
+  return bench::run_repeated("fig4_uc1_matrix", args, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto corpus = bench::intel_corpus(args);
+    run.stage("evaluate");
+    const core::EvalOptions options;
 
-  std::printf("=== Fig. 4: use case 1 -- KS by representation x model "
-              "(Intel, 10 runs) ===\n\n");
-  auto table = bench::violin_table("representation", "model");
+    std::printf("=== Fig. 4: use case 1 -- KS by representation x model "
+                "(Intel, 10 runs) ===\n\n");
+    auto table = bench::violin_table("representation", "model");
 
-  double best_mean = 1.0;
-  std::string best_cell;
-  for (const auto repr : core::all_repr_kinds()) {
-    for (const auto model : core::all_model_kinds()) {
-      core::FewRunsConfig config;
-      config.repr = repr;
-      config.model = model;
-      const auto result = core::evaluate_few_runs(corpus, config, options);
-      bench::print_violin_row(table, core::to_string(repr),
-                              core::to_string(model), result);
-      if (result.mean_ks() < best_mean) {
-        best_mean = result.mean_ks();
-        best_cell = core::to_string(repr) + " + " + core::to_string(model);
+    double best_mean = 1.0;
+    std::string best_cell;
+    for (const auto repr : core::all_repr_kinds()) {
+      for (const auto model : core::all_model_kinds()) {
+        core::FewRunsConfig config;
+        config.repr = repr;
+        config.model = model;
+        const auto result = core::evaluate_few_runs(corpus, config, options);
+        bench::print_violin_row(table, core::to_string(repr),
+                                core::to_string(model), result);
+        if (result.mean_ks() < best_mean) {
+          best_mean = result.mean_ks();
+          best_cell = core::to_string(repr) + " + " + core::to_string(model);
+        }
+        std::printf("%s", table.row_count() == 1 ? "" : "");
+        std::fflush(stdout);
       }
-      std::printf("%s", table.row_count() == 1 ? "" : "");
-      std::fflush(stdout);
     }
-  }
-  std::printf("%s\n", table.render(2).c_str());
-  std::printf("best cell: %s (mean KS %.3f)\n", best_cell.c_str(), best_mean);
-  std::printf("\nPaper: PearsonRnd + kNN wins (0.241), Histogram 0.278, "
-              "PyMaxEnt 0.302; kNN 0.241 vs XGBoost 0.247 / RF 0.248.\n");
-  bench::print_pool_stats("fig4 matrix");
-  return 0;
+    std::printf("%s\n", table.render(2).c_str());
+    std::printf("best cell: %s (mean KS %.3f)\n", best_cell.c_str(), best_mean);
+    std::printf("\nPaper: PearsonRnd + kNN wins (0.241), Histogram 0.278, "
+                "PyMaxEnt 0.302; kNN 0.241 vs XGBoost 0.247 / RF 0.248.\n");
+    bench::print_pool_stats("fig4 matrix");
+  });
 }

@@ -11,40 +11,40 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("fig6_samples_sweep", args);
-  run.stage("corpus");
-  const auto corpus = bench::intel_corpus(args);
-  run.stage("sweep");
+  return bench::run_repeated("fig6_samples_sweep", args, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto corpus = bench::intel_corpus(args);
+    run.stage("sweep");
 
-  const std::size_t counts[] = {1, 2, 3, 5, 10, 20, 50, 100};
-  const std::uint64_t seeds[] = {4242, 777, 31337, 90210, 1};
-  const std::size_t n_seeds = args.fast ? 2 : 5;
+    const std::size_t counts[] = {1, 2, 3, 5, 10, 20, 50, 100};
+    const std::uint64_t seeds[] = {4242, 777, 31337, 90210, 1};
+    const std::size_t n_seeds = args.fast ? 2 : 5;
 
-  std::printf("=== Fig. 6: KS vs number of probe runs (PearsonRnd + kNN, "
-              "Intel, %zu seed repetitions) ===\n\n", n_seeds);
-  io::TextTable table({"samples", "meanKS", "median", "q1", "q3",
-                       "violin(0..0.8)"});
-  for (const std::size_t n : counts) {
-    std::vector<double> all_ks;
-    for (std::size_t s = 0; s < n_seeds; ++s) {
-      core::FewRunsConfig config;
-      config.n_probe_runs = n;
-      config.seed = 1000 + seeds[s];
-      core::EvalOptions options;
-      options.seed = seeds[s];
-      const auto result = core::evaluate_few_runs(corpus, config, options);
-      all_ks.insert(all_ks.end(), result.ks.begin(), result.ks.end());
+    std::printf("=== Fig. 6: KS vs number of probe runs (PearsonRnd + kNN, "
+                "Intel, %zu seed repetitions) ===\n\n", n_seeds);
+    io::TextTable table({"samples", "meanKS", "median", "q1", "q3",
+                         "violin(0..0.8)"});
+    for (const std::size_t n : counts) {
+      std::vector<double> all_ks;
+      for (std::size_t s = 0; s < n_seeds; ++s) {
+        core::FewRunsConfig config;
+        config.n_probe_runs = n;
+        config.seed = 1000 + seeds[s];
+        core::EvalOptions options;
+        options.seed = seeds[s];
+        const auto result = core::evaluate_few_runs(corpus, config, options);
+        all_ks.insert(all_ks.end(), result.ks.begin(), result.ks.end());
+      }
+      const auto s = stats::ViolinSummary::from(all_ks);
+      table.add_row({std::to_string(n), format_fixed(s.mean, 3),
+                     format_fixed(s.median, 3), format_fixed(s.q1, 3),
+                     format_fixed(s.q3, 3),
+                     stats::density_sparkline(all_ks, 0.0, 0.8, 24)});
+      std::fflush(stdout);
     }
-    const auto s = stats::ViolinSummary::from(all_ks);
-    table.add_row({std::to_string(n), format_fixed(s.mean, 3),
-                   format_fixed(s.median, 3), format_fixed(s.q1, 3),
-                   format_fixed(s.q3, 3),
-                   stats::density_sparkline(all_ks, 0.0, 0.8, 24)});
-    std::fflush(stdout);
-  }
-  std::printf("%s\n", table.render(2).c_str());
-  std::printf("Paper: significant improvement from 1 sample to several, "
-              "then steady improvement with more samples.\n");
-  bench::print_pool_stats("fig6 sweep");
-  return 0;
+    std::printf("%s\n", table.render(2).c_str());
+    std::printf("Paper: significant improvement from 1 sample to several, "
+                "then steady improvement with more samples.\n");
+    bench::print_pool_stats("fig6 sweep");
+  });
 }

@@ -9,38 +9,38 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("fig7_uc2_matrix", args);
-  run.stage("corpus");
-  const auto intel = bench::intel_corpus(args);
-  const auto amd = bench::amd_corpus(args);
-  run.stage("evaluate");
-  const core::EvalOptions options;
+  return bench::run_repeated("fig7_uc2_matrix", args, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto intel = bench::intel_corpus(args);
+    const auto amd = bench::amd_corpus(args);
+    run.stage("evaluate");
+    const core::EvalOptions options;
 
-  std::printf("=== Fig. 7: use case 2 -- KS by representation x model "
-              "(AMD -> Intel) ===\n\n");
-  auto table = bench::violin_table("representation", "model");
-  double best_mean = 1.0;
-  std::string best_cell;
-  for (const auto repr : core::all_repr_kinds()) {
-    for (const auto model : core::all_model_kinds()) {
-      core::CrossSystemConfig config;
-      config.repr = repr;
-      config.model = model;
-      const auto result =
-          core::evaluate_cross_system(amd, intel, config, options);
-      bench::print_violin_row(table, core::to_string(repr),
-                              core::to_string(model), result);
-      if (result.mean_ks() < best_mean) {
-        best_mean = result.mean_ks();
-        best_cell = core::to_string(repr) + " + " + core::to_string(model);
+    std::printf("=== Fig. 7: use case 2 -- KS by representation x model "
+                "(AMD -> Intel) ===\n\n");
+    auto table = bench::violin_table("representation", "model");
+    double best_mean = 1.0;
+    std::string best_cell;
+    for (const auto repr : core::all_repr_kinds()) {
+      for (const auto model : core::all_model_kinds()) {
+        core::CrossSystemConfig config;
+        config.repr = repr;
+        config.model = model;
+        const auto result =
+            core::evaluate_cross_system(amd, intel, config, options);
+        bench::print_violin_row(table, core::to_string(repr),
+                                core::to_string(model), result);
+        if (result.mean_ks() < best_mean) {
+          best_mean = result.mean_ks();
+          best_cell = core::to_string(repr) + " + " + core::to_string(model);
+        }
+        std::fflush(stdout);
       }
-      std::fflush(stdout);
     }
-  }
-  std::printf("%s\n", table.render(2).c_str());
-  std::printf("best cell: %s (mean KS %.3f)\n", best_cell.c_str(), best_mean);
-  std::printf("\nPaper: PearsonRnd + kNN wins (0.236); Histogram 0.264, "
-              "PyMaxEnt 0.277; kNN 0.236 vs RF 0.263 / XGBoost 0.291.\n");
-  bench::print_pool_stats("fig7 matrix");
-  return 0;
+    std::printf("%s\n", table.render(2).c_str());
+    std::printf("best cell: %s (mean KS %.3f)\n", best_cell.c_str(), best_mean);
+    std::printf("\nPaper: PearsonRnd + kNN wins (0.236); Histogram 0.264, "
+                "PyMaxEnt 0.277; kNN 0.236 vs RF 0.263 / XGBoost 0.291.\n");
+    bench::print_pool_stats("fig7 matrix");
+  });
 }

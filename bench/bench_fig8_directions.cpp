@@ -9,28 +9,28 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("fig8_directions", args);
-  run.stage("corpus");
-  const auto intel = bench::intel_corpus(args);
-  const auto amd = bench::amd_corpus(args);
-  run.stage("evaluate");
-  const core::CrossSystemConfig config;  // PearsonRnd + kNN
-  const core::EvalOptions options;
+  return bench::run_repeated("fig8_directions", args, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto intel = bench::intel_corpus(args);
+    const auto amd = bench::amd_corpus(args);
+    run.stage("evaluate");
+    const core::CrossSystemConfig config;  // PearsonRnd + kNN
+    const core::EvalOptions options;
 
-  std::printf("=== Fig. 8: system-to-system prediction directions "
-              "(PearsonRnd + kNN) ===\n\n");
-  auto table = bench::violin_table("direction", "model");
-  const auto a2i = core::evaluate_cross_system(amd, intel, config, options);
-  bench::print_violin_row(table, "AMD -> Intel", "kNN", a2i);
-  const auto i2a = core::evaluate_cross_system(intel, amd, config, options);
-  bench::print_violin_row(table, "Intel -> AMD", "kNN", i2a);
-  std::printf("%s\n", table.render(2).c_str());
+    std::printf("=== Fig. 8: system-to-system prediction directions "
+                "(PearsonRnd + kNN) ===\n\n");
+    auto table = bench::violin_table("direction", "model");
+    const auto a2i = core::evaluate_cross_system(amd, intel, config, options);
+    bench::print_violin_row(table, "AMD -> Intel", "kNN", a2i);
+    const auto i2a = core::evaluate_cross_system(intel, amd, config, options);
+    bench::print_violin_row(table, "Intel -> AMD", "kNN", i2a);
+    std::printf("%s\n", table.render(2).c_str());
 
-  std::printf("delta (Intel->AMD minus AMD->Intel) mean KS: %+.3f\n",
-              i2a.mean_ks() - a2i.mean_ks());
-  std::printf("\nPaper: AMD -> Intel is slightly easier than Intel -> AMD. "
-              "In this reproduction the AMD corpus carries more\nshape "
-              "variety (higher NUMA and jitter factors), so predicting "
-              "toward the tamer Intel corpus is the easier task.\n");
-  return 0;
+    std::printf("delta (Intel->AMD minus AMD->Intel) mean KS: %+.3f\n",
+                i2a.mean_ks() - a2i.mean_ks());
+    std::printf("\nPaper: AMD -> Intel is slightly easier than Intel -> AMD. "
+                "In this reproduction the AMD corpus carries more\nshape "
+                "variety (higher NUMA and jitter factors), so predicting "
+                "toward the tamer Intel corpus is the easier task.\n");
+  });
 }

@@ -307,9 +307,11 @@ int main(int argc, char** argv) {
                                              passthrough.data())) {
     return 1;
   }
-  varpred::bench::Run run("micro_components", args);
-  run.stage("benchmarks");
-  benchmark::RunSpecifiedBenchmarks();
+  const int rc = varpred::bench::run_repeated(
+      "micro_components", args, [](varpred::bench::Run& run) {
+        run.stage("benchmarks");
+        benchmark::RunSpecifiedBenchmarks();
+      });
   benchmark::Shutdown();
-  return 0;
+  return rc;
 }

@@ -6,33 +6,33 @@
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("table1_benchmarks", args);
-  run.stage("render");
-  std::printf("=== Table I: benchmarks used in the evaluation ===\n\n");
+  return bench::run_repeated("table1_benchmarks", args, [&](bench::Run& run) {
+    run.stage("render");
+    std::printf("=== Table I: benchmarks used in the evaluation ===\n\n");
 
-  io::TextTable table({"suite", "benchmark", "base_s", "compute", "memory",
-                       "branch", "cache", "tlb", "numa", "sync", "iogc"});
-  std::string current_suite;
-  std::size_t per_suite = 0;
-  for (const auto& bench : measure::benchmark_table()) {
-    if (bench.suite != current_suite && !current_suite.empty()) {
-      std::printf("  (%zu benchmarks in %s)\n", per_suite,
-                  current_suite.c_str());
-      per_suite = 0;
+    io::TextTable table({"suite", "benchmark", "base_s", "compute", "memory",
+                         "branch", "cache", "tlb", "numa", "sync", "iogc"});
+    std::string current_suite;
+    std::size_t per_suite = 0;
+    for (const auto& bench : measure::benchmark_table()) {
+      if (bench.suite != current_suite && !current_suite.empty()) {
+        std::printf("  (%zu benchmarks in %s)\n", per_suite,
+                    current_suite.c_str());
+        per_suite = 0;
+      }
+      current_suite = bench.suite;
+      ++per_suite;
+      const auto& t = bench.traits;
+      table.add_row({bench.suite, bench.name,
+                     format_fixed(bench.base_runtime_seconds, 1),
+                     format_fixed(t.compute, 2), format_fixed(t.memory, 2),
+                     format_fixed(t.branch, 2), format_fixed(t.cache, 2),
+                     format_fixed(t.tlb, 2), format_fixed(t.numa, 2),
+                     format_fixed(t.sync, 2), format_fixed(t.iogc, 2)});
     }
-    current_suite = bench.suite;
-    ++per_suite;
-    const auto& t = bench.traits;
-    table.add_row({bench.suite, bench.name,
-                   format_fixed(bench.base_runtime_seconds, 1),
-                   format_fixed(t.compute, 2), format_fixed(t.memory, 2),
-                   format_fixed(t.branch, 2), format_fixed(t.cache, 2),
-                   format_fixed(t.tlb, 2), format_fixed(t.numa, 2),
-                   format_fixed(t.sync, 2), format_fixed(t.iogc, 2)});
-  }
-  std::printf("  (%zu benchmarks in %s)\n\n", per_suite,
-              current_suite.c_str());
-  std::printf("%s\n", table.render(2).c_str());
-  std::printf("total: %zu benchmarks\n", measure::benchmark_table().size());
-  return 0;
+    std::printf("  (%zu benchmarks in %s)\n\n", per_suite,
+                current_suite.c_str());
+    std::printf("%s\n", table.render(2).c_str());
+    std::printf("total: %zu benchmarks\n", measure::benchmark_table().size());
+  });
 }

@@ -25,11 +25,11 @@ void print_metrics(const varpred::measure::SystemModel& system) {
 int main(int argc, char** argv) {
   using namespace varpred;
   const auto args = bench::HarnessArgs::parse(argc, argv);
-  bench::Run run("table23_metrics", args);
-  run.stage("render");
-  std::printf("=== Table II: profiling metrics, Intel CPU system ===\n\n");
-  print_metrics(measure::SystemModel::intel());
-  std::printf("=== Table III: profiling metrics, AMD CPU system ===\n\n");
-  print_metrics(measure::SystemModel::amd());
-  return 0;
+  return bench::run_repeated("table23_metrics", args, [&](bench::Run& run) {
+    run.stage("render");
+    std::printf("=== Table II: profiling metrics, Intel CPU system ===\n\n");
+    print_metrics(measure::SystemModel::intel());
+    std::printf("=== Table III: profiling metrics, AMD CPU system ===\n\n");
+    print_metrics(measure::SystemModel::amd());
+  });
 }

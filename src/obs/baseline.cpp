@@ -1,0 +1,218 @@
+#include "obs/baseline.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+namespace varpred::obs {
+
+namespace {
+
+json::Value make_string(std::string text) {
+  json::Value v;
+  v.type = json::Value::Type::kString;
+  v.str = std::move(text);
+  return v;
+}
+
+json::Value make_number(double num) {
+  json::Value v;
+  v.type = json::Value::Type::kNumber;
+  v.num = num;
+  return v;
+}
+
+json::Value make_bool(bool b) {
+  json::Value v;
+  v.type = json::Value::Type::kBool;
+  v.boolean = b;
+  return v;
+}
+
+std::string require_string(const json::Value& doc, std::string_view key) {
+  const json::Value* v = doc.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw std::invalid_argument("baseline: missing string \"" +
+                                std::string(key) + "\"");
+  }
+  return v->str;
+}
+
+double number_or(const json::Value& doc, std::string_view key,
+                 double fallback) {
+  const json::Value* v = doc.find(key);
+  return v != nullptr && v->is_number() ? v->num : fallback;
+}
+
+std::vector<BaselineRecord> load_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(path + ": cannot open");
+  std::vector<BaselineRecord> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      records.push_back(parse_baseline_record(json::parse(line)));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " +
+                               e.what());
+    }
+  }
+  return records;
+}
+
+}  // namespace
+
+BaselineRecord baseline_from_telemetry(const BenchTelemetry& telemetry) {
+  BaselineRecord r;
+  r.bench = telemetry.bench;
+  r.timestamp = telemetry.timestamp;
+  r.env.git = telemetry.git;
+  r.env.hostname = telemetry.hostname;
+  r.env.workers = telemetry.workers;
+  r.env.obs_mode = telemetry.obs_mode;
+  r.runs = telemetry.runs;
+  r.fast = telemetry.fast;
+  r.repeat = telemetry.repeat;
+  r.stages = telemetry.stages;
+  return r;
+}
+
+std::string baseline_record_json(const BaselineRecord& record) {
+  json::Value doc;
+  doc.type = json::Value::Type::kObject;
+  doc.object.emplace_back("bench", make_string(record.bench));
+  doc.object.emplace_back("timestamp", make_string(record.timestamp));
+
+  json::Value env;
+  env.type = json::Value::Type::kObject;
+  env.object.emplace_back("git", make_string(record.env.git));
+  env.object.emplace_back("hostname", make_string(record.env.hostname));
+  env.object.emplace_back("workers",
+                          make_number(static_cast<double>(record.env.workers)));
+  env.object.emplace_back("obs_mode", make_string(record.env.obs_mode));
+  doc.object.emplace_back("env", std::move(env));
+
+  doc.object.emplace_back("runs",
+                          make_number(static_cast<double>(record.runs)));
+  doc.object.emplace_back("fast", make_bool(record.fast));
+  doc.object.emplace_back("repeat",
+                          make_number(static_cast<double>(record.repeat)));
+
+  json::Value stages;
+  stages.type = json::Value::Type::kArray;
+  for (const StageSamples& stage : record.stages) {
+    json::Value s;
+    s.type = json::Value::Type::kObject;
+    s.object.emplace_back("name", make_string(stage.name));
+    json::Value samples;
+    samples.type = json::Value::Type::kArray;
+    for (const double x : stage.samples) samples.array.push_back(make_number(x));
+    s.object.emplace_back("samples", std::move(samples));
+    stages.array.push_back(std::move(s));
+  }
+  doc.object.emplace_back("stages", std::move(stages));
+  return json::dump(doc);
+}
+
+BaselineRecord parse_baseline_record(const json::Value& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("baseline: record is not an object");
+  }
+  BaselineRecord r;
+  r.bench = require_string(doc, "bench");
+  if (const json::Value* ts = doc.find("timestamp");
+      ts != nullptr && ts->is_string()) {
+    r.timestamp = ts->str;
+  }
+  if (const json::Value* env = doc.find("env");
+      env != nullptr && env->is_object()) {
+    if (const json::Value* v = env->find("git"); v && v->is_string())
+      r.env.git = v->str;
+    if (const json::Value* v = env->find("hostname"); v && v->is_string())
+      r.env.hostname = v->str;
+    if (const json::Value* v = env->find("obs_mode"); v && v->is_string())
+      r.env.obs_mode = v->str;
+    r.env.workers = static_cast<std::size_t>(number_or(*env, "workers", 0));
+  }
+  r.runs = static_cast<std::size_t>(number_or(doc, "runs", 0));
+  if (const json::Value* fast = doc.find("fast");
+      fast != nullptr && fast->is_bool()) {
+    r.fast = fast->boolean;
+  }
+  r.repeat = static_cast<std::size_t>(number_or(doc, "repeat", 1));
+
+  const json::Value* stages = doc.find("stages");
+  if (stages == nullptr || !stages->is_array()) {
+    throw std::invalid_argument("baseline: missing \"stages\" array");
+  }
+  for (const json::Value& stage : stages->array) {
+    StageSamples s;
+    s.name = require_string(stage, "name");
+    const json::Value* samples = stage.find("samples");
+    if (samples == nullptr || !samples->is_array()) {
+      throw std::invalid_argument("baseline: stage \"" + s.name +
+                                  "\" has no samples");
+    }
+    for (const json::Value& v : samples->array) {
+      if (!v.is_number()) {
+        throw std::invalid_argument("baseline: non-numeric sample in stage \"" +
+                                    s.name + "\"");
+      }
+      s.samples.push_back(v.num);
+    }
+    r.stages.push_back(std::move(s));
+  }
+  return r;
+}
+
+std::vector<BaselineRecord> load_baselines(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    // Deterministic order: sort the .jsonl paths before loading.
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    std::vector<BaselineRecord> records;
+    for (const std::string& file : files) {
+      auto loaded = load_jsonl(file);
+      records.insert(records.end(),
+                     std::make_move_iterator(loaded.begin()),
+                     std::make_move_iterator(loaded.end()));
+    }
+    return records;
+  }
+  if (path.size() > 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    return load_jsonl(path);
+  }
+  // A plain telemetry document doubles as a one-record store, so any
+  // BENCH_*.json can serve as an ad-hoc baseline.
+  return {baseline_from_telemetry(load_bench_telemetry(path))};
+}
+
+void append_baseline(const std::string& path, const BaselineRecord& record) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error(path + ": cannot open for append");
+  out << baseline_record_json(record) << "\n";
+  if (!out) throw std::runtime_error(path + ": write failed");
+}
+
+const BaselineRecord* latest_baseline(std::span<const BaselineRecord> records,
+                                      std::string_view bench) {
+  const BaselineRecord* latest = nullptr;
+  for (const BaselineRecord& r : records) {
+    if (r.bench == bench) latest = &r;
+  }
+  return latest;
+}
+
+}  // namespace varpred::obs

@@ -1,0 +1,79 @@
+// Append-only JSONL baseline store for benchmark timing distributions.
+//
+// Every line is one BaselineRecord: the per-stage wall-time samples of a
+// repeat-run bench execution plus the environment fingerprint it was
+// measured under (git describe, hostname, worker count, obs mode). The
+// store is append-only by design — history is the point: a refreshed
+// baseline is a new line, and readers pick the latest record per bench.
+// Reference stores live under bench/baselines/ (checked in, one file per
+// bench); the CI nightly sweep regenerates them as artifacts.
+//
+// Timing distributions are only comparable within one environment, so the
+// fingerprint travels with every record and tools/bench_diff flags
+// cross-environment comparisons in its report.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace varpred::obs {
+
+/// Where a timing distribution was measured. `git` and `timestamp` are
+/// provenance; `hostname`, `workers`, and `obs_mode` determine whether two
+/// records are comparable at all.
+struct EnvFingerprint {
+  std::string git;
+  std::string hostname;
+  std::size_t workers = 0;
+  std::string obs_mode;
+
+  /// True when timings from the two environments can be compared as the
+  /// same distribution (same machine, same parallelism, same
+  /// instrumentation overhead).
+  bool comparable_with(const EnvFingerprint& other) const {
+    return hostname == other.hostname && workers == other.workers &&
+           obs_mode == other.obs_mode;
+  }
+};
+
+/// One JSONL line: a bench's per-stage timing samples plus provenance.
+struct BaselineRecord {
+  std::string bench;
+  std::string timestamp;  ///< ISO-8601 UTC at measurement time
+  EnvFingerprint env;
+  std::size_t runs = 0;  ///< corpus size the bench was driven with
+  bool fast = false;
+  std::size_t repeat = 1;  ///< samples per stage
+  std::vector<StageSamples> stages;
+};
+
+/// Converts a parsed telemetry document into a baseline record.
+BaselineRecord baseline_from_telemetry(const BenchTelemetry& telemetry);
+
+/// One-line JSON encoding of a record (no trailing newline).
+std::string baseline_record_json(const BaselineRecord& record);
+
+/// Parses one record; throws std::invalid_argument on malformed input.
+BaselineRecord parse_baseline_record(const json::Value& doc);
+
+/// Loads a store. `path` may be a .jsonl store (blank lines skipped), a
+/// single telemetry .json document (converted to one record), or a
+/// directory whose *.jsonl files are all loaded. Throws std::runtime_error
+/// with the offending path on I/O or parse failure.
+std::vector<BaselineRecord> load_baselines(const std::string& path);
+
+/// Appends one record to a .jsonl store, creating the file if needed.
+/// Throws std::runtime_error on I/O failure.
+void append_baseline(const std::string& path, const BaselineRecord& record);
+
+/// Latest record (by file order, which append keeps chronological) for a
+/// bench, or nullptr when the store has none.
+const BaselineRecord* latest_baseline(std::span<const BaselineRecord> records,
+                                      std::string_view bench);
+
+}  // namespace varpred::obs

@@ -147,12 +147,14 @@ class Parser {
   }
 
   Value parse_object() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
     expect('{');
     Value v;
     v.type = Value::Type::kObject;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return v;
     }
     for (;;) {
@@ -169,6 +171,7 @@ class Parser {
       }
       if (c == '}') {
         ++pos_;
+        --depth_;
         return v;
       }
       fail("expected ',' or '}'");
@@ -176,12 +179,14 @@ class Parser {
   }
 
   Value parse_array() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
     expect('[');
     Value v;
     v.type = Value::Type::kArray;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return v;
     }
     for (;;) {
@@ -194,6 +199,7 @@ class Parser {
       }
       if (c == ']') {
         ++pos_;
+        --depth_;
         return v;
       }
       fail("expected ',' or ']'");
@@ -299,10 +305,61 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+void dump(const Value& value, std::string& out) {
+  switch (value.type) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += value.boolean ? "true" : "false";
+      break;
+    case Value::Type::kNumber:
+      out += number(value.num);
+      break;
+    case Value::Type::kString:
+      out += '"';
+      out += escape(value.str);
+      out += '"';
+      break;
+    case Value::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : value.array) {
+        if (!first) out += ',';
+        first = false;
+        dump(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, item] : value.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        dump(item, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string dump(const Value& value) {
+  std::string out;
+  dump(value, out);
+  return out;
+}
 
 }  // namespace varpred::obs::json

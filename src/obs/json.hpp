@@ -52,7 +52,17 @@ class Value {
 };
 
 /// Parses a complete JSON document; throws std::invalid_argument (with a
-/// byte offset in the message) on malformed input or trailing garbage.
+/// byte offset in the message) on malformed input, trailing garbage, or
+/// nesting deeper than kMaxDepth (the parser is recursive-descent; the
+/// guard turns a potential stack overflow into a clean error).
 Value parse(std::string_view text);
+
+/// Maximum container nesting depth parse() accepts.
+inline constexpr std::size_t kMaxDepth = 256;
+
+/// Serializes a Value back to compact JSON text (strings escaped, numbers
+/// via number()). Inverse of parse() up to number formatting.
+std::string dump(const Value& value);
+void dump(const Value& value, std::string& out);
 
 }  // namespace varpred::obs::json

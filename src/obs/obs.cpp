@@ -5,11 +5,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>  // gethostname
+#endif
 
 #include "obs/json.hpp"
 
@@ -117,6 +122,34 @@ std::size_t peak_rss_kb() {
 #else
   return 0;
 #endif
+}
+
+std::string hostname() {
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+  char buf[256];
+  if (::gethostname(buf, sizeof buf) == 0) {
+    buf[sizeof buf - 1] = '\0';
+    if (buf[0] != '\0') return buf;
+  }
+#endif
+  const char* env = std::getenv("HOSTNAME");
+  return env != nullptr && env[0] != '\0' ? env : "unknown";
+}
+
+std::string iso8601_utc_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
 }
 
 void Histogram::reset() noexcept {

@@ -54,6 +54,16 @@ std::uint64_t now_ns() noexcept;
 /// platform does not expose it.
 std::size_t peak_rss_kb();
 
+/// Machine hostname (gethostname, then $HOSTNAME, then "unknown"). Part of
+/// the environment fingerprint stamped into bench telemetry: timing
+/// distributions are only comparable within one machine.
+std::string hostname();
+
+/// Current wall-clock time as an ISO-8601 UTC string, second resolution
+/// ("2026-08-05T12:34:56Z"). Monotonic timings stay on steady_clock; this
+/// exists so telemetry documents and baseline records can be ordered.
+std::string iso8601_utc_now();
+
 // ---------------------------------------------------------------------------
 // Metric primitives. All operations are thread-safe; counters wrap modulo
 // 2^64 (they are deltas over monotone event streams, never clock readings).

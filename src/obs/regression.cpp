@@ -1,0 +1,330 @@
+#include "obs/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/ks.hpp"
+#include "stats/wasserstein.hpp"
+
+namespace varpred::obs {
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kUnchanged:
+      return "unchanged";
+    case Verdict::kImproved:
+      return "improved";
+    case Verdict::kRegressed:
+      return "regressed";
+    case Verdict::kInconclusive:
+      return "inconclusive";
+  }
+  return "inconclusive";
+}
+
+StageDiff diff_stage(std::string name, std::span<const double> baseline,
+                     std::span<const double> candidate,
+                     const DiffConfig& config) {
+  StageDiff d;
+  d.stage = std::move(name);
+  d.n_baseline = baseline.size();
+  d.n_candidate = candidate.size();
+  if (d.n_baseline < config.min_samples ||
+      d.n_candidate < config.min_samples) {
+    d.verdict = Verdict::kInconclusive;
+    d.note = "too few samples (need >= " +
+             std::to_string(config.min_samples) + " per side)";
+    if (!baseline.empty()) d.baseline_median = stats::median(baseline);
+    if (!candidate.empty()) d.candidate_median = stats::median(candidate);
+    return d;
+  }
+
+  d.baseline_median = stats::median(baseline);
+  d.candidate_median = stats::median(candidate);
+  d.ks_stat = stats::ks_statistic(baseline, candidate);
+  d.ks_pvalue = stats::ks_pvalue(d.ks_stat, d.n_baseline, d.n_candidate);
+  d.w1_normalized = stats::wasserstein1_normalized(baseline, candidate);
+
+  if (!(d.baseline_median > 0.0)) {
+    d.verdict = Verdict::kInconclusive;
+    d.note = "non-positive baseline median";
+    return d;
+  }
+  d.shift = (d.candidate_median - d.baseline_median) / d.baseline_median;
+
+  // Two-sample percentile bootstrap on the relative median shift. The
+  // stage name seeds an independent stream so verdicts are order-free.
+  Rng rng(seed_combine(config.seed, stable_hash(d.stage)));
+  std::vector<double> shifts;
+  shifts.reserve(config.bootstrap_replicates);
+  for (std::size_t b = 0; b < config.bootstrap_replicates; ++b) {
+    const auto base_star = stats::resample(baseline, rng);
+    const auto cand_star = stats::resample(candidate, rng);
+    const double base_median = stats::median(base_star);
+    if (!(base_median > 0.0)) continue;
+    shifts.push_back((stats::median(cand_star) - base_median) / base_median);
+  }
+  if (shifts.size() < config.bootstrap_replicates / 2) {
+    d.verdict = Verdict::kInconclusive;
+    d.note = "bootstrap degenerate (resampled baseline medians <= 0)";
+    return d;
+  }
+  std::sort(shifts.begin(), shifts.end());
+  d.shift_lo = stats::quantile_sorted(shifts, config.ci_alpha / 2.0);
+  d.shift_hi = stats::quantile_sorted(shifts, 1.0 - config.ci_alpha / 2.0);
+
+  const bool distribution_changed =
+      d.ks_pvalue < config.alpha && d.w1_normalized > config.w1_threshold;
+  if (!distribution_changed) {
+    d.verdict = Verdict::kUnchanged;
+  } else if (d.shift_lo > 0.0) {
+    d.verdict = Verdict::kRegressed;
+  } else if (d.shift_hi < 0.0) {
+    d.verdict = Verdict::kImproved;
+  } else {
+    d.verdict = Verdict::kInconclusive;
+    d.note = "distribution changed but median-shift CI straddles 0";
+  }
+  return d;
+}
+
+RunDiff diff_telemetry(const BaselineRecord& baseline,
+                       const BenchTelemetry& candidate,
+                       const DiffConfig& config) {
+  RunDiff run;
+  run.bench = candidate.bench;
+  run.baseline_env = baseline.env;
+  run.candidate_env.git = candidate.git;
+  run.candidate_env.hostname = candidate.hostname;
+  run.candidate_env.workers = candidate.workers;
+  run.candidate_env.obs_mode = candidate.obs_mode;
+  run.env_match = run.baseline_env.comparable_with(run.candidate_env);
+  if (!run.env_match) {
+    std::string note;
+    if (run.baseline_env.hostname != run.candidate_env.hostname) {
+      note += "hostname " + run.baseline_env.hostname + " -> " +
+              run.candidate_env.hostname + "; ";
+    }
+    if (run.baseline_env.workers != run.candidate_env.workers) {
+      note += "workers " + std::to_string(run.baseline_env.workers) + " -> " +
+              std::to_string(run.candidate_env.workers) + "; ";
+    }
+    if (run.baseline_env.obs_mode != run.candidate_env.obs_mode) {
+      note += "obs_mode " + run.baseline_env.obs_mode + " -> " +
+              run.candidate_env.obs_mode + "; ";
+    }
+    if (note.size() >= 2) note.resize(note.size() - 2);
+    run.env_note = note;
+  }
+
+  for (const StageSamples& cand : candidate.stages) {
+    const StageSamples* base = nullptr;
+    for (const StageSamples& s : baseline.stages) {
+      if (s.name == cand.name) {
+        base = &s;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      StageDiff d;
+      d.stage = cand.name;
+      d.n_candidate = cand.samples.size();
+      d.verdict = Verdict::kInconclusive;
+      d.note = "stage missing from baseline";
+      run.stages.push_back(std::move(d));
+      continue;
+    }
+    StageDiff d = diff_stage(cand.name, base->samples, cand.samples, config);
+    if (config.require_env_match && !run.env_match &&
+        (d.verdict == Verdict::kRegressed ||
+         d.verdict == Verdict::kImproved)) {
+      d.verdict = Verdict::kInconclusive;
+      d.note = "environment mismatch (" + run.env_note + ")";
+    }
+    run.stages.push_back(std::move(d));
+  }
+  for (const StageSamples& base : baseline.stages) {
+    bool present = false;
+    for (const StageSamples& cand : candidate.stages) {
+      if (cand.name == base.name) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      StageDiff d;
+      d.stage = base.name;
+      d.n_baseline = base.samples.size();
+      d.verdict = Verdict::kInconclusive;
+      d.note = "stage missing from candidate";
+      run.stages.push_back(std::move(d));
+    }
+  }
+  run.overall = overall_verdict(run.stages);
+  return run;
+}
+
+Verdict overall_verdict(std::span<const StageDiff> stages) {
+  bool inconclusive = false;
+  bool improved = false;
+  for (const StageDiff& d : stages) {
+    if (d.verdict == Verdict::kRegressed) return Verdict::kRegressed;
+    if (d.verdict == Verdict::kInconclusive) inconclusive = true;
+    if (d.verdict == Verdict::kImproved) improved = true;
+  }
+  if (inconclusive) return Verdict::kInconclusive;
+  if (improved) return Verdict::kImproved;
+  return Verdict::kUnchanged;
+}
+
+Verdict overall_verdict(std::span<const RunDiff> runs) {
+  bool inconclusive = false;
+  bool improved = false;
+  for (const RunDiff& r : runs) {
+    if (r.overall == Verdict::kRegressed) return Verdict::kRegressed;
+    if (r.overall == Verdict::kInconclusive) inconclusive = true;
+    if (r.overall == Verdict::kImproved) improved = true;
+  }
+  if (inconclusive) return Verdict::kInconclusive;
+  if (improved) return Verdict::kImproved;
+  return Verdict::kUnchanged;
+}
+
+namespace {
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string scientific(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2g", value);
+  return buf;
+}
+
+std::string percent(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", value * 100.0);
+  return buf;
+}
+
+json::Value jstr(std::string s) {
+  json::Value v;
+  v.type = json::Value::Type::kString;
+  v.str = std::move(s);
+  return v;
+}
+
+json::Value jnum(double n) {
+  json::Value v;
+  v.type = json::Value::Type::kNumber;
+  v.num = n;
+  return v;
+}
+
+json::Value jbool(bool b) {
+  json::Value v;
+  v.type = json::Value::Type::kBool;
+  v.boolean = b;
+  return v;
+}
+
+}  // namespace
+
+std::string markdown_report(std::span<const RunDiff> runs,
+                            const DiffConfig& config) {
+  std::string out = "# bench_diff report\n\n";
+  out += "overall: **" + std::string(to_string(overall_verdict(runs))) +
+         "**\n\n";
+  for (const RunDiff& run : runs) {
+    out += "## " + run.bench + " — " + to_string(run.overall) + "\n\n";
+    out += "baseline env: git=" + run.baseline_env.git +
+           " host=" + run.baseline_env.hostname +
+           " workers=" + std::to_string(run.baseline_env.workers) +
+           " obs=" + run.baseline_env.obs_mode + "\n";
+    out += "candidate env: git=" + run.candidate_env.git +
+           " host=" + run.candidate_env.hostname +
+           " workers=" + std::to_string(run.candidate_env.workers) +
+           " obs=" + run.candidate_env.obs_mode + "\n";
+    if (!run.env_match) {
+      out += "\n> environment mismatch (" + run.env_note +
+             "): timing comparisons across environments are advisory.\n";
+    }
+    out +=
+        "\n| stage | n(base) | n(cand) | median(base) s | median(cand) s "
+        "| shift [95% CI] | KS p | W1n | verdict |\n"
+        "|---|---|---|---|---|---|---|---|---|\n";
+    for (const StageDiff& d : run.stages) {
+      out += "| " + d.stage + " | " + std::to_string(d.n_baseline) + " | " +
+             std::to_string(d.n_candidate) + " | " +
+             fixed(d.baseline_median, 4) + " | " +
+             fixed(d.candidate_median, 4) + " | " + percent(d.shift) + " [" +
+             percent(d.shift_lo) + ", " + percent(d.shift_hi) + "] | " +
+             scientific(d.ks_pvalue) + " | " + fixed(d.w1_normalized, 3) +
+             " | " + to_string(d.verdict);
+      if (!d.note.empty()) out += " — " + d.note;
+      out += " |\n";
+    }
+    out += "\n";
+  }
+  out += "thresholds: KS alpha=" + scientific(config.alpha) +
+         ", W1n floor=" + fixed(config.w1_threshold, 3) +
+         ", min samples/side=" + std::to_string(config.min_samples) +
+         ", bootstrap=" + std::to_string(config.bootstrap_replicates) +
+         " reps at " + fixed((1.0 - config.ci_alpha) * 100.0, 0) +
+         "% CI, seed=" + std::to_string(config.seed) + "\n";
+  return out;
+}
+
+std::string json_report(std::span<const RunDiff> runs) {
+  json::Value doc;
+  doc.type = json::Value::Type::kObject;
+  doc.object.emplace_back("overall",
+                          jstr(to_string(overall_verdict(runs))));
+  json::Value jruns;
+  jruns.type = json::Value::Type::kArray;
+  for (const RunDiff& run : runs) {
+    json::Value jr;
+    jr.type = json::Value::Type::kObject;
+    jr.object.emplace_back("bench", jstr(run.bench));
+    jr.object.emplace_back("overall", jstr(to_string(run.overall)));
+    jr.object.emplace_back("env_match", jbool(run.env_match));
+    if (!run.env_note.empty()) {
+      jr.object.emplace_back("env_note", jstr(run.env_note));
+    }
+    json::Value jstages;
+    jstages.type = json::Value::Type::kArray;
+    for (const StageDiff& d : run.stages) {
+      json::Value js;
+      js.type = json::Value::Type::kObject;
+      js.object.emplace_back("stage", jstr(d.stage));
+      js.object.emplace_back("verdict", jstr(to_string(d.verdict)));
+      js.object.emplace_back("n_baseline",
+                             jnum(static_cast<double>(d.n_baseline)));
+      js.object.emplace_back("n_candidate",
+                             jnum(static_cast<double>(d.n_candidate)));
+      js.object.emplace_back("baseline_median", jnum(d.baseline_median));
+      js.object.emplace_back("candidate_median", jnum(d.candidate_median));
+      js.object.emplace_back("ks_stat", jnum(d.ks_stat));
+      js.object.emplace_back("ks_pvalue", jnum(d.ks_pvalue));
+      js.object.emplace_back("w1_normalized", jnum(d.w1_normalized));
+      js.object.emplace_back("shift", jnum(d.shift));
+      js.object.emplace_back("shift_lo", jnum(d.shift_lo));
+      js.object.emplace_back("shift_hi", jnum(d.shift_hi));
+      if (!d.note.empty()) js.object.emplace_back("note", jstr(d.note));
+      jstages.array.push_back(std::move(js));
+    }
+    jr.object.emplace_back("stages", std::move(jstages));
+    jruns.array.push_back(std::move(jr));
+  }
+  doc.object.emplace_back("runs", std::move(jruns));
+  return json::dump(doc);
+}
+
+}  // namespace varpred::obs

@@ -1,0 +1,115 @@
+// Distribution-aware benchmark regression detection.
+//
+// The paper's thesis applied to our own telemetry: a stage's wall time is a
+// *distribution* over repetitions, not a number, so candidate vs. baseline
+// is a two-sample comparison, not a ratio of point estimates. A stage is
+// only flagged when three independent signals agree:
+//
+//   1. The two-sample KS p-value says the samples are unlikely to come from
+//      one distribution (significance),
+//   2. the normalized 1-Wasserstein distance says the distributions are far
+//      apart in units of their pooled spread (effect size — a significant
+//      but microscopic shift stays "unchanged"), and
+//   3. a percentile bootstrap CI on the relative median shift excludes zero
+//      (direction — slower => regressed, faster => improved).
+//
+// Signals 1+2 without 3 (shape changed, median direction ambiguous — e.g.
+// variance blow-up) yield `inconclusive`, as do undersized samples. All
+// randomness is seeded, so verdicts are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/baseline.hpp"
+#include "obs/telemetry.hpp"
+
+namespace varpred::obs {
+
+enum class Verdict {
+  kUnchanged = 0,
+  kImproved = 1,
+  kRegressed = 2,
+  kInconclusive = 3,
+};
+
+const char* to_string(Verdict verdict);
+
+struct DiffConfig {
+  /// KS p-value below which the two samples count as drawn from different
+  /// distributions.
+  double alpha = 0.01;
+  /// Normalized W1 (distance in pooled-stddev units) the samples must also
+  /// exceed: the effect-size floor that keeps statistically-significant
+  /// noise from flagging.
+  double w1_threshold = 0.10;
+  /// Minimum samples per side; below this the verdict is inconclusive.
+  std::size_t min_samples = 5;
+  /// Bootstrap replicates for the median-shift CI.
+  std::size_t bootstrap_replicates = 2000;
+  /// Two-sided CI level on the median shift (0.05 => 95% CI).
+  double ci_alpha = 0.05;
+  /// Base seed; each stage derives an independent stream from its name, so
+  /// verdicts do not depend on stage order.
+  std::uint64_t seed = 0x5EEDBA5EULL;
+  /// When true, cross-environment comparisons (fingerprint mismatch) demote
+  /// regressed/improved to inconclusive.
+  bool require_env_match = false;
+};
+
+/// Per-stage comparison result. Medians and shifts are in the samples'
+/// units (wall seconds); `shift_*` are relative to the baseline median
+/// ((cand - base) / base).
+struct StageDiff {
+  std::string stage;
+  std::size_t n_baseline = 0;
+  std::size_t n_candidate = 0;
+  double baseline_median = 0.0;
+  double candidate_median = 0.0;
+  double ks_stat = 0.0;
+  double ks_pvalue = 1.0;
+  double w1_normalized = 0.0;
+  double shift = 0.0;     ///< point estimate of the relative median shift
+  double shift_lo = 0.0;  ///< bootstrap CI lower bound
+  double shift_hi = 0.0;  ///< bootstrap CI upper bound
+  Verdict verdict = Verdict::kInconclusive;
+  std::string note;  ///< why the verdict is what it is, when not obvious
+};
+
+/// One bench's comparison: env provenance plus every stage's diff.
+struct RunDiff {
+  std::string bench;
+  EnvFingerprint baseline_env;
+  EnvFingerprint candidate_env;
+  bool env_match = true;
+  std::string env_note;  ///< human-readable mismatch description
+  std::vector<StageDiff> stages;
+  Verdict overall = Verdict::kUnchanged;
+};
+
+/// Compares one stage's samples (candidate vs. baseline).
+StageDiff diff_stage(std::string name, std::span<const double> baseline,
+                     std::span<const double> candidate,
+                     const DiffConfig& config);
+
+/// Compares a candidate telemetry document against its baseline record.
+/// Stages present on only one side come back inconclusive with a note.
+RunDiff diff_telemetry(const BaselineRecord& baseline,
+                       const BenchTelemetry& candidate,
+                       const DiffConfig& config);
+
+/// Worst-case fold: any regressed => regressed; else any inconclusive =>
+/// inconclusive; else any improved => improved; else unchanged.
+Verdict overall_verdict(std::span<const StageDiff> stages);
+Verdict overall_verdict(std::span<const RunDiff> runs);
+
+/// Markdown report (one table per bench, thresholds in the footer).
+std::string markdown_report(std::span<const RunDiff> runs,
+                            const DiffConfig& config);
+
+/// Machine-readable report: {"overall": "...", "runs":[...]}.
+std::string json_report(std::span<const RunDiff> runs);
+
+}  // namespace varpred::obs

@@ -1,0 +1,91 @@
+#include "obs/telemetry.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace varpred::obs {
+
+namespace {
+
+std::string get_string(const json::Value& doc, std::string_view key) {
+  const json::Value* v = doc.find(key);
+  return v != nullptr && v->is_string() ? v->str : std::string();
+}
+
+double get_number(const json::Value& doc, std::string_view key,
+                  double fallback) {
+  const json::Value* v = doc.find(key);
+  return v != nullptr && v->is_number() ? v->num : fallback;
+}
+
+}  // namespace
+
+BenchTelemetry parse_bench_telemetry(const json::Value& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("telemetry: document is not an object");
+  }
+  BenchTelemetry t;
+  t.schema_version = static_cast<int>(get_number(doc, "schema_version", 1));
+  t.bench = get_string(doc, "bench");
+  if (t.bench.empty()) {
+    throw std::invalid_argument("telemetry: missing \"bench\"");
+  }
+  t.git = get_string(doc, "git");
+  t.hostname = get_string(doc, "hostname");
+  t.timestamp = get_string(doc, "timestamp");
+  t.obs_mode = get_string(doc, "obs_mode");
+  t.seed = static_cast<std::uint64_t>(get_number(doc, "seed", 0));
+  t.runs = static_cast<std::size_t>(get_number(doc, "runs", 0));
+  t.workers = static_cast<std::size_t>(get_number(doc, "workers", 0));
+  t.repeat = static_cast<std::size_t>(get_number(doc, "repeat", 1));
+  if (t.repeat == 0) t.repeat = 1;
+  if (const json::Value* fast = doc.find("fast");
+      fast != nullptr && fast->is_bool()) {
+    t.fast = fast->boolean;
+  }
+  t.wall_seconds = get_number(doc, "wall_seconds", 0.0);
+
+  const json::Value* stages = doc.find("stages");
+  if (stages == nullptr || !stages->is_array()) {
+    throw std::invalid_argument("telemetry: missing \"stages\" array");
+  }
+  for (const json::Value& stage : stages->array) {
+    StageSamples s;
+    s.name = get_string(stage, "name");
+    if (s.name.empty()) {
+      throw std::invalid_argument("telemetry: stage without a \"name\"");
+    }
+    if (const json::Value* samples = stage.find("samples");
+        samples != nullptr && samples->is_array()) {
+      s.samples.reserve(samples->array.size());
+      for (const json::Value& v : samples->array) {
+        if (!v.is_number()) {
+          throw std::invalid_argument(
+              "telemetry: non-numeric entry in stage \"" + s.name +
+              "\" samples");
+        }
+        s.samples.push_back(v.num);
+      }
+    } else {
+      // v1 document: the single timed pass is the whole sample.
+      s.samples.push_back(get_number(stage, "seconds", 0.0));
+    }
+    t.stages.push_back(std::move(s));
+  }
+  return t;
+}
+
+BenchTelemetry load_bench_telemetry(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(path + ": cannot open");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_bench_telemetry(json::parse(buffer.str()));
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace varpred::obs

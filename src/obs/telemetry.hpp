@@ -1,0 +1,53 @@
+// Reader for the BENCH_<name>.json telemetry documents emitted by
+// bench::Run (bench/bench_common.hpp). Understands both schema versions:
+//   v1 (PR 2): one timed pass per stage — {"name", "seconds"}.
+//   v2 (this PR): --repeat=N gives every stage a *sample distribution* —
+//       {"name", "seconds", "samples":[...], mean/stddev/min/max} plus
+//       top-level schema_version / hostname / timestamp / repeat.
+// v1 documents are mapped onto the v2 shape with a single-element sample
+// vector so downstream consumers (baseline store, bench_diff) handle both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace varpred::obs {
+
+/// One pipeline stage's timing samples: wall seconds per repetition, in
+/// repetition order.
+struct StageSamples {
+  std::string name;
+  std::vector<double> samples;
+};
+
+/// Parsed telemetry document (the fields bench_diff and the baseline store
+/// consume; the pool/metrics subtrees stay in the raw json::Value).
+struct BenchTelemetry {
+  int schema_version = 1;
+  std::string bench;
+  std::string git;
+  std::string hostname;   ///< "" in v1 documents
+  std::string timestamp;  ///< "" in v1 documents (ISO-8601 UTC in v2)
+  std::string obs_mode;
+  std::uint64_t seed = 0;
+  std::size_t runs = 0;
+  std::size_t workers = 0;
+  std::size_t repeat = 1;  ///< 1 in v1 documents
+  bool fast = false;
+  double wall_seconds = 0.0;
+  std::vector<StageSamples> stages;
+};
+
+/// Extracts a BenchTelemetry from a parsed document. Throws
+/// std::invalid_argument when required fields ("bench", "stages") are
+/// missing or malformed.
+BenchTelemetry parse_bench_telemetry(const json::Value& doc);
+
+/// Reads and parses a telemetry file. Throws std::runtime_error (message
+/// includes the path) on I/O or parse failure.
+BenchTelemetry load_bench_telemetry(const std::string& path);
+
+}  // namespace varpred::obs

@@ -1,0 +1,335 @@
+// Tests for the regression-detection stack: telemetry parsing (v1 compat
+// and v2), the JSONL baseline store round trip, and — the acceptance
+// criteria of the detector itself — bench_diff verdicts on seeded
+// synthetic timing distributions: two independent draws from the same
+// distribution must read `unchanged`, a 2x slowdown must read `regressed`.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/baseline.hpp"
+#include "obs/regression.hpp"
+#include "obs/telemetry.hpp"
+#include "rngdist/samplers.hpp"
+
+namespace varpred {
+namespace {
+
+/// Plausible stage timings: lognormal around ~100 ms with mild spread,
+/// scaled by `factor` (2.0 = injected 2x slowdown).
+std::vector<double> timing_draw(std::uint64_t seed, std::size_t n,
+                                double factor = 1.0) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(factor * rngdist::lognormal(rng, std::log(0.1), 0.05));
+  }
+  return out;
+}
+
+obs::DiffConfig test_config() {
+  obs::DiffConfig config;
+  config.bootstrap_replicates = 1000;
+  return config;
+}
+
+TEST(BenchDiff, SameDistributionReadsUnchanged) {
+  const auto baseline = timing_draw(101, 24);
+  const auto candidate = timing_draw(202, 24);  // independent, same law
+  const auto d =
+      obs::diff_stage("stage", baseline, candidate, test_config());
+  EXPECT_EQ(d.verdict, obs::Verdict::kUnchanged)
+      << "p=" << d.ks_pvalue << " w1n=" << d.w1_normalized;
+  EXPECT_GE(d.ks_pvalue, 0.01);
+}
+
+TEST(BenchDiff, InjectedTwoXSlowdownReadsRegressed) {
+  const auto baseline = timing_draw(101, 24);
+  const auto candidate = timing_draw(303, 24, 2.0);
+  const auto d =
+      obs::diff_stage("stage", baseline, candidate, test_config());
+  EXPECT_EQ(d.verdict, obs::Verdict::kRegressed);
+  EXPECT_LT(d.ks_pvalue, 1e-6);
+  // The relative median shift of a 2x slowdown is ~+100%, and its CI
+  // should bracket that.
+  EXPECT_NEAR(d.shift, 1.0, 0.15);
+  EXPECT_GT(d.shift_lo, 0.5);
+  EXPECT_LT(d.shift_hi, 1.5);
+}
+
+TEST(BenchDiff, SpeedupReadsImproved) {
+  const auto baseline = timing_draw(101, 24);
+  const auto candidate = timing_draw(404, 24, 0.5);
+  const auto d =
+      obs::diff_stage("stage", baseline, candidate, test_config());
+  EXPECT_EQ(d.verdict, obs::Verdict::kImproved);
+  EXPECT_LT(d.shift_hi, 0.0);
+}
+
+TEST(BenchDiff, TooFewSamplesReadsInconclusive) {
+  const auto baseline = timing_draw(101, 24);
+  const auto candidate = timing_draw(202, 3);
+  const auto d =
+      obs::diff_stage("stage", baseline, candidate, test_config());
+  EXPECT_EQ(d.verdict, obs::Verdict::kInconclusive);
+  EXPECT_FALSE(d.note.empty());
+}
+
+TEST(BenchDiff, ShapeChangeWithoutMedianShiftReadsInconclusive) {
+  // Same median, much wider spread: KS + W1 flag the change, but the
+  // median-shift CI straddles zero, so the direction is indeterminate.
+  Rng rng(7);
+  std::vector<double> baseline;
+  std::vector<double> candidate;
+  for (std::size_t i = 0; i < 40; ++i) {
+    baseline.push_back(0.1 + rng.uniform(-0.002, 0.002));
+    candidate.push_back(0.1 + rng.uniform(-0.04, 0.04));
+  }
+  const auto d =
+      obs::diff_stage("stage", baseline, candidate, test_config());
+  EXPECT_EQ(d.verdict, obs::Verdict::kInconclusive)
+      << "p=" << d.ks_pvalue << " w1n=" << d.w1_normalized
+      << " ci=[" << d.shift_lo << ", " << d.shift_hi << "]";
+}
+
+TEST(BenchDiff, VerdictsAreDeterministic) {
+  const auto baseline = timing_draw(101, 20);
+  const auto candidate = timing_draw(202, 20, 1.2);
+  const auto a = obs::diff_stage("s", baseline, candidate, test_config());
+  const auto b = obs::diff_stage("s", baseline, candidate, test_config());
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.shift_lo, b.shift_lo);
+  EXPECT_EQ(a.shift_hi, b.shift_hi);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry parsing: v2 and the v1 compat path.
+
+TEST(Telemetry, ParsesV2Document) {
+  const char* doc = R"({
+    "schema_version": 2, "bench": "demo", "git": "abc", "hostname": "m1",
+    "timestamp": "2026-08-05T10:00:00Z", "seed": 7, "runs": 300,
+    "repeat": 3, "fast": true, "workers": 4, "obs_mode": "off",
+    "wall_seconds": 1.5,
+    "stages": [{"name": "corpus", "seconds": 1.2,
+                "samples": [0.4, 0.4, 0.4], "mean": 0.4, "stddev": 0.0,
+                "min": 0.4, "max": 0.4}]
+  })";
+  const auto t = obs::parse_bench_telemetry(obs::json::parse(doc));
+  EXPECT_EQ(t.schema_version, 2);
+  EXPECT_EQ(t.bench, "demo");
+  EXPECT_EQ(t.hostname, "m1");
+  EXPECT_EQ(t.repeat, 3u);
+  ASSERT_EQ(t.stages.size(), 1u);
+  EXPECT_EQ(t.stages[0].samples, (std::vector<double>{0.4, 0.4, 0.4}));
+}
+
+TEST(Telemetry, V1DocumentMapsSecondsToSingleSample) {
+  const char* doc = R"({
+    "bench": "legacy", "git": "abc", "seed": 7, "runs": 1000,
+    "fast": false, "workers": 2, "obs_mode": "off", "wall_seconds": 2.0,
+    "stages": [{"name": "corpus", "seconds": 1.25},
+               {"name": "predict", "seconds": 0.75}]
+  })";
+  const auto t = obs::parse_bench_telemetry(obs::json::parse(doc));
+  EXPECT_EQ(t.schema_version, 1);
+  EXPECT_EQ(t.repeat, 1u);
+  EXPECT_TRUE(t.hostname.empty());
+  ASSERT_EQ(t.stages.size(), 2u);
+  EXPECT_EQ(t.stages[0].samples, (std::vector<double>{1.25}));
+  EXPECT_EQ(t.stages[1].samples, (std::vector<double>{0.75}));
+}
+
+TEST(Telemetry, RejectsDocumentsWithoutBenchOrStages) {
+  EXPECT_THROW(obs::parse_bench_telemetry(obs::json::parse("{}")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      obs::parse_bench_telemetry(obs::json::parse(R"({"bench":"x"})")),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline store.
+
+obs::BaselineRecord demo_record() {
+  obs::BaselineRecord r;
+  r.bench = "demo";
+  r.timestamp = "2026-08-05T10:00:00Z";
+  r.env = {"abc-dirty", "m1", 4, "off"};
+  r.runs = 300;
+  r.fast = true;
+  r.repeat = 8;
+  r.stages.push_back({"corpus", timing_draw(1, 8)});
+  r.stages.push_back({"predict", timing_draw(2, 8)});
+  return r;
+}
+
+TEST(BaselineStore, RecordRoundTripsThroughJsonLine) {
+  const obs::BaselineRecord r = demo_record();
+  const std::string line = obs::baseline_record_json(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto back = obs::parse_baseline_record(obs::json::parse(line));
+  EXPECT_EQ(back.bench, r.bench);
+  EXPECT_EQ(back.timestamp, r.timestamp);
+  EXPECT_EQ(back.env.git, r.env.git);
+  EXPECT_EQ(back.env.hostname, r.env.hostname);
+  EXPECT_EQ(back.env.workers, r.env.workers);
+  EXPECT_EQ(back.env.obs_mode, r.env.obs_mode);
+  EXPECT_EQ(back.repeat, r.repeat);
+  ASSERT_EQ(back.stages.size(), r.stages.size());
+  for (std::size_t i = 0; i < r.stages.size(); ++i) {
+    EXPECT_EQ(back.stages[i].name, r.stages[i].name);
+    EXPECT_EQ(back.stages[i].samples, r.stages[i].samples);
+  }
+}
+
+TEST(BaselineStore, AppendLoadAndLatestSelection) {
+  const std::string path =
+      testing::TempDir() + "/varpred_baseline_test.jsonl";
+  std::remove(path.c_str());
+  obs::BaselineRecord first = demo_record();
+  obs::BaselineRecord second = demo_record();
+  second.timestamp = "2026-08-06T10:00:00Z";
+  obs::BaselineRecord other = demo_record();
+  other.bench = "other";
+  obs::append_baseline(path, first);
+  obs::append_baseline(path, other);
+  obs::append_baseline(path, second);
+
+  const auto records = obs::load_baselines(path);
+  ASSERT_EQ(records.size(), 3u);
+  const obs::BaselineRecord* latest = obs::latest_baseline(records, "demo");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->timestamp, "2026-08-06T10:00:00Z");
+  EXPECT_EQ(obs::latest_baseline(records, "missing"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(BaselineStore, EnvFingerprintComparability) {
+  obs::EnvFingerprint a{"g1", "m1", 4, "off"};
+  obs::EnvFingerprint b{"g2", "m1", 4, "off"};  // git differs: comparable
+  obs::EnvFingerprint c{"g1", "m2", 4, "off"};
+  obs::EnvFingerprint d{"g1", "m1", 8, "off"};
+  obs::EnvFingerprint e{"g1", "m1", 4, "trace"};
+  EXPECT_TRUE(a.comparable_with(b));
+  EXPECT_FALSE(a.comparable_with(c));
+  EXPECT_FALSE(a.comparable_with(d));
+  EXPECT_FALSE(a.comparable_with(e));
+}
+
+// ---------------------------------------------------------------------------
+// Whole-run diffs.
+
+obs::BenchTelemetry demo_candidate(double factor) {
+  obs::BenchTelemetry t;
+  t.schema_version = 2;
+  t.bench = "demo";
+  t.git = "def";
+  t.hostname = "m1";
+  t.timestamp = "2026-08-07T10:00:00Z";
+  t.obs_mode = "off";
+  t.workers = 4;
+  t.runs = 300;
+  t.repeat = 8;
+  t.stages.push_back({"corpus", timing_draw(11, 8, factor)});
+  t.stages.push_back({"predict", timing_draw(12, 8)});
+  return t;
+}
+
+TEST(BenchDiff, RunDiffFlagsOnlyTheSlowedStage) {
+  obs::BaselineRecord base = demo_record();
+  base.stages[0].samples = timing_draw(21, 8);
+  base.stages[1].samples = timing_draw(22, 8);
+  const auto run =
+      obs::diff_telemetry(base, demo_candidate(2.0), test_config());
+  EXPECT_TRUE(run.env_match);
+  ASSERT_EQ(run.stages.size(), 2u);
+  EXPECT_EQ(run.stages[0].verdict, obs::Verdict::kRegressed);
+  EXPECT_EQ(run.stages[1].verdict, obs::Verdict::kUnchanged);
+  EXPECT_EQ(run.overall, obs::Verdict::kRegressed);
+}
+
+TEST(BenchDiff, StagesMissingOnEitherSideAreInconclusive) {
+  obs::BaselineRecord base = demo_record();
+  base.stages.push_back({"retired_stage", timing_draw(3, 8)});
+  obs::BenchTelemetry cand = demo_candidate(1.0);
+  cand.stages.push_back({"new_stage", timing_draw(4, 8)});
+  const auto run = obs::diff_telemetry(base, cand, test_config());
+  ASSERT_EQ(run.stages.size(), 4u);
+  bool saw_new = false;
+  bool saw_retired = false;
+  for (const auto& d : run.stages) {
+    if (d.stage == "new_stage") {
+      saw_new = true;
+      EXPECT_EQ(d.verdict, obs::Verdict::kInconclusive);
+      EXPECT_EQ(d.note, "stage missing from baseline");
+    }
+    if (d.stage == "retired_stage") {
+      saw_retired = true;
+      EXPECT_EQ(d.verdict, obs::Verdict::kInconclusive);
+      EXPECT_EQ(d.note, "stage missing from candidate");
+    }
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_TRUE(saw_retired);
+}
+
+TEST(BenchDiff, EnvMismatchIsNotedAndOptionallyDemotes) {
+  obs::BaselineRecord base = demo_record();
+  base.stages[0].samples = timing_draw(21, 8);
+  base.stages[1].samples = timing_draw(22, 8);
+  base.env.hostname = "other-machine";
+
+  auto run = obs::diff_telemetry(base, demo_candidate(2.0), test_config());
+  EXPECT_FALSE(run.env_match);
+  EXPECT_NE(run.env_note.find("hostname"), std::string::npos);
+  EXPECT_EQ(run.stages[0].verdict, obs::Verdict::kRegressed);
+
+  obs::DiffConfig strict = test_config();
+  strict.require_env_match = true;
+  run = obs::diff_telemetry(base, demo_candidate(2.0), strict);
+  EXPECT_EQ(run.stages[0].verdict, obs::Verdict::kInconclusive);
+  EXPECT_NE(run.stages[0].note.find("environment mismatch"),
+            std::string::npos);
+}
+
+TEST(BenchDiff, ReportsNameTheVerdicts) {
+  obs::BaselineRecord base = demo_record();
+  base.stages[0].samples = timing_draw(21, 8);
+  base.stages[1].samples = timing_draw(22, 8);
+  const std::vector<obs::RunDiff> runs = {
+      obs::diff_telemetry(base, demo_candidate(2.0), test_config())};
+  const obs::DiffConfig config = test_config();
+  const std::string md = obs::markdown_report(runs, config);
+  EXPECT_NE(md.find("regressed"), std::string::npos);
+  EXPECT_NE(md.find("| corpus |"), std::string::npos);
+
+  const auto doc = obs::json::parse(obs::json_report(runs));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("overall")->str, "regressed");
+  const auto* jruns = doc.find("runs");
+  ASSERT_TRUE(jruns != nullptr && jruns->is_array());
+  ASSERT_EQ(jruns->array.size(), 1u);
+  EXPECT_EQ(jruns->array[0].find("bench")->str, "demo");
+}
+
+TEST(BenchDiff, OverallVerdictFoldsWorstCase) {
+  using obs::Verdict;
+  std::vector<obs::StageDiff> stages(3);
+  stages[0].verdict = Verdict::kUnchanged;
+  stages[1].verdict = Verdict::kImproved;
+  stages[2].verdict = Verdict::kUnchanged;
+  EXPECT_EQ(obs::overall_verdict(stages), Verdict::kImproved);
+  stages[2].verdict = Verdict::kInconclusive;
+  EXPECT_EQ(obs::overall_verdict(stages), Verdict::kInconclusive);
+  stages[0].verdict = Verdict::kRegressed;
+  EXPECT_EQ(obs::overall_verdict(stages), Verdict::kRegressed);
+}
+
+}  // namespace
+}  // namespace varpred

@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <sstream>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
@@ -303,6 +305,165 @@ TEST(ObsJson, NumberFormattingRoundTrips) {
     const auto doc = obs::json::parse(obs::json::number(v));
     EXPECT_EQ(doc.num, v) << obs::json::number(v);
   }
+}
+
+// ---------------------------------------------------------------------------
+// dump()/parse() round-trip property tests (the baseline store and
+// bench_diff reports ride on these).
+
+bool values_equal(const obs::json::Value& a, const obs::json::Value& b) {
+  using Type = obs::json::Value::Type;
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return a.boolean == b.boolean;
+    case Type::kNumber:
+      return a.num == b.num;  // exact: number() must round-trip
+    case Type::kString:
+      return a.str == b.str;
+    case Type::kArray:
+      if (a.array.size() != b.array.size()) return false;
+      for (std::size_t i = 0; i < a.array.size(); ++i) {
+        if (!values_equal(a.array[i], b.array[i])) return false;
+      }
+      return true;
+    case Type::kObject:
+      if (a.object.size() != b.object.size()) return false;
+      for (std::size_t i = 0; i < a.object.size(); ++i) {
+        if (a.object[i].first != b.object[i].first) return false;
+        if (!values_equal(a.object[i].second, b.object[i].second)) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+obs::json::Value random_value(Rng& rng, std::size_t depth) {
+  using Type = obs::json::Value::Type;
+  obs::json::Value v;
+  // Shallow levels prefer containers; leaves at depth 3.
+  const std::uint64_t kind =
+      depth >= 3 ? rng.uniform_index(4) : rng.uniform_index(6);
+  switch (kind) {
+    case 0:
+      v.type = Type::kNull;
+      break;
+    case 1:
+      v.type = Type::kBool;
+      v.boolean = rng.uniform_index(2) == 1;
+      break;
+    case 2: {
+      v.type = Type::kNumber;
+      // Mix of scales incl. values needing the full %.17g fallback.
+      const double scale[] = {1.0, 1e-12, 1e15, 0.1};
+      v.num = rng.uniform(-1.0, 1.0) * scale[rng.uniform_index(4)] +
+              1.0 / 3.0;
+      break;
+    }
+    case 3: {
+      v.type = Type::kString;
+      const std::size_t len = rng.uniform_index(12);
+      for (std::size_t i = 0; i < len; ++i) {
+        // Whole byte range below 0x80 plus a UTF-8 pair: exercises every
+        // escape class (quotes, backslash, control chars) and passthrough.
+        const std::uint64_t c = rng.uniform_index(130);
+        if (c < 128) {
+          v.str += static_cast<char>(c);
+        } else {
+          v.str += "\xC3\xA9";  // é
+        }
+      }
+      break;
+    }
+    case 4: {
+      v.type = Type::kArray;
+      const std::size_t n = rng.uniform_index(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        v.array.push_back(random_value(rng, depth + 1));
+      }
+      break;
+    }
+    default: {
+      v.type = Type::kObject;
+      const std::size_t n = rng.uniform_index(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        v.object.emplace_back("k" + std::to_string(i),
+                              random_value(rng, depth + 1));
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+TEST(ObsJson, DumpParseRoundTripsRandomDocuments) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 200; ++trial) {
+    const obs::json::Value original = random_value(rng, 0);
+    const std::string text = obs::json::dump(original);
+    const obs::json::Value reparsed = obs::json::parse(text);
+    ASSERT_TRUE(values_equal(original, reparsed)) << text;
+  }
+}
+
+TEST(ObsJson, EscapeRoundTripsEveryByteClass) {
+  std::string hostile;
+  for (int c = 1; c < 0x20; ++c) hostile += static_cast<char>(c);
+  hostile += "\"\\/ plain text é 日本語";
+  obs::json::Value v;
+  v.type = obs::json::Value::Type::kString;
+  v.str = hostile;
+  const obs::json::Value reparsed = obs::json::parse(obs::json::dump(v));
+  EXPECT_EQ(reparsed.str, hostile);
+}
+
+TEST(ObsJson, PreciseDoublesRoundTripExactly) {
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Doubles whose shortest decimal form needs the full 17 digits.
+    const double v = rng.uniform(0.0, 1.0) * std::pow(10.0,
+        static_cast<double>(rng.uniform_index(40)) - 20.0);
+    const obs::json::Value parsed = obs::json::parse(obs::json::number(v));
+    ASSERT_EQ(parsed.num, v);
+  }
+}
+
+TEST(ObsJson, DeepNestingGuardRejectsStackAbuse) {
+  // Within the guard: parses fine.
+  std::string ok;
+  for (int i = 0; i < 200; ++i) ok += '[';
+  ok += '1';
+  for (int i = 0; i < 200; ++i) ok += ']';
+  EXPECT_NO_THROW(obs::json::parse(ok));
+
+  // Past kMaxDepth: clean error, not a stack overflow.
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 5000; ++i) deep += ']';
+  EXPECT_THROW(obs::json::parse(deep), std::invalid_argument);
+
+  std::string deep_obj;
+  for (int i = 0; i < 5000; ++i) deep_obj += "{\"k\":";
+  deep_obj += "1";
+  for (int i = 0; i < 5000; ++i) deep_obj += '}';
+  EXPECT_THROW(obs::json::parse(deep_obj), std::invalid_argument);
+}
+
+TEST(ObsEnv, HostnameAndTimestampAreWellFormed) {
+  EXPECT_FALSE(obs::hostname().empty());
+  const std::string ts = obs::iso8601_utc_now();
+  ASSERT_EQ(ts.size(), 20u) << ts;
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], 'Z');
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// bench_diff: distribution-aware comparison of repeat-run bench telemetry
+// against a baseline store — the consumer of the BENCH_*.json documents
+// every harness emits, dogfooding the repo's own two-sample machinery
+// (KS p-value, normalized Wasserstein-1, bootstrap CI on the median shift).
+//
+//   bench_diff --baseline=<store> <BENCH_*.json> [...]   compare
+//   bench_diff --append-baseline=<file.jsonl> <BENCH_*.json> [...]
+//                                                         grow a store
+//
+// <store> is a .jsonl file, a directory of .jsonl files (all loaded;
+// latest record per bench wins), or a single telemetry .json document.
+//
+// Options (compare mode):
+//   --alpha=P         KS significance level            (default 0.01)
+//   --w1=X            normalized-W1 effect-size floor  (default 0.10)
+//   --min-samples=N   per-side sample floor            (default 5)
+//   --replicates=N    bootstrap replicates             (default 2000)
+//   --seed=N          bootstrap seed                   (default fixed)
+//   --require-env-match  demote cross-environment regressed/improved
+//                        verdicts to inconclusive
+//   --report=PATH     write the markdown report here (default: stdout)
+//   --json=PATH       also write the machine-readable report
+//   --warn-only       exit 0 even when stages regressed (CI soft gate)
+//
+// Exit codes: 0 = no regression (or --warn-only), 1 = regression detected,
+// 2 = usage / I/O / parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/baseline.hpp"
+#include "obs/regression.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using namespace varpred;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --baseline=<jsonl|dir|json> [options] <BENCH_*.json> [...]\n"
+      "       %s --append-baseline=<file.jsonl> <BENCH_*.json> [...]\n"
+      "options: --alpha=P --w1=X --min-samples=N --replicates=N --seed=N\n"
+      "         --require-env-match --report=PATH --json=PATH --warn-only\n",
+      argv0, argv0);
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_diff: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string append_path;
+  std::string report_path;
+  std::string json_path;
+  bool warn_only = false;
+  obs::DiffConfig config;
+  std::vector<std::string> candidates;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--baseline=", 11) == 0) {
+      baseline_path = arg + 11;
+    } else if (std::strncmp(arg, "--append-baseline=", 18) == 0) {
+      append_path = arg + 18;
+    } else if (std::strncmp(arg, "--alpha=", 8) == 0) {
+      config.alpha = std::strtod(arg + 8, nullptr);
+    } else if (std::strncmp(arg, "--w1=", 5) == 0) {
+      config.w1_threshold = std::strtod(arg + 5, nullptr);
+    } else if (std::strncmp(arg, "--min-samples=", 14) == 0) {
+      config.min_samples =
+          static_cast<std::size_t>(std::strtoul(arg + 14, nullptr, 10));
+    } else if (std::strncmp(arg, "--replicates=", 13) == 0) {
+      config.bootstrap_replicates =
+          static_cast<std::size_t>(std::strtoul(arg + 13, nullptr, 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--require-env-match") == 0) {
+      config.require_env_match = true;
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      report_path = arg + 9;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strcmp(arg, "--warn-only") == 0) {
+      warn_only = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown flag %s\n", arg);
+      return usage(argv[0]);
+    } else {
+      candidates.push_back(arg);
+    }
+  }
+  if (candidates.empty() || (baseline_path.empty() == append_path.empty())) {
+    return usage(argv[0]);
+  }
+
+  // Append mode: convert each telemetry document into a baseline record.
+  if (!append_path.empty()) {
+    try {
+      for (const std::string& path : candidates) {
+        const obs::BenchTelemetry t = obs::load_bench_telemetry(path);
+        obs::append_baseline(append_path, obs::baseline_from_telemetry(t));
+        std::printf("bench_diff: appended %s (%zu stages, repeat=%zu) -> %s\n",
+                    t.bench.c_str(), t.stages.size(), t.repeat,
+                    append_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_diff: %s\n", e.what());
+      return 2;
+    }
+    return 0;
+  }
+
+  // Compare mode.
+  std::vector<obs::BaselineRecord> store;
+  try {
+    store = obs::load_baselines(baseline_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+  if (store.empty()) {
+    std::fprintf(stderr, "bench_diff: baseline store %s is empty\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  std::vector<obs::RunDiff> runs;
+  for (const std::string& path : candidates) {
+    obs::BenchTelemetry candidate;
+    try {
+      candidate = obs::load_bench_telemetry(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_diff: %s\n", e.what());
+      return 2;
+    }
+    const obs::BaselineRecord* base =
+        obs::latest_baseline(store, candidate.bench);
+    if (base == nullptr) {
+      std::fprintf(stderr,
+                   "bench_diff: no baseline record for bench \"%s\" in %s\n",
+                   candidate.bench.c_str(), baseline_path.c_str());
+      return 2;
+    }
+    runs.push_back(obs::diff_telemetry(*base, candidate, config));
+  }
+
+  const std::string markdown = obs::markdown_report(runs, config);
+  if (report_path.empty()) {
+    std::fputs(markdown.c_str(), stdout);
+  } else {
+    if (!write_file(report_path, markdown)) return 2;
+    std::printf("bench_diff: report -> %s\n", report_path.c_str());
+  }
+  if (!json_path.empty()) {
+    if (!write_file(json_path, obs::json_report(runs) + "\n")) return 2;
+    std::printf("bench_diff: json -> %s\n", json_path.c_str());
+  }
+
+  const obs::Verdict overall = obs::overall_verdict(
+      std::span<const obs::RunDiff>(runs.data(), runs.size()));
+  std::printf("bench_diff: overall verdict: %s\n", obs::to_string(overall));
+  if (overall == obs::Verdict::kRegressed && !warn_only) return 1;
+  return 0;
+}

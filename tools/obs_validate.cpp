@@ -3,14 +3,21 @@
 // items / enum). Exists so CI can gate the BENCH_*.json telemetry format
 // without a Python dependency.
 //
-//   obs_validate <schema.json> <document.json> [<document.json> ...]
+//   obs_validate <schema.json> <document.json | directory> [...]
 //
-// Exit code 0 when every document validates; 1 on the first failure, with
-// a JSON-pointer-style path to the offending node on stderr.
+// A directory argument expands to every BENCH_*.json inside it (Chrome
+// *.trace.json files are skipped — they follow the trace_event format, not
+// this schema). Every input is validated — failures do not stop the run —
+// and a pass/fail summary is printed at the end. Exit code 0 when every
+// document validates, 1 when any fails, 2 on usage/schema errors or when
+// no documents were found.
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 
@@ -118,10 +125,10 @@ bool validate(const Value& doc, const Value& schema,
   return true;
 }
 
-bool read_file(const char* path, std::string& out) {
+bool read_file(const std::string& path, std::string& out) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path);
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return false;
   }
   std::ostringstream buffer;
@@ -130,12 +137,41 @@ bool read_file(const char* path, std::string& out) {
   return true;
 }
 
+bool is_telemetry_document(const std::filesystem::path& p) {
+  const std::string name = p.filename().string();
+  if (name.size() < 6 || name.compare(0, 6, "BENCH_") != 0) return false;
+  if (name.size() >= 11 &&
+      name.compare(name.size() - 11, 11, ".trace.json") == 0) {
+    return false;
+  }
+  return name.size() >= 5 &&
+         name.compare(name.size() - 5, 5, ".json") == 0;
+}
+
+/// Expands an argument into document paths: a directory yields its
+/// BENCH_*.json files (sorted, traces skipped); anything else passes
+/// through untouched.
+std::vector<std::string> expand_input(const std::string& arg) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(arg, ec)) return {arg};
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(arg)) {
+    if (entry.is_regular_file() && is_telemetry_document(entry.path())) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <schema.json> <document.json> [...]\n", argv[0]);
+                 "usage: %s <schema.json> <document.json | dir> [...]\n",
+                 argv[0]);
     return 2;
   }
   std::string text;
@@ -147,17 +183,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", argv[1], e.what());
     return 2;
   }
+
+  std::vector<std::string> documents;
   for (int i = 2; i < argc; ++i) {
-    if (!read_file(argv[i], text)) return 1;
-    Value doc;
-    try {
-      doc = varpred::obs::json::parse(text);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
-      return 1;
+    for (std::string& path : expand_input(argv[i])) {
+      documents.push_back(std::move(path));
     }
-    if (!validate(doc, schema, std::string(argv[i]) + "#")) return 1;
-    std::printf("%s: ok\n", argv[i]);
   }
-  return 0;
+  if (documents.empty()) {
+    std::fprintf(stderr, "%s: no documents to validate\n", argv[0]);
+    return 2;
+  }
+
+  std::size_t passed = 0;
+  for (const std::string& path : documents) {
+    bool ok = read_file(path, text);
+    if (ok) {
+      try {
+        const Value doc = varpred::obs::json::parse(text);
+        ok = validate(doc, schema, path + "#");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+        ok = false;
+      }
+    }
+    std::printf("%s: %s\n", path.c_str(), ok ? "ok" : "FAIL");
+    passed += ok;
+  }
+  std::printf("%zu/%zu documents ok\n", passed, documents.size());
+  return passed == documents.size() ? 0 : 1;
 }

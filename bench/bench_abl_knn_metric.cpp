@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
     const auto intel = bench::intel_corpus(args);
     const auto amd = bench::amd_corpus(args);
     run.stage("evaluate");
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(core::EvalOptions{}.seed);
+    options.quality_repr = "PearsonRnd";
 
     const ml::Metric metrics[] = {ml::Metric::kCosine, ml::Metric::kEuclidean,
                                   ml::Metric::kManhattan};
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
       };
       core::FewRunsConfig uc1;
       uc1.model_factory = factory;
+      options.quality_model = std::string("kNN-") + ml::to_string(metric);
       bench::print_violin_row(table, "UC1 (few runs)", ml::to_string(metric),
                               core::evaluate_few_runs(intel, uc1, options));
       std::fflush(stdout);
@@ -44,6 +47,7 @@ int main(int argc, char** argv) {
       };
       core::CrossSystemConfig uc2;
       uc2.model_factory = factory;
+      options.quality_model = std::string("kNN-") + ml::to_string(metric);
       bench::print_violin_row(
           table, "UC2 (AMD->Intel)", ml::to_string(metric),
           core::evaluate_cross_system(amd, intel, uc2, options));

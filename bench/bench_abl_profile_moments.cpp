@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
     run.stage("corpus");
     const auto intel = bench::intel_corpus(args);
     run.stage("evaluate");
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(core::EvalOptions{}.seed);
+    options.quality_repr = "PearsonRnd";
 
     std::printf("=== Ablation A2a: profile features (PearsonRnd + kNN, 10 "
                 "runs) ===\n\n");
@@ -23,12 +25,16 @@ int main(int argc, char** argv) {
     {
       core::FewRunsConfig mean_only;
       mean_only.profile.include_higher_moments = false;
+      options.quality_model = "kNN";
+      options.quality_context = "profile=means";
       bench::print_violin_row(table, "means only", "kNN",
                               core::evaluate_few_runs(intel, mean_only,
                                                       options));
       core::FewRunsConfig full;
+      options.quality_context = "profile=moments4";
       bench::print_violin_row(table, "mean+sd+skew+kurt", "kNN",
                               core::evaluate_few_runs(intel, full, options));
+      options.quality_context.clear();
     }
     std::printf("%s\n", table.render(2).c_str());
 
@@ -42,6 +48,8 @@ int main(int argc, char** argv) {
         params.k = k;
         return std::make_unique<ml::KnnRegressor>(params);
       };
+      options.quality_model = "kNN";
+      options.quality_context = "k=" + std::to_string(k);
       bench::print_violin_row(ktable, std::to_string(k), "kNN",
                               core::evaluate_few_runs(intel, config, options));
       std::fflush(stdout);

@@ -18,11 +18,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/text.hpp"
 #include "common/thread_pool.hpp"
 #include "core/varpred.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/quality.hpp"
 #include "stats/moments.hpp"
 
 #if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
@@ -57,6 +59,9 @@ struct HarnessArgs {
   std::optional<obs::Mode> obs_mode;
   /// --obs-out=<path>: telemetry JSON path (default BENCH_<name>.json).
   std::string obs_out;
+  /// --quality-out=<path>: prediction-quality JSON path (default
+  /// QUALITY_<name>.json).
+  std::string quality_out;
 
   /// Strict positive-integer flag value: rejects empty, non-numeric, and
   /// trailing-garbage values (e.g. --repeat=bogus) instead of reading 0.
@@ -85,6 +90,8 @@ struct HarnessArgs {
       obs_mode = mode;
     } else if (std::strncmp(arg, "--obs-out=", 10) == 0) {
       obs_out = arg + 10;
+    } else if (std::strncmp(arg, "--quality-out=", 14) == 0) {
+      quality_out = arg + 14;
     } else {
       return false;
     }
@@ -97,7 +104,8 @@ struct HarnessArgs {
       if (!args.consume(argv[i])) {
         std::fprintf(stderr,
                      "usage: %s [--fast] [--runs=N] [--repeat=N] "
-                     "[--obs=off|summary|trace] [--obs-out=PATH]\n",
+                     "[--obs=off|summary|trace] [--obs-out=PATH] "
+                     "[--quality-out=PATH]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -181,6 +189,11 @@ class Run {
         args_.repeat, ThreadPool::global().worker_count(),
         obs::to_string(obs::mode()), VARPRED_GIT_DESCRIBE, hostname_.c_str(),
         timestamp_.c_str());
+    // Accuracy scores are observables too: switch the process-global
+    // quality recorder on for the harness body (the library default is
+    // off) and start from a clean slate.
+    obs::QualityRecorder::set_enabled(true);
+    obs::QualityRecorder::instance().reset();
     ThreadPool::global().reset_stats();
     start_ = clock::now();
     stage_start_ = start_;
@@ -190,6 +203,22 @@ class Run {
   Run& operator=(const Run&) = delete;
 
   std::size_t repeat() const { return args_.repeat; }
+
+  /// Index of the current repetition (0-based; 0 before the first
+  /// begin_repetition()).
+  std::size_t repetition() const { return repetition_; }
+
+  /// Seed for the current repetition: the base seed on the first pass (so
+  /// --repeat=1 reproduces the printed numbers exactly), an independent
+  /// derived stream afterwards. Harness bodies that feed this into their
+  /// evaluation seeds turn --repeat=N into N seed-varied quality samples
+  /// per cell — the raw material for the quality_diff bootstrap.
+  std::uint64_t repetition_seed(std::uint64_t base) const {
+    return repetition_ == 0
+               ? base
+               : seed_combine(base, static_cast<std::uint64_t>(repetition_));
+  }
+  std::uint64_t repetition_seed() const { return repetition_seed(seed_); }
 
   /// Closes the current stage (if any) and opens a new one. Calling
   /// stage("x") again on a later repetition appends another sample to x.
@@ -201,7 +230,11 @@ class Run {
 
   /// Repetition boundary (run_repeated calls this before every pass):
   /// closes the open stage so its sample lands in the finished repetition.
-  void begin_repetition() { close_stage(); }
+  void begin_repetition() {
+    close_stage();
+    repetition_ = started_ ? repetition_ + 1 : 0;
+    started_ = true;
+  }
 
   ~Run() {
     close_stage();
@@ -216,6 +249,33 @@ class Run {
     }
     write_json(out, wall, pool);
     std::printf("[bench] telemetry -> %s\n", path.c_str());
+
+    // Quality document: every bench emits one, even when the harness body
+    // recorded nothing (an empty cell list says "this bench makes no
+    // predictions" — distinguishable from "emission broke").
+    obs::QualityDocument quality;
+    quality.provenance.bench = name_;
+    quality.provenance.git = VARPRED_GIT_DESCRIBE;
+    quality.provenance.hostname = hostname_;
+    quality.provenance.timestamp = timestamp_;
+    quality.provenance.obs_mode = obs::to_string(obs::mode());
+    quality.provenance.seed = seed_;
+    quality.provenance.runs = args_.runs;
+    quality.provenance.workers = ThreadPool::global().worker_count();
+    quality.provenance.repeat = args_.repeat;
+    quality.provenance.fast = args_.fast;
+    quality.cells = obs::QualityRecorder::instance().snapshot();
+    const std::string quality_path = args_.quality_out.empty()
+                                         ? "QUALITY_" + name_ + ".json"
+                                         : args_.quality_out;
+    std::ofstream qout(quality_path);
+    if (qout) {
+      qout << obs::quality_document_json(quality) << "\n";
+      std::printf("[bench] quality -> %s (%zu cells)\n", quality_path.c_str(),
+                  quality.cells.size());
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n", quality_path.c_str());
+    }
 
     if (obs::mode() == obs::Mode::kTrace) {
       const std::string trace_path = trace_path_for(path);
@@ -339,6 +399,8 @@ class Run {
   clock::time_point start_;
   clock::time_point stage_start_;
   const char* current_stage_ = nullptr;
+  std::size_t repetition_ = 0;
+  bool started_ = false;
   std::vector<StageAgg> stages_;
 };
 

@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
     run.stage("corpus");
     const auto corpus = bench::intel_corpus(args);
     run.stage("evaluate");
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(core::EvalOptions{}.seed);
 
     std::printf("=== Extension E2: representations x models beyond the paper "
                 "(use case 1, Intel, 10 runs) ===\n\n");
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
       core::FewRunsConfig config;
       config.repr = core::ReprKind::kQuantile;
       config.model = model;
+      options.quality_repr = core::to_string(config.repr);
+      options.quality_model = core::to_string(model);
       bench::print_violin_row(table, "Quantile", core::to_string(model),
                               core::evaluate_few_runs(corpus, config, options));
       std::fflush(stdout);
@@ -32,6 +35,8 @@ int main(int argc, char** argv) {
       core::FewRunsConfig config;
       config.repr = repr;
       config.model = core::ModelKind::kRidge;
+      options.quality_repr = core::to_string(repr);
+      options.quality_model = core::to_string(config.model);
       bench::print_violin_row(table, core::to_string(repr), "Ridge",
                               core::evaluate_few_runs(corpus, config, options));
       std::fflush(stdout);

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
     run.stage("corpus");
     const auto corpus = bench::intel_corpus(args);
     run.stage("evaluate");
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(options.seed);
 
     std::printf("=== Extension E3: KS vs 1-Wasserstein scoring (use case 1, "
                 "Intel, kNN) ===\n\n");
@@ -34,6 +35,12 @@ int main(int argc, char** argv) {
         const auto measured = corpus.benchmarks[b].relative_times();
         ks_scores.push_back(stats::ks_statistic(measured, predicted));
         total_w1 += stats::wasserstein1(measured, predicted);
+        obs::record_prediction_scores(
+            {measure::benchmark_table()[corpus.benchmarks[b].benchmark]
+                 .full_name(),
+             corpus.system->name(), core::to_string(repr),
+             core::to_string(config.model)},
+            measured, predicted);
       }
       const double mean_ks = stats::mean(ks_scores);
       const double mean_w1 =

@@ -23,7 +23,10 @@ int main(int argc, char** argv) {
 
     run.stage("evaluate");
     const core::CrossSystemConfig config;
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(core::EvalOptions{}.seed);
+    options.quality_repr = core::to_string(config.repr);
+    options.quality_model = core::to_string(config.model);
     auto table = bench::violin_table("direction", "model");
     for (std::size_t s = 0; s < corpora.size(); ++s) {
       for (std::size_t t = 0; t < corpora.size(); ++t) {

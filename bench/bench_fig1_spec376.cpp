@@ -49,8 +49,13 @@ int main(int argc, char** argv) {
     run.stage("predict");
     core::FewRunsConfig config;  // PearsonRnd + kNN, 10 probe runs
     core::EvalOptions options;
+    options.seed = run.repetition_seed(options.seed);
     const auto predicted =
         core::predict_held_out_few_runs(corpus, bench_idx, config, options);
+    obs::record_prediction_scores(
+        {"specomp/376", corpus.system->name(), core::to_string(config.repr),
+         core::to_string(config.model)},
+        measured, predicted);
     const double ks = stats::ks_statistic(measured, predicted);
     const auto pred_moments = stats::compute_moments(predicted);
     std::printf("(f) PREDICTED from 10 runs (PearsonRnd + kNN)   KS = %.3f   "

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
     run.stage("corpus");
     const auto corpus = bench::intel_corpus(args);
     run.stage("evaluate");
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(core::EvalOptions{}.seed);
 
     std::printf("=== Fig. 4: use case 1 -- KS by representation x model "
                 "(Intel, 10 runs) ===\n\n");
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
         core::FewRunsConfig config;
         config.repr = repr;
         config.model = model;
+        options.quality_repr = core::to_string(repr);
+        options.quality_model = core::to_string(model);
         const auto result = core::evaluate_few_runs(corpus, config, options);
         bench::print_violin_row(table, core::to_string(repr),
                                 core::to_string(model), result);

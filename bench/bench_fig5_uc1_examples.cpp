@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
     const auto corpus = bench::intel_corpus(args);
     run.stage("predict");
     const core::FewRunsConfig config;  // PearsonRnd + kNN, 10 runs
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(options.seed);
 
     const char* selected[] = {
         "specaccel/359",     "specaccel/304",  "npb/bt",
@@ -31,6 +32,10 @@ int main(int argc, char** argv) {
       const auto measured = corpus.benchmarks[idx].relative_times();
       const auto predicted =
           core::predict_held_out_few_runs(corpus, idx, config, options);
+      obs::record_prediction_scores(
+          {name, corpus.system->name(), core::to_string(config.repr),
+           core::to_string(config.model)},
+          measured, predicted);
       const double ks = stats::ks_statistic(measured, predicted);
       const auto mm = stats::compute_moments(measured);
       const auto pm = stats::compute_moments(predicted);

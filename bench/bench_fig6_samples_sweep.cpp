@@ -29,9 +29,14 @@ int main(int argc, char** argv) {
       for (std::size_t s = 0; s < n_seeds; ++s) {
         core::FewRunsConfig config;
         config.n_probe_runs = n;
-        config.seed = 1000 + seeds[s];
+        config.seed = run.repetition_seed(1000 + seeds[s]);
         core::EvalOptions options;
-        options.seed = seeds[s];
+        options.seed = run.repetition_seed(seeds[s]);
+        // One quality cell per sweep point: without the context
+        // discriminator every probe count would collapse into one cell.
+        options.quality_repr = core::to_string(config.repr);
+        options.quality_model = core::to_string(config.model);
+        options.quality_context = "probes=" + std::to_string(n);
         const auto result = core::evaluate_few_runs(corpus, config, options);
         all_ks.insert(all_ks.end(), result.ks.begin(), result.ks.end());
       }

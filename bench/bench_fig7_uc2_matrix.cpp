@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
     const auto intel = bench::intel_corpus(args);
     const auto amd = bench::amd_corpus(args);
     run.stage("evaluate");
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(core::EvalOptions{}.seed);
 
     std::printf("=== Fig. 7: use case 2 -- KS by representation x model "
                 "(AMD -> Intel) ===\n\n");
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
         core::CrossSystemConfig config;
         config.repr = repr;
         config.model = model;
+        options.quality_repr = core::to_string(repr);
+        options.quality_model = core::to_string(model);
         const auto result =
             core::evaluate_cross_system(amd, intel, config, options);
         bench::print_violin_row(table, core::to_string(repr),

@@ -15,7 +15,10 @@ int main(int argc, char** argv) {
     const auto amd = bench::amd_corpus(args);
     run.stage("evaluate");
     const core::CrossSystemConfig config;  // PearsonRnd + kNN
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(core::EvalOptions{}.seed);
+    options.quality_repr = core::to_string(config.repr);
+    options.quality_model = core::to_string(config.model);
 
     std::printf("=== Fig. 8: system-to-system prediction directions "
                 "(PearsonRnd + kNN) ===\n\n");

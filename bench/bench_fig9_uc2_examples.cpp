@@ -16,7 +16,10 @@ int main(int argc, char** argv) {
     const auto amd = bench::amd_corpus(args);
     run.stage("predict");
     const core::CrossSystemConfig config;  // PearsonRnd + kNN
-    const core::EvalOptions options;
+    core::EvalOptions options;
+    options.seed = run.repetition_seed(options.seed);
+    const std::string systems =
+        amd.system->name() + "->" + intel.system->name();
 
     const char* selected[] = {
         "npb/is",          "rodinia/heartwall", "parboil/spmv",
@@ -32,6 +35,10 @@ int main(int argc, char** argv) {
       const auto measured = intel.benchmarks[idx].relative_times();
       const auto predicted = core::predict_held_out_cross_system(
           amd, intel, idx, config, options);
+      obs::record_prediction_scores(
+          {name, systems, core::to_string(config.repr),
+           core::to_string(config.model)},
+          measured, predicted);
       const double ks = stats::ks_statistic(measured, predicted);
       const auto mm = stats::compute_moments(measured);
       const auto pm = stats::compute_moments(predicted);

@@ -8,17 +8,35 @@
 //      paper's best configuration).
 //   3. Take 10 runs of a "new" application, predict its full distribution,
 //      and compare against the measured truth.
+//
+// An optional argument caps the per-benchmark run budget (default 1000,
+// the paper's campaign size): `quickstart 150` runs the same pipeline on a
+// small corpus in a couple of seconds, which is what the CI smoke step
+// uses.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/varpred.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace varpred;
 
+  std::size_t runs = 1000;
+  if (argc > 1) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || v == 0) {
+      std::fprintf(stderr, "usage: %s [runs_per_benchmark]\n", argv[0]);
+      return 2;
+    }
+    runs = static_cast<std::size_t>(v);
+  }
+
   // 1. Measure the training corpus: every Table I benchmark, 1000 runs.
-  std::printf("measuring training corpus (60 benchmarks x 1000 runs)...\n");
+  std::printf("measuring training corpus (60 benchmarks x %zu runs)...\n",
+              runs);
   const auto corpus =
-      measure::build_corpus(measure::SystemModel::intel(), 1000, /*seed=*/7);
+      measure::build_corpus(measure::SystemModel::intel(), runs, /*seed=*/7);
 
   // Treat one benchmark as the "new" application: hold it out of training.
   const std::size_t new_app = measure::benchmark_index("specomp/376");

@@ -1,11 +1,16 @@
 #include "core/evaluator.hpp"
 
 #include <numeric>
+#include <span>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
+#include "obs/quality.hpp"
+#include "stats/ecdf.hpp"
 #include "stats/ks.hpp"
+#include "stats/overlap.hpp"
+#include "stats/wasserstein.hpp"
 
 namespace varpred::core {
 namespace {
@@ -27,6 +32,34 @@ std::vector<std::size_t> probe_runs_for(const measure::BenchmarkRuns& runs,
   Rng rng(seed_combine(seed, 0xBEEF0000ULL + bench));
   return choose_run_indices(runs.run_count(),
                             std::min(n_probe, runs.run_count()), rng);
+}
+
+// True when this evaluation should also feed the quality recorder (the
+// caller asked for labels and a harness switched recording on).
+bool quality_requested(const EvalOptions& options) {
+  return obs::QualityRecorder::enabled() && !options.quality_repr.empty();
+}
+
+// Records the fold-median of each accuracy metric as one marginal cell
+// (app="*") per metric. Called from the orchestrating thread after the
+// parallel fold loop, so recording order is deterministic.
+void record_fold_medians(std::string systems, const EvalOptions& options,
+                         std::span<const double> ks,
+                         std::span<const double> w1,
+                         std::span<const double> overlap) {
+  obs::QualityCellKey key;
+  key.app = "*";
+  key.systems = std::move(systems);
+  key.repr = options.quality_repr;
+  key.model = options.quality_model;
+  key.context = options.quality_context;
+  obs::QualityRecorder& recorder = obs::QualityRecorder::instance();
+  key.metric = "ks";
+  recorder.record(key, stats::median(ks));
+  key.metric = "wasserstein1_normalized";
+  recorder.record(key, stats::median(w1));
+  key.metric = "overlap";
+  recorder.record(key, stats::median(overlap));
 }
 
 }  // namespace
@@ -68,16 +101,27 @@ EvalResult evaluate_few_runs(const measure::Corpus& corpus,
   EvalResult result;
   result.benchmark_names.resize(n);
   result.ks.resize(n);
+  const bool record_quality = quality_requested(options);
+  std::vector<double> w1(record_quality ? n : 0);
+  std::vector<double> overlap(record_quality ? n : 0);
   parallel_for(n, [&](std::size_t b) {
     obs::Span fold("eval.fold");
     const auto predicted =
         predict_held_out_few_runs(corpus, b, config, options);
     const auto measured = corpus.benchmarks[b].relative_times();
     result.ks[b] = stats::ks_statistic(measured, predicted);
+    if (record_quality) {
+      w1[b] = stats::wasserstein1_normalized(measured, predicted);
+      overlap[b] = stats::overlap_coefficient(measured, predicted);
+    }
     result.benchmark_names[b] =
         measure::benchmark_table()[corpus.benchmarks[b].benchmark].full_name();
   });
   VARPRED_OBS_COUNT("eval.few_runs.folds", n);
+  if (record_quality) {
+    record_fold_medians(corpus.system->name(), options, result.ks, w1,
+                        overlap);
+  }
   return result;
 }
 
@@ -92,17 +136,28 @@ EvalResult evaluate_cross_system(const measure::Corpus& source,
   EvalResult result;
   result.benchmark_names.resize(n);
   result.ks.resize(n);
+  const bool record_quality = quality_requested(options);
+  std::vector<double> w1(record_quality ? n : 0);
+  std::vector<double> overlap(record_quality ? n : 0);
   parallel_for(n, [&](std::size_t b) {
     obs::Span fold("eval.fold");
     const auto predicted =
         predict_held_out_cross_system(source, target, b, config, options);
     const auto measured = target.benchmarks[b].relative_times();
     result.ks[b] = stats::ks_statistic(measured, predicted);
+    if (record_quality) {
+      w1[b] = stats::wasserstein1_normalized(measured, predicted);
+      overlap[b] = stats::overlap_coefficient(measured, predicted);
+    }
     result.benchmark_names[b] =
         measure::benchmark_table()[source.benchmarks[b].benchmark]
             .full_name();
   });
   VARPRED_OBS_COUNT("eval.cross_system.folds", n);
+  if (record_quality) {
+    record_fold_medians(source.system->name() + "->" + target.system->name(),
+                        options, result.ks, w1, overlap);
+  }
   return result;
 }
 

@@ -31,6 +31,18 @@ struct EvalResult {
 struct EvalOptions {
   std::size_t n_reconstruct = 2000;  ///< samples drawn from the prediction
   std::uint64_t seed = 4242;
+  /// Prediction-quality telemetry labels. When `quality_repr` is non-empty
+  /// and the global obs::QualityRecorder is enabled, evaluate_* scores
+  /// every fold with the three paper metrics (KS, normalized W1, overlap)
+  /// and records the fold-median of each as the cell
+  /// (app="*", systems, repr, model [, context]) — the systems label is
+  /// derived from the corpora. The median (not mean) is recorded so a
+  /// single fold hitting the normalized-W1 infinity sentinel cannot poison
+  /// the cell. Empty `quality_repr` (the default) skips the extra scoring
+  /// entirely.
+  std::string quality_repr;
+  std::string quality_model;
+  std::string quality_context;
 };
 
 /// Use case #1: leave-one-benchmark-out over `corpus`.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace varpred::obs::json {
@@ -64,6 +65,55 @@ const Value* Value::find(std::string_view key) const {
     if (name == key) return &value;
   }
   return nullptr;
+}
+
+bool Value::numeric_value(double& out) const {
+  if (type == Type::kNumber) {
+    out = num;
+    return true;
+  }
+  if (type == Type::kString) {
+    if (str == kNanSentinel) {
+      out = std::nan("");
+      return true;
+    }
+    if (str == kPosInfSentinel) {
+      out = std::numeric_limits<double>::infinity();
+      return true;
+    }
+    if (str == kNegInfSentinel) {
+      out = -std::numeric_limits<double>::infinity();
+      return true;
+    }
+  }
+  return false;
+}
+
+Value make_string(std::string text) {
+  Value v;
+  v.type = Value::Type::kString;
+  v.str = std::move(text);
+  return v;
+}
+
+Value make_bool(bool value) {
+  Value v;
+  v.type = Value::Type::kBool;
+  v.boolean = value;
+  return v;
+}
+
+Value make_number(double value) {
+  if (!std::isfinite(value)) {
+    std::string_view sentinel = kNanSentinel;
+    if (value > 0.0) sentinel = kPosInfSentinel;
+    if (value < 0.0) sentinel = kNegInfSentinel;
+    return make_string(std::string(sentinel));
+  }
+  Value v;
+  v.type = Value::Type::kNumber;
+  v.num = value;
+  return v;
 }
 
 namespace {
@@ -321,6 +371,17 @@ void dump(const Value& value, std::string& out) {
       out += value.boolean ? "true" : "false";
       break;
     case Value::Type::kNumber:
+      if (!std::isfinite(value.num)) {
+        // JSON has no Inf/NaN literal; emit the string sentinels that
+        // Value::numeric_value() maps back, so non-finite metrics (the
+        // wasserstein1_normalized infinity sentinel) round-trip.
+        out += '"';
+        out += value.num > 0.0   ? kPosInfSentinel
+               : value.num < 0.0 ? kNegInfSentinel
+                                 : kNanSentinel;
+        out += '"';
+        break;
+      }
       out += number(value.num);
       break;
     case Value::Type::kString:

@@ -27,6 +27,14 @@ std::string escape(std::string_view text);
 /// Inf/NaN).
 std::string number(double value);
 
+/// Sentinel strings dump() emits for non-finite numbers (JSON has no
+/// Inf/NaN literal). numeric_value() maps them back, so documents carrying
+/// legitimate non-finite metrics — e.g. the wasserstein1_normalized
+/// infinity sentinel in quality telemetry — round-trip losslessly.
+inline constexpr std::string_view kNanSentinel = "NaN";
+inline constexpr std::string_view kPosInfSentinel = "Infinity";
+inline constexpr std::string_view kNegInfSentinel = "-Infinity";
+
 class Value {
  public:
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -49,7 +57,19 @@ class Value {
 
   /// First member with this key, or nullptr (also nullptr on non-objects).
   const Value* find(std::string_view key) const;
+
+  /// Reads this value as a double, accepting both plain numbers and the
+  /// non-finite string sentinels ("NaN" / "Infinity" / "-Infinity").
+  /// Returns false (leaving `out` untouched) for anything else.
+  bool numeric_value(double& out) const;
 };
+
+/// Factory helpers for building documents programmatically.
+Value make_string(std::string text);
+Value make_bool(bool value);
+/// Non-finite doubles become the string sentinels, so dump() emits valid
+/// JSON that numeric_value() reads back losslessly.
+Value make_number(double value);
 
 /// Parses a complete JSON document; throws std::invalid_argument (with a
 /// byte offset in the message) on malformed input, trailing garbage, or

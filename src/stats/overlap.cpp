@@ -1,0 +1,46 @@
+#include "stats/overlap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace varpred::stats {
+
+double overlap_coefficient(std::span<const double> a,
+                           std::span<const double> b, std::size_t bins) {
+  VARPRED_CHECK_ARG(bins > 0, "overlap_coefficient needs at least one bin");
+  if (a.empty() || b.empty()) return 0.0;
+
+  double lo = a.front();
+  double hi = a.front();
+  for (const double x : a) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  for (const double x : b) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  // Degenerate pooled range: every value in both samples is identical, so
+  // the two empirical distributions are the same point mass.
+  if (!(hi > lo)) return 1.0;
+
+  const double width = (hi - lo) / static_cast<double>(bins);
+  std::vector<double> pa(bins, 0.0);
+  std::vector<double> pb(bins, 0.0);
+  const auto bin_of = [&](double x) {
+    const auto raw = static_cast<std::size_t>((x - lo) / width);
+    return std::min(raw, bins - 1);  // hi lands in the last bin
+  };
+  for (const double x : a) pa[bin_of(x)] += 1.0 / static_cast<double>(a.size());
+  for (const double x : b) pb[bin_of(x)] += 1.0 / static_cast<double>(b.size());
+
+  double overlap = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    overlap += std::min(pa[i], pb[i]);
+  }
+  return overlap;
+}
+
+}  // namespace varpred::stats

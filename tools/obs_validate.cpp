@@ -3,16 +3,18 @@
 // items / enum). Exists so CI can gate the BENCH_*.json telemetry format
 // without a Python dependency.
 //
-//   obs_validate <schema.json> <document.json | directory> [...]
+//   obs_validate [--prefix=NAME_] <schema.json> <document.json | dir> [...]
 //
-// A directory argument expands to every BENCH_*.json inside it (Chrome
-// *.trace.json files are skipped — they follow the trace_event format, not
-// this schema). Every input is validated — failures do not stop the run —
-// and a pass/fail summary is printed at the end. Exit code 0 when every
-// document validates, 1 when any fails, 2 on usage/schema errors or when
-// no documents were found.
+// A directory argument expands to every <prefix>*.json inside it — the
+// prefix defaults to "BENCH_"; pass --prefix=QUALITY_ to sweep quality
+// documents instead (Chrome *.trace.json files are always skipped — they
+// follow the trace_event format, not these schemas). Every input is
+// validated — failures do not stop the run — and a pass/fail summary is
+// printed at the end. Exit code 0 when every document validates, 1 when
+// any fails, 2 on usage/schema errors or when no documents were found.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -137,9 +139,13 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
-bool is_telemetry_document(const std::filesystem::path& p) {
+bool is_telemetry_document(const std::filesystem::path& p,
+                           const std::string& prefix) {
   const std::string name = p.filename().string();
-  if (name.size() < 6 || name.compare(0, 6, "BENCH_") != 0) return false;
+  if (name.size() < prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
   if (name.size() >= 11 &&
       name.compare(name.size() - 11, 11, ".trace.json") == 0) {
     return false;
@@ -149,15 +155,17 @@ bool is_telemetry_document(const std::filesystem::path& p) {
 }
 
 /// Expands an argument into document paths: a directory yields its
-/// BENCH_*.json files (sorted, traces skipped); anything else passes
+/// <prefix>*.json files (sorted, traces skipped); anything else passes
 /// through untouched.
-std::vector<std::string> expand_input(const std::string& arg) {
+std::vector<std::string> expand_input(const std::string& arg,
+                                      const std::string& prefix) {
   namespace fs = std::filesystem;
   std::error_code ec;
   if (!fs::is_directory(arg, ec)) return {arg};
   std::vector<std::string> paths;
   for (const auto& entry : fs::directory_iterator(arg)) {
-    if (entry.is_regular_file() && is_telemetry_document(entry.path())) {
+    if (entry.is_regular_file() &&
+        is_telemetry_document(entry.path(), prefix)) {
       paths.push_back(entry.path().string());
     }
   }
@@ -168,25 +176,33 @@ std::vector<std::string> expand_input(const std::string& arg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <schema.json> <document.json | dir> [...]\n",
-                 argv[0]);
+  std::string prefix = "BENCH_";
+  int first = 1;
+  if (first < argc && std::strncmp(argv[first], "--prefix=", 9) == 0) {
+    prefix = argv[first] + 9;
+    ++first;
+  }
+  if (argc - first < 2) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--prefix=NAME_] <schema.json> <document.json | dir> "
+        "[...]\n",
+        argv[0]);
     return 2;
   }
   std::string text;
-  if (!read_file(argv[1], text)) return 2;
+  if (!read_file(argv[first], text)) return 2;
   Value schema;
   try {
     schema = varpred::obs::json::parse(text);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s: %s\n", argv[1], e.what());
+    std::fprintf(stderr, "%s: %s\n", argv[first], e.what());
     return 2;
   }
 
   std::vector<std::string> documents;
-  for (int i = 2; i < argc; ++i) {
-    for (std::string& path : expand_input(argv[i])) {
+  for (int i = first + 1; i < argc; ++i) {
+    for (std::string& path : expand_input(argv[i], prefix)) {
       documents.push_back(std::move(path));
     }
   }

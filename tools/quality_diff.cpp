@@ -1,0 +1,251 @@
+// quality_diff: the accuracy twin of bench_diff. Compares the
+// QUALITY_*.json documents the bench harnesses emit — per-cell prediction
+// accuracy scores (KS, normalized Wasserstein-1, overlap) — against the
+// checked-in quality ledger, so a refactor that silently degrades the
+// predictions fails CI even when every timing stays green.
+//
+//   quality_diff --baseline=<store> <QUALITY_*.json> [...]   compare
+//   quality_diff --append-baseline=<file.jsonl> <QUALITY_*.json> [...]
+//                                                            grow a ledger
+//
+// <store> is a .jsonl ledger, a directory of .jsonl ledgers (all loaded;
+// latest entry per bench wins), or a single QUALITY_*.json document.
+//
+// Verdicts per cell: unchanged | improved | degraded | inconclusive.
+// Scores are seeded and deterministic, so unlike timing baselines the
+// ledger is comparable across machines and the gate is hard by default.
+// With --repeat>1 score samples per cell, a seeded bootstrap CI on the
+// orientation-adjusted mean shift decides; single-sample cells compare
+// the exact point delta against the tolerance.
+//
+// Options (compare mode):
+//   --tolerance=X     absolute score tolerance          (default 0.02)
+//   --min-ci-samples=N samples/side needed for the CI   (default 2)
+//   --replicates=N    bootstrap replicates              (default 2000)
+//   --seed=N          bootstrap seed                    (default fixed)
+//   --paper=<store>   also compare against paper-anchored reference cells
+//                     (advisory: reported, never affects the exit code)
+//   --paper-tol=X     tolerance for the paper comparison (default 0.05)
+//   --report=PATH     write the markdown report here (default: stdout)
+//   --json=PATH       also write the machine-readable report
+//   --warn-only       exit 0 even when cells degraded (soft gate)
+//
+// Exit codes: 0 = no degradation (or --warn-only), 1 = degradation
+// detected, 2 = usage / I/O / parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/quality.hpp"
+
+namespace {
+
+using namespace varpred;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --baseline=<jsonl|dir|json> [options] <QUALITY_*.json> "
+      "[...]\n"
+      "       %s --append-baseline=<file.jsonl> <QUALITY_*.json> [...]\n"
+      "options: --tolerance=X --min-ci-samples=N --replicates=N --seed=N\n"
+      "         --paper=<store> --paper-tol=X --report=PATH --json=PATH\n"
+      "         --warn-only\n",
+      argv0, argv0);
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "quality_diff: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+/// Advisory drift check against the paper-anchored reference cells: every
+/// candidate cell with a matching key in the paper store is compared with
+/// the paper tolerance. The result is reported but never gates.
+std::vector<obs::QualityDiff> paper_comparison(
+    const std::vector<obs::QualityDocument>& paper_store,
+    const std::vector<obs::QualityDocument>& candidates,
+    const obs::QualityDiffConfig& paper_config) {
+  std::vector<obs::QualityDiff> diffs;
+  for (const obs::QualityDocument& cand : candidates) {
+    obs::QualityDiff diff;
+    diff.bench = cand.provenance.bench + " vs paper";
+    diff.candidate_prov = cand.provenance;
+    for (const obs::QualityCell& cell : cand.cells) {
+      for (const obs::QualityDocument& paper : paper_store) {
+        diff.baseline_prov = paper.provenance;
+        for (const obs::QualityCell& ref : paper.cells) {
+          if (ref.key == cell.key) {
+            diff.cells.push_back(obs::diff_cell(cell.key, ref.samples,
+                                                cell.samples, paper_config));
+          }
+        }
+      }
+    }
+    if (!diff.cells.empty()) {
+      diff.overall =
+          obs::quality_overall(std::span<const obs::CellDiff>(diff.cells));
+      diffs.push_back(std::move(diff));
+    }
+  }
+  return diffs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string append_path;
+  std::string paper_path;
+  std::string report_path;
+  std::string json_path;
+  bool warn_only = false;
+  obs::QualityDiffConfig config;
+  double paper_tol = 0.05;
+  std::vector<std::string> candidate_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--baseline=", 11) == 0) {
+      baseline_path = arg + 11;
+    } else if (std::strncmp(arg, "--append-baseline=", 18) == 0) {
+      append_path = arg + 18;
+    } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+      config.tolerance = std::strtod(arg + 12, nullptr);
+    } else if (std::strncmp(arg, "--min-ci-samples=", 17) == 0) {
+      config.min_samples_for_ci =
+          static_cast<std::size_t>(std::strtoul(arg + 17, nullptr, 10));
+    } else if (std::strncmp(arg, "--replicates=", 13) == 0) {
+      config.bootstrap_replicates =
+          static_cast<std::size_t>(std::strtoul(arg + 13, nullptr, 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--paper=", 8) == 0) {
+      paper_path = arg + 8;
+    } else if (std::strncmp(arg, "--paper-tol=", 12) == 0) {
+      paper_tol = std::strtod(arg + 12, nullptr);
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      report_path = arg + 9;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strcmp(arg, "--warn-only") == 0) {
+      warn_only = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "quality_diff: unknown flag %s\n", arg);
+      return usage(argv[0]);
+    } else {
+      candidate_paths.push_back(arg);
+    }
+  }
+  if (candidate_paths.empty() ||
+      (baseline_path.empty() == append_path.empty())) {
+    return usage(argv[0]);
+  }
+
+  // Append mode: grow a ledger by one entry per document.
+  if (!append_path.empty()) {
+    try {
+      for (const std::string& path : candidate_paths) {
+        const obs::QualityDocument doc = obs::load_quality_document(path);
+        obs::append_quality(append_path, doc);
+        std::printf(
+            "quality_diff: appended %s (%zu cells, repeat=%zu) -> %s\n",
+            doc.provenance.bench.c_str(), doc.cells.size(),
+            doc.provenance.repeat, append_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "quality_diff: %s\n", e.what());
+      return 2;
+    }
+    return 0;
+  }
+
+  // Compare mode.
+  std::vector<obs::QualityDocument> store;
+  try {
+    store = obs::load_quality_ledger(baseline_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quality_diff: %s\n", e.what());
+    return 2;
+  }
+  if (store.empty()) {
+    std::fprintf(stderr, "quality_diff: quality ledger %s is empty\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  std::vector<obs::QualityDocument> candidates;
+  std::vector<obs::QualityDiff> diffs;
+  for (const std::string& path : candidate_paths) {
+    obs::QualityDocument candidate;
+    try {
+      candidate = obs::load_quality_document(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "quality_diff: %s\n", e.what());
+      return 2;
+    }
+    const obs::QualityDocument* base =
+        obs::latest_quality(store, candidate.provenance.bench);
+    if (base == nullptr) {
+      std::fprintf(
+          stderr, "quality_diff: no ledger entry for bench \"%s\" in %s\n",
+          candidate.provenance.bench.c_str(), baseline_path.c_str());
+      return 2;
+    }
+    diffs.push_back(obs::diff_quality(*base, candidate, config));
+    candidates.push_back(std::move(candidate));
+  }
+
+  std::string markdown = obs::quality_markdown_report(diffs, config);
+
+  std::vector<obs::QualityDiff> paper_diffs;
+  if (!paper_path.empty()) {
+    std::vector<obs::QualityDocument> paper_store;
+    try {
+      paper_store = obs::load_quality_ledger(paper_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "quality_diff: %s\n", e.what());
+      return 2;
+    }
+    obs::QualityDiffConfig paper_config = config;
+    paper_config.tolerance = paper_tol;
+    paper_diffs = paper_comparison(paper_store, candidates, paper_config);
+    markdown += "\n---\n\n# paper-anchored drift (advisory)\n\n";
+    markdown +=
+        "Published numbers are a different measurement pipeline; this "
+        "section tracks drift from them but never gates.\n\n";
+    markdown += paper_diffs.empty()
+                    ? "(no candidate cell matched a paper reference cell)\n"
+                    : obs::quality_markdown_report(paper_diffs, paper_config);
+  }
+
+  if (report_path.empty()) {
+    std::fputs(markdown.c_str(), stdout);
+  } else {
+    if (!write_file(report_path, markdown)) return 2;
+    std::printf("quality_diff: report -> %s\n", report_path.c_str());
+  }
+  if (!json_path.empty()) {
+    if (!write_file(json_path, obs::quality_json_report(diffs) + "\n")) {
+      return 2;
+    }
+    std::printf("quality_diff: json -> %s\n", json_path.c_str());
+  }
+
+  const obs::Verdict overall =
+      obs::quality_overall(std::span<const obs::QualityDiff>(diffs));
+  std::printf("quality_diff: overall verdict: %s\n",
+              obs::quality_verdict_string(overall));
+  if (overall == obs::Verdict::kRegressed && !warn_only) return 1;
+  return 0;
+}

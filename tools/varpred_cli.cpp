@@ -26,11 +26,13 @@
 //   varpred systems | benchmarks | metrics --system=...
 //       Inventory listings.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
 
+#include "bench/bench_common.hpp"
 #include "common/text.hpp"
 #include "core/varpred.hpp"
 #include "io/serialize.hpp"
@@ -44,6 +46,13 @@ using namespace varpred;
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
+  /// Telemetry flags shared with the bench harnesses (--obs=, --obs-out=,
+  /// --quality-out=, --repeat=). When any is present the command runs under
+  /// bench::run_repeated and emits BENCH_cli_<command>.json /
+  /// QUALITY_cli_<command>.json; otherwise the CLI behaves exactly as
+  /// before (no telemetry files, no extra output).
+  bench::HarnessArgs harness;
+  bool telemetry = false;
 
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = options.find(key);
@@ -51,19 +60,40 @@ struct Args {
   }
   std::size_t get_size(const std::string& key, std::size_t fallback) const {
     const auto it = options.find(key);
-    return it == options.end()
-               ? fallback
-               : static_cast<std::size_t>(std::stoull(it->second));
+    if (it == options.end()) return fallback;
+    // Strict: rejects empty, non-numeric, and trailing-garbage values
+    // (e.g. --runs=1e3) instead of silently truncating them. Zero is
+    // allowed — it is a valid seed.
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      throw std::invalid_argument("--" + key +
+                                  " expects a non-negative integer, got \"" +
+                                  it->second + "\"");
+    }
+    return static_cast<std::size_t>(v);
   }
   bool has(const std::string& key) const { return options.count(key) > 0; }
 };
+
+bool is_telemetry_flag(const std::string& token) {
+  return starts_with(token, "--obs=") || starts_with(token, "--obs-out=") ||
+         starts_with(token, "--quality-out=") ||
+         starts_with(token, "--repeat=");
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string token = argv[i];
-    if (starts_with(token, "--")) {
+    if (is_telemetry_flag(token)) {
+      if (!args.harness.consume(token.c_str())) {
+        std::fprintf(stderr, "error: bad telemetry flag %s\n", token.c_str());
+        std::exit(2);
+      }
+      args.telemetry = true;
+    } else if (starts_with(token, "--")) {
       const auto eq = token.find('=');
       if (eq == std::string::npos) {
         args.options[token.substr(2)] = "1";
@@ -218,7 +248,7 @@ int cmd_train_x(const Args& args) {
   return 0;
 }
 
-int cmd_predict(const Args& args) {
+int cmd_predict(const Args& args, const bench::Run* run) {
   const auto path = args.get("model", "model.vp");
   std::ifstream in(path);
   if (!in.good()) {
@@ -229,6 +259,9 @@ int cmd_predict(const Args& args) {
   const auto bench_name = args.get("benchmark", "specomp/376");
   const auto probes = args.get_size("probes",
                                     predictor.config().n_probe_runs);
+  const std::uint64_t base_seed = args.get_size("seed", 99);
+  const std::uint64_t seed =
+      run == nullptr ? base_seed : run->repetition_seed(base_seed);
 
   // Probe runs: imported from a CSV of real measurements when --input-csv
   // is given, otherwise freshly simulated (disjoint seed from the corpus).
@@ -239,12 +272,11 @@ int cmd_predict(const Args& args) {
           ? measure::load_runs(system, args.get("input-csv", ""))
           : measure::measure_benchmark(
                 measure::benchmark_index(bench_name), system,
-                std::max<std::size_t>(probes, 1),
-                stable_hash("probe") ^ args.get_size("seed", 99));
+                std::max<std::size_t>(probes, 1), stable_hash("probe") ^ seed);
   std::vector<std::size_t> idx(runs_data.run_count());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
 
-  Rng rng(args.get_size("seed", 99));
+  Rng rng(seed);
   const auto predicted =
       predictor.predict_distribution(runs_data, idx, 2000, rng);
   const auto pm = stats::compute_moments(predicted);
@@ -259,6 +291,10 @@ int cmd_predict(const Args& args) {
   const auto measured = truth.relative_times();
   std::printf("KS vs 1000-run measurement: %.3f\n",
               stats::ks_statistic(measured, predicted));
+  obs::record_prediction_scores(
+      {bench_name, system.name(), core::to_string(predictor.config().repr),
+       core::to_string(predictor.config().model), "", ""},
+      measured, predicted);
   double lo;
   double hi;
   io::plot_range(measured, predicted, lo, hi);
@@ -275,7 +311,7 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
-int cmd_evaluate(const Args& args) {
+int cmd_evaluate(const Args& args, const bench::Run* run) {
   const auto& system = measure::SystemModel::by_name(args.get("system",
                                                               "intel"));
   const auto corpus =
@@ -284,7 +320,12 @@ int cmd_evaluate(const Args& args) {
   config.repr = parse_repr(args.get("repr", "pearson"));
   config.model = parse_model_kind(args.get("model-kind", "knn"));
   config.n_probe_runs = args.get_size("probes", 10);
-  const auto result = core::evaluate_few_runs(corpus, config, {});
+  core::EvalOptions options;
+  const std::uint64_t base_seed = args.get_size("seed", options.seed);
+  options.seed = run == nullptr ? base_seed : run->repetition_seed(base_seed);
+  options.quality_repr = core::to_string(config.repr);
+  options.quality_model = core::to_string(config.model);
+  const auto result = core::evaluate_few_runs(corpus, config, options);
   std::printf("LOGO evaluation on %s (%s + %s, %zu probes): %s\n",
               system.name().c_str(), core::to_string(config.repr).c_str(),
               core::to_string(config.model).c_str(), config.n_probe_runs,
@@ -305,26 +346,50 @@ void usage() {
       "  train-x   --source=S --target=T --runs=N --model=F\n"
       "  predict   --model=F --benchmark=B [--probes=N] [--svg=F]\n"
       "            [--input-csv=F]  use externally measured runs\n"
-      "  evaluate  --system=S [--repr=R] [--model-kind=M] [--runs=N]\n");
+      "  evaluate  --system=S [--repr=R] [--model-kind=M] [--runs=N]\n"
+      "telemetry (any of these runs the command under the bench harness and\n"
+      "emits BENCH_cli_<command>.json + QUALITY_cli_<command>.json):\n"
+      "  --obs=off|summary|trace --obs-out=F --quality-out=F --repeat=N\n");
+}
+
+/// One command invocation. `run` is non-null only under the telemetry
+/// harness; commands use it to derive per-repetition seeds so --repeat=N
+/// yields N seed-varied quality samples per cell.
+int dispatch(const Args& args, const bench::Run* run) {
+  if (args.command == "systems") return cmd_systems();
+  if (args.command == "benchmarks") return cmd_benchmarks();
+  if (args.command == "metrics") return cmd_metrics(args);
+  if (args.command == "measure") return cmd_measure(args);
+  if (args.command == "train") return cmd_train(args);
+  if (args.command == "train-x") return cmd_train_x(args);
+  if (args.command == "predict") return cmd_predict(args, run);
+  if (args.command == "evaluate") return cmd_evaluate(args, run);
+  usage();
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = parse_args(argc, argv);
+  auto args = parse_args(argc, argv);
   try {
-    if (args.command == "systems") return cmd_systems();
-    if (args.command == "benchmarks") return cmd_benchmarks();
-    if (args.command == "metrics") return cmd_metrics(args);
-    if (args.command == "measure") return cmd_measure(args);
-    if (args.command == "train") return cmd_train(args);
-    if (args.command == "train-x") return cmd_train_x(args);
-    if (args.command == "predict") return cmd_predict(args);
-    if (args.command == "evaluate") return cmd_evaluate(args);
+    if (!args.telemetry) return dispatch(args, nullptr);
+    if (args.command.empty()) {
+      usage();
+      return 2;
+    }
+    // Mirror the CLI's own --runs into the telemetry provenance (the
+    // harness default would otherwise be reported).
+    args.harness.runs = args.get_size("runs", args.harness.runs);
+    int rc = 0;
+    bench::run_repeated("cli_" + args.command, args.harness,
+                        [&](bench::Run& run) {
+                          const int r = dispatch(args, &run);
+                          if (r != 0) rc = r;
+                        });
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage();
-  return 2;
 }

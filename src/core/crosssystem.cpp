@@ -1,6 +1,7 @@
 #include "core/crosssystem.hpp"
 
 #include "common/check.hpp"
+#include "core/evalcache.hpp"
 #include "obs/obs.hpp"
 
 namespace varpred::core {
@@ -19,7 +20,8 @@ std::vector<double> CrossSystemPredictor::make_features(
 
 void CrossSystemPredictor::train(
     const measure::Corpus& source, const measure::Corpus& target,
-    std::span<const std::size_t> train_benchmarks) {
+    std::span<const std::size_t> train_benchmarks,
+    const CrossSystemEvalCache* cache) {
   VARPRED_CHECK_ARG(!train_benchmarks.empty(), "no training benchmarks");
   VARPRED_CHECK_ARG(source.benchmarks.size() == target.benchmarks.size(),
                     "corpora must cover the same benchmark set");
@@ -28,14 +30,29 @@ void CrossSystemPredictor::train(
   source_system_ = source.system;
   ml::Matrix x;
   ml::Matrix y;
-  for (const std::size_t b : train_benchmarks) {
-    VARPRED_CHECK_ARG(b < source.benchmarks.size(),
-                      "benchmark index out of range");
-    x.push_row(make_features(*source.system, source.benchmarks[b]));
-    y.push_row(repr_->encode(target.benchmarks[b].relative_times()));
+  std::shared_ptr<const ml::SortedColumns> presorted;
+  if (cache != nullptr) {
+    // Fold-shared artifacts (feature rows and targets are pure functions of
+    // the corpora, so gathering is byte-identical to the loop below).
+    VARPRED_CHECK_ARG(cache->targets.size() == source.benchmarks.size(),
+                      "evaluation cache does not match corpus");
+    x = cache->features.gather_rows(train_benchmarks);
+    for (const std::size_t b : train_benchmarks) y.push_row(cache->targets[b]);
+    if (cache->presorted != nullptr) {
+      presorted = std::make_shared<const ml::SortedColumns>(
+          cache->presorted->filtered(train_benchmarks, /*remap=*/true));
+    }
+  } else {
+    for (const std::size_t b : train_benchmarks) {
+      VARPRED_CHECK_ARG(b < source.benchmarks.size(),
+                        "benchmark index out of range");
+      x.push_row(make_features(*source.system, source.benchmarks[b]));
+      y.push_row(repr_->encode(target.benchmarks[b].relative_times()));
+    }
   }
   model_ = config_.model_factory ? config_.model_factory()
                                  : make_model(config_.model, config_.seed);
+  if (presorted != nullptr) model_->set_presorted(std::move(presorted));
   model_->fit(x, y);
 }
 

@@ -19,6 +19,8 @@
 
 namespace varpred::core {
 
+struct CrossSystemEvalCache;
+
 struct CrossSystemConfig {
   ReprKind repr = ReprKind::kPearson;
   ModelKind model = ModelKind::kKnn;
@@ -37,8 +39,13 @@ class CrossSystemPredictor {
 
   /// Trains on benchmarks measured in both corpora (row b of each corpus is
   /// the same benchmark). `train_benchmarks` selects the training subset.
+  /// `cache` (optional): fold-shared artifacts from
+  /// CrossSystemEvalCache::build for this exact (corpora, config) — see
+  /// FewRunsPredictor::train; requires strictly ascending
+  /// `train_benchmarks`.
   void train(const measure::Corpus& source, const measure::Corpus& target,
-             std::span<const std::size_t> train_benchmarks);
+             std::span<const std::size_t> train_benchmarks,
+             const CrossSystemEvalCache* cache = nullptr);
 
   void train_all(const measure::Corpus& source,
                  const measure::Corpus& target);

@@ -1,10 +1,12 @@
 #include "core/evaluator.hpp"
 
+#include <cstdlib>
 #include <numeric>
 #include <span>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "core/evalcache.hpp"
 #include "obs/obs.hpp"
 #include "obs/quality.hpp"
 #include "stats/ecdf.hpp"
@@ -32,6 +34,14 @@ std::vector<std::size_t> probe_runs_for(const measure::BenchmarkRuns& runs,
   Rng rng(seed_combine(seed, 0xBEEF0000ULL + bench));
   return choose_run_indices(runs.run_count(),
                             std::min(n_probe, runs.run_count()), rng);
+}
+
+// Escape hatch: VARPRED_EVAL_NO_CACHE=1 pins the original per-fold path
+// that rebuilds profiles, targets, and column sorts inside every fold. Kept
+// so the equivalence tests can prove the cached path changes no score.
+bool eval_cache_disabled() {
+  const char* env = std::getenv("VARPRED_EVAL_NO_CACHE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
 // True when this evaluation should also feed the quality recorder (the
@@ -67,11 +77,12 @@ void record_fold_medians(std::string systems, const EvalOptions& options,
 std::vector<double> predict_held_out_few_runs(const measure::Corpus& corpus,
                                               std::size_t bench,
                                               const FewRunsConfig& config,
-                                              const EvalOptions& options) {
+                                              const EvalOptions& options,
+                                              const FewRunsEvalCache* cache) {
   VARPRED_CHECK_ARG(bench < corpus.benchmarks.size(),
                     "benchmark index out of range");
   FewRunsPredictor predictor(config);
-  predictor.train(corpus, all_but(corpus.benchmarks.size(), bench));
+  predictor.train(corpus, all_but(corpus.benchmarks.size(), bench), cache);
   const auto& runs = corpus.benchmarks[bench];
   const auto probes =
       probe_runs_for(runs, config.n_probe_runs, options.seed, bench);
@@ -83,11 +94,12 @@ std::vector<double> predict_held_out_few_runs(const measure::Corpus& corpus,
 std::vector<double> predict_held_out_cross_system(
     const measure::Corpus& source, const measure::Corpus& target,
     std::size_t bench, const CrossSystemConfig& config,
-    const EvalOptions& options) {
+    const EvalOptions& options, const CrossSystemEvalCache* cache) {
   VARPRED_CHECK_ARG(bench < source.benchmarks.size(),
                     "benchmark index out of range");
   CrossSystemPredictor predictor(config);
-  predictor.train(source, target, all_but(source.benchmarks.size(), bench));
+  predictor.train(source, target, all_but(source.benchmarks.size(), bench),
+                  cache);
   Rng rng(seed_combine(options.seed, 0xC105500ULL + bench));
   return predictor.predict_distribution(source.benchmarks[bench],
                                         options.n_reconstruct, rng);
@@ -104,10 +116,17 @@ EvalResult evaluate_few_runs(const measure::Corpus& corpus,
   const bool record_quality = quality_requested(options);
   std::vector<double> w1(record_quality ? n : 0);
   std::vector<double> overlap(record_quality ? n : 0);
+  // Fold-shared training artifacts, built once and read concurrently by
+  // every fold (see core/evalcache.hpp for the byte-identity argument).
+  std::unique_ptr<const FewRunsEvalCache> cache;
+  if (!eval_cache_disabled()) {
+    cache = std::make_unique<const FewRunsEvalCache>(
+        FewRunsEvalCache::build(corpus, config));
+  }
   parallel_for(n, [&](std::size_t b) {
     obs::Span fold("eval.fold");
     const auto predicted =
-        predict_held_out_few_runs(corpus, b, config, options);
+        predict_held_out_few_runs(corpus, b, config, options, cache.get());
     const auto measured = corpus.benchmarks[b].relative_times();
     result.ks[b] = stats::ks_statistic(measured, predicted);
     if (record_quality) {
@@ -139,10 +158,15 @@ EvalResult evaluate_cross_system(const measure::Corpus& source,
   const bool record_quality = quality_requested(options);
   std::vector<double> w1(record_quality ? n : 0);
   std::vector<double> overlap(record_quality ? n : 0);
+  std::unique_ptr<const CrossSystemEvalCache> cache;
+  if (!eval_cache_disabled()) {
+    cache = std::make_unique<const CrossSystemEvalCache>(
+        CrossSystemEvalCache::build(source, target, config));
+  }
   parallel_for(n, [&](std::size_t b) {
     obs::Span fold("eval.fold");
-    const auto predicted =
-        predict_held_out_cross_system(source, target, b, config, options);
+    const auto predicted = predict_held_out_cross_system(
+        source, target, b, config, options, cache.get());
     const auto measured = target.benchmarks[b].relative_times();
     result.ks[b] = stats::ks_statistic(measured, predicted);
     if (record_quality) {

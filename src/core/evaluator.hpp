@@ -16,6 +16,9 @@
 
 namespace varpred::core {
 
+struct FewRunsEvalCache;
+struct CrossSystemEvalCache;
+
 /// Per-benchmark KS scores for one configuration.
 struct EvalResult {
   std::vector<std::string> benchmark_names;
@@ -46,6 +49,12 @@ struct EvalOptions {
 };
 
 /// Use case #1: leave-one-benchmark-out over `corpus`.
+///
+/// Fold-shared training artifacts (profiles, encoded targets, presorted
+/// feature columns — see core/evalcache.hpp) are computed once per call and
+/// shared read-only across the parallel fold loop; every fold's scores are
+/// byte-identical to the uncached per-fold path, which remains reachable by
+/// setting VARPRED_EVAL_NO_CACHE=1 in the environment.
 EvalResult evaluate_few_runs(const measure::Corpus& corpus,
                              const FewRunsConfig& config,
                              const EvalOptions& options = {});
@@ -59,15 +68,18 @@ EvalResult evaluate_cross_system(const measure::Corpus& source,
 
 /// Predicts the held-out benchmark `bench` under use case #1 and returns the
 /// reconstructed samples (the figure harnesses use this for overlays).
-std::vector<double> predict_held_out_few_runs(const measure::Corpus& corpus,
-                                              std::size_t bench,
-                                              const FewRunsConfig& config,
-                                              const EvalOptions& options = {});
+/// `cache` (optional) shares fold-level training artifacts across calls —
+/// see FewRunsPredictor::train.
+std::vector<double> predict_held_out_few_runs(
+    const measure::Corpus& corpus, std::size_t bench,
+    const FewRunsConfig& config, const EvalOptions& options = {},
+    const FewRunsEvalCache* cache = nullptr);
 
 /// Predicts the held-out benchmark `bench` under use case #2.
 std::vector<double> predict_held_out_cross_system(
     const measure::Corpus& source, const measure::Corpus& target,
     std::size_t bench, const CrossSystemConfig& config,
-    const EvalOptions& options = {});
+    const EvalOptions& options = {},
+    const CrossSystemEvalCache* cache = nullptr);
 
 }  // namespace varpred::core

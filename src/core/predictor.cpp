@@ -1,6 +1,7 @@
 #include "core/predictor.hpp"
 
 #include "common/check.hpp"
+#include "core/evalcache.hpp"
 #include "obs/obs.hpp"
 
 namespace varpred::core {
@@ -12,31 +13,54 @@ FewRunsPredictor::FewRunsPredictor(FewRunsConfig config)
 }
 
 void FewRunsPredictor::train(const measure::Corpus& corpus,
-                             std::span<const std::size_t> train_benchmarks) {
+                             std::span<const std::size_t> train_benchmarks,
+                             const FewRunsEvalCache* cache) {
   VARPRED_CHECK_ARG(!train_benchmarks.empty(), "no training benchmarks");
   obs::Span span("predictor.train");
   system_ = corpus.system;
   ml::Matrix x;
   ml::Matrix y;
-  for (const std::size_t b : train_benchmarks) {
-    VARPRED_CHECK_ARG(b < corpus.benchmarks.size(),
-                      "benchmark index out of range");
-    const auto& runs = corpus.benchmarks[b];
-    const auto target = repr_->encode(runs.relative_times());
-    // Deterministic per-benchmark probe resampling (independent of the
-    // training subset, so folds see identical rows for shared benchmarks).
-    Rng rng(seed_combine(config_.seed, stable_hash(corpus.system->name()) ^
-                                           (b * 0x9E37ULL + 17)));
-    const std::size_t probes =
-        std::min(config_.n_probe_runs, runs.run_count());
-    for (std::size_t rep = 0; rep < config_.train_replicates; ++rep) {
-      const auto idx = choose_run_indices(runs.run_count(), probes, rng);
-      x.push_row(build_profile(*corpus.system, runs, idx, config_.profile));
-      y.push_row(target);
+  std::shared_ptr<const ml::SortedColumns> presorted;
+  if (cache != nullptr) {
+    // Fold-shared artifacts: gather the precomputed rows — byte-identical
+    // to the loop below, since its RNG stream is subset-independent — and
+    // derive the fold's sorted-column orders by filtering.
+    VARPRED_CHECK_ARG(cache->targets.size() == corpus.benchmarks.size() &&
+                          cache->replicates == config_.train_replicates,
+                      "evaluation cache does not match corpus/config");
+    const auto rows = cache->rows_for(train_benchmarks);
+    x = cache->features.gather_rows(rows);
+    for (const std::size_t b : train_benchmarks) {
+      for (std::size_t rep = 0; rep < cache->replicates; ++rep) {
+        y.push_row(cache->targets[b]);
+      }
+    }
+    if (cache->presorted != nullptr) {
+      presorted = std::make_shared<const ml::SortedColumns>(
+          cache->presorted->filtered(rows, /*remap=*/true));
+    }
+  } else {
+    for (const std::size_t b : train_benchmarks) {
+      VARPRED_CHECK_ARG(b < corpus.benchmarks.size(),
+                        "benchmark index out of range");
+      const auto& runs = corpus.benchmarks[b];
+      const auto target = repr_->encode(runs.relative_times());
+      // Deterministic per-benchmark probe resampling (independent of the
+      // training subset, so folds see identical rows for shared benchmarks).
+      Rng rng(seed_combine(config_.seed, stable_hash(corpus.system->name()) ^
+                                             (b * 0x9E37ULL + 17)));
+      const std::size_t probes =
+          std::min(config_.n_probe_runs, runs.run_count());
+      for (std::size_t rep = 0; rep < config_.train_replicates; ++rep) {
+        const auto idx = choose_run_indices(runs.run_count(), probes, rng);
+        x.push_row(build_profile(*corpus.system, runs, idx, config_.profile));
+        y.push_row(target);
+      }
     }
   }
   model_ = config_.model_factory ? config_.model_factory()
                                  : make_model(config_.model, config_.seed);
+  if (presorted != nullptr) model_->set_presorted(std::move(presorted));
   model_->fit(x, y);
   VARPRED_OBS_COUNT("predictor.trainings", 1);
   VARPRED_OBS_COUNT("predictor.train_rows", x.rows());

@@ -21,6 +21,8 @@
 
 namespace varpred::core {
 
+struct FewRunsEvalCache;
+
 struct FewRunsConfig {
   std::size_t n_probe_runs = 10;   ///< runs available at prediction time
   std::size_t train_replicates = 2;  ///< probe resamples per train benchmark
@@ -44,8 +46,16 @@ class FewRunsPredictor {
   /// Trains on the benchmarks selected by `train_benchmarks` (indices into
   /// corpus.benchmarks). Pass all indices for a production model; the
   /// evaluator passes leave-one-out folds.
+  ///
+  /// `cache` (optional) supplies the fold-shared artifacts built by
+  /// FewRunsEvalCache::build for this exact (corpus, config) pair; training
+  /// then gathers its rows from the cache — byte-identical to rebuilding
+  /// them — and hands the model presorted column orders. With a cache,
+  /// `train_benchmarks` must be strictly ascending (leave-one-out folds
+  /// are).
   void train(const measure::Corpus& corpus,
-             std::span<const std::size_t> train_benchmarks);
+             std::span<const std::size_t> train_benchmarks,
+             const FewRunsEvalCache* cache = nullptr);
 
   /// Convenience: trains on every benchmark in the corpus.
   void train_all(const measure::Corpus& corpus);

@@ -54,9 +54,9 @@ std::vector<double> transform_moments(std::span<const double> mu, double mid,
 
 }  // namespace
 
-MaxEntDensity::MaxEntDensity(std::span<const double> raw_moments, double lo,
-                             double hi, const MaxEntOptions& options)
-    : lo_(lo), hi_(hi) {
+MomentSolveResult solve_moment_system(std::span<const double> raw_moments,
+                                      double lo, double hi,
+                                      const MaxEntOptions& options) {
   VARPRED_CHECK_ARG(raw_moments.size() >= 2,
                     "need at least mu_0 and mu_1");
   VARPRED_CHECK_ARG(std::fabs(raw_moments[0] - 1.0) < 1e-9,
@@ -73,9 +73,18 @@ MaxEntDensity::MaxEntDensity(std::span<const double> raw_moments, double lo,
   std::vector<double> weights;
   special::scaled_rule(options.quad_points, -1.0, 1.0, nodes, weights);
 
-  // Initialize with the uniform density on [-1, 1]: f = exp(lambda_0) = 1/2.
-  lambda_.assign(order, 0.0);
-  lambda_[0] = -std::log(2.0);
+  MomentSolveResult result;
+  std::vector<double>& lambda_ = result.lambda;
+  if (options.initial_lambda.size() == order) {
+    // Warm start from a caller-provided iterate (typically the best lambda
+    // of a closely related solve); the line search below only ever accepts
+    // residual-reducing steps from it, so a bad seed degrades gracefully.
+    lambda_ = options.initial_lambda;
+  } else {
+    // Cold start at the uniform density on [-1, 1]: f = exp(lambda_0) = 1/2.
+    lambda_.assign(order, 0.0);
+    lambda_[0] = -std::log(2.0);
+  }
 
   // Precompute node powers up to t^(2K).
   const std::size_t max_pow = 2 * (order - 1);
@@ -119,7 +128,12 @@ MaxEntDensity::MaxEntDensity(std::span<const double> raw_moments, double lo,
   compute_residual(lambda_, r, &jac);
   double best = residual_norm(r);
 
-  for (iterations_ = 0; iterations_ < options.max_iterations; ++iterations_) {
+  // Stall (no residual-reducing step) and divergence abort the iteration;
+  // the best iterate reached so far is still returned so a caller can use
+  // it to warm-start a retry on a relaxed problem.
+  bool aborted = false;
+  std::size_t iterations = 0;
+  for (; iterations < options.max_iterations; ++iterations) {
     if (best < options.tolerance) break;
     // Newton step: J * delta = -r.
     std::vector<double> rhs(order);
@@ -146,8 +160,10 @@ MaxEntDensity::MaxEntDensity(std::span<const double> raw_moments, double lo,
         }
         alpha *= 0.5;
       }
-      if (!accepted) VARPRED_OBS_COUNT("maxent.failed_solves", 1);
-      VARPRED_CHECK(accepted, "max-entropy Newton iteration stalled");
+      if (!accepted) {  // stalled
+        aborted = true;
+        break;
+      }
     } else {
       // Unsafeguarded full Newton step (fsolve-style).
       for (std::size_t k = 0; k < order; ++k) {
@@ -156,17 +172,34 @@ MaxEntDensity::MaxEntDensity(std::span<const double> raw_moments, double lo,
     }
     compute_residual(lambda_, r, &jac);
     best = residual_norm(r);
-    if (!std::isfinite(best)) {
-      VARPRED_OBS_COUNT("maxent.failed_solves", 1);
+    if (!std::isfinite(best)) {  // diverged
+      aborted = true;
+      break;
     }
-    VARPRED_CHECK(std::isfinite(best), "max-entropy iteration diverged");
   }
-  VARPRED_OBS_COUNT("maxent.solves", 1);
-  VARPRED_OBS_COUNT("maxent.newton_iterations", iterations_);
-  VARPRED_OBS_HIST("maxent.iterations_per_solve", iterations_);
-  if (best >= 1e-6) VARPRED_OBS_COUNT("maxent.failed_solves", 1);
-  VARPRED_CHECK(best < 1e-6, "max-entropy moment solve did not converge");
+  result.iterations = iterations;
+  result.residual = best;
+  result.converged = !aborted && std::isfinite(best) && best < 1e-6;
+  if (!aborted) {
+    VARPRED_OBS_COUNT("maxent.solves", 1);
+    VARPRED_OBS_COUNT("maxent.newton_iterations", iterations);
+    VARPRED_OBS_HIST("maxent.iterations_per_solve", iterations);
+  }
+  if (!result.converged) VARPRED_OBS_COUNT("maxent.failed_solves", 1);
+  return result;
+}
 
+MaxEntDensity::MaxEntDensity(std::span<const double> raw_moments, double lo,
+                             double hi, const MaxEntOptions& options)
+    : MaxEntDensity(solve_moment_system(raw_moments, lo, hi, options), lo,
+                    hi) {}
+
+MaxEntDensity::MaxEntDensity(const MomentSolveResult& solved, double lo,
+                             double hi)
+    : lo_(lo), hi_(hi), lambda_(solved.lambda),
+      iterations_(solved.iterations) {
+  VARPRED_CHECK_ARG(hi > lo, "support must be non-empty");
+  VARPRED_CHECK(solved.converged, "max-entropy moment solve did not converge");
   build_cdf_table();
 }
 
@@ -239,16 +272,25 @@ std::vector<double> reconstruct_from_moments(const stats::Moments& m,
   const double lo = m.mean - span_sigmas * m.stddev;
   const double hi = m.mean + span_sigmas * m.stddev;
   // Retry with fewer moments when the full solve fails: the 2-moment problem
-  // (truncated Gaussian) is convex and always converges.
+  // (truncated Gaussian) is convex and always converges. Each failed order's
+  // best iterate, truncated by one multiplier, warm-starts the next attempt
+  // down the ladder — the relaxed problem's solution is usually close, which
+  // cuts Newton iterations on exactly the stiff moment sets that take the
+  // most. Warm starts never cross reconstruct calls, so results stay
+  // independent of fold scheduling and worker count.
+  MaxEntOptions options;
   for (std::size_t order = raw.size(); order >= 3; --order) {
-    try {
-      const MaxEntDensity density(
-          std::span<const double>(raw.data(), order), lo, hi);
+    const auto solved = solve_moment_system(
+        std::span<const double>(raw.data(), order), lo, hi, options);
+    if (solved.converged) {
+      const MaxEntDensity density(solved, lo, hi);
       return density.sample_many(rng, n);
-    } catch (const CheckError&) {
-      // fall through to a lower order
     }
+    options.initial_lambda.assign(
+        solved.lambda.begin(),
+        solved.lambda.begin() + static_cast<std::ptrdiff_t>(order - 1));
   }
+  // Final fallback: a cold-started 2-moment solve, which always converges.
   const MaxEntDensity density(std::span<const double>(raw.data(), 3), lo, hi);
   return density.sample_many(rng, n);
 }

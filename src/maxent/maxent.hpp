@@ -32,7 +32,31 @@ struct MaxEntOptions {
   /// original PyMaxEnt pipeline relies on, which genuinely diverges on
   /// stiff moment sets (strong skew, narrow densities on wide supports).
   bool line_search = true;
+  /// Warm-start multipliers. When the size matches the moment count the
+  /// Newton iteration starts here instead of at the uniform density;
+  /// otherwise ignored. Used by reconstruct_from_moments to seed each step
+  /// of the 4->3->2 degrade ladder with the previous (failed) order's best
+  /// iterate.
+  std::vector<double> initial_lambda;
 };
+
+/// Outcome of one damped-Newton moment solve (see solve_moment_system).
+struct MomentSolveResult {
+  bool converged = false;
+  /// Best iterate reached — the solution when converged, otherwise the
+  /// lowest-residual lambda seen (useful as a warm start for a retry).
+  std::vector<double> lambda;
+  std::size_t iterations = 0;
+  double residual = 0.0;
+};
+
+/// Runs the damped-Newton moment-matching solve for the density
+/// exp(sum lambda_k t^k) on [lo, hi]. Never throws on solver failure
+/// (convergence is reported in the result); throws std::invalid_argument on
+/// malformed inputs.
+MomentSolveResult solve_moment_system(std::span<const double> raw_moments,
+                                      double lo, double hi,
+                                      const MaxEntOptions& options = {});
 
 /// Reconstructed maximum-entropy density on a finite interval.
 class MaxEntDensity {
@@ -43,6 +67,12 @@ class MaxEntDensity {
   /// fewer moments; see reconstruct_from_moments).
   MaxEntDensity(std::span<const double> raw_moments, double lo, double hi,
                 const MaxEntOptions& options = {});
+
+  /// Wraps an already-computed solve (avoids re-running Newton when the
+  /// caller drove solve_moment_system itself, e.g. the degrade ladder in
+  /// reconstruct_from_moments). Throws CheckError when `solved` did not
+  /// converge.
+  MaxEntDensity(const MomentSolveResult& solved, double lo, double hi);
 
   double lo() const { return lo_; }
   double hi() const { return hi_; }

@@ -1,12 +1,26 @@
 #include "ml/distance.hpp"
 
 #include <cmath>
+#include <functional>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
 
 namespace varpred::ml {
+namespace {
+
+// Rows per parallel chunk: tiles sized so one chunk's row data fits well
+// inside L2 (~256 KiB of row doubles), amortizing the span dispatch without
+// blowing the cache. Output independence: each out[r] is written exactly
+// once by row index, so worker count cannot affect results.
+std::size_t tile_rows(std::size_t dim) {
+  constexpr std::size_t kTileDoubles = 32 * 1024;
+  const std::size_t rows = kTileDoubles / dim;
+  return rows == 0 ? 1 : rows;
+}
+
+}  // namespace
 
 std::string to_string(Metric metric) {
   switch (metric) {
@@ -17,7 +31,9 @@ std::string to_string(Metric metric) {
     case Metric::kManhattan:
       return "manhattan";
   }
-  return "?";
+  // A value outside the enum means a corrupted model or caller bug; failing
+  // hard beats the old silent "?" sentinel.
+  VARPRED_CHECK_ARG(false, "invalid distance metric");
 }
 
 double cosine_distance(std::span<const double> a, std::span<const double> b) {
@@ -64,7 +80,9 @@ double distance(Metric metric, std::span<const double> a,
     case Metric::kManhattan:
       return manhattan_distance(a, b);
   }
-  return 0.0;
+  // The old fallback returned 0.0 here, which made every row of a corrupted
+  // model a perfect neighbor tie. Hard-fail instead.
+  VARPRED_CHECK_ARG(false, "invalid distance metric");
 }
 
 void distances_to_rows(Metric metric, std::span<const double> rows,
@@ -76,16 +94,58 @@ void distances_to_rows(Metric metric, std::span<const double> rows,
   VARPRED_CHECK_ARG(query.size() == dim, "query dimension mismatch");
   VARPRED_OBS_COUNT("ml.distance.row_blocks", 1);
   VARPRED_OBS_COUNT("ml.distance.rows", out.size());
-  const auto kernel = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) {
-      out[r] = distance(metric, query, rows.subspan(r * dim, dim));
+
+  std::function<void(std::size_t, std::size_t)> kernel;
+  switch (metric) {
+    case Metric::kCosine: {
+      // Fused row-block path: the query's norm is the same for every row, so
+      // hoist |q|^2 (summed in the same index order as cosine_distance, for
+      // bit-identical results) and its sqrt out of the row loop; each row
+      // then needs one fused q.b / |b|^2 pass.
+      double aa = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) aa += query[i] * query[i];
+      const double sqrt_aa = std::sqrt(aa);
+      kernel = [=](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const double* b = rows.data() + r * dim;
+          double ab = 0.0;
+          double bb = 0.0;
+          for (std::size_t i = 0; i < dim; ++i) {
+            ab += query[i] * b[i];
+            bb += b[i] * b[i];
+          }
+          // Zero-norm rows (and a zero-norm query) keep the documented
+          // distance of exactly 1.0 — see cosine_distance.
+          out[r] = (aa <= 0.0 || bb <= 0.0)
+                       ? 1.0
+                       : 1.0 - ab / (sqrt_aa * std::sqrt(bb));
+        }
+      };
+      break;
     }
-  };
+    case Metric::kEuclidean:
+      kernel = [=](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          out[r] = euclidean_distance(query, rows.subspan(r * dim, dim));
+        }
+      };
+      break;
+    case Metric::kManhattan:
+      kernel = [=](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          out[r] = manhattan_distance(query, rows.subspan(r * dim, dim));
+        }
+      };
+      break;
+  }
+  VARPRED_CHECK_ARG(kernel != nullptr, "invalid distance metric");
+
   // ~64k multiply-adds amortize the span dispatch; below that (e.g. the
   // paper's 118x272 training set inside an already-parallel LOGO fold) the
-  // serial kernel wins.
+  // serial kernel wins. Parallel blocks run in cache-sized row tiles.
   if (out.size() * dim >= (1u << 16) && out.size() > 1) {
-    ThreadPool::global().parallel_for_range(out.size(), kernel);
+    ThreadPool::global().parallel_for_range(out.size(), kernel,
+                                            tile_rows(dim));
   } else {
     kernel(0, out.size());
   }

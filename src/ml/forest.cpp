@@ -16,6 +16,10 @@ RandomForest::RandomForest(ForestParams params) : params_(params) {
       "feature_fraction must be in (0, 1]");
 }
 
+void RandomForest::set_presorted(std::shared_ptr<const SortedColumns> cols) {
+  presorted_hint_ = std::move(cols);
+}
+
 void RandomForest::fit(const Matrix& x, const Matrix& y) {
   VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
   VARPRED_CHECK_ARG(x.rows() >= 1, "need at least one training row");
@@ -32,6 +36,28 @@ void RandomForest::fit(const Matrix& x, const Matrix& y) {
                             static_cast<double>(x.cols()))));
   }
 
+  // When splits consider all features, trees can run in column-segment mode
+  // (see RegressionTree::fit_rows): build the dataset-level orders once —
+  // or take the caller's shared artifact — and derive each bootstrap
+  // sample's orders by a linear filter instead of per-node sorts.
+  // Take the hint eagerly: it applies to this fit only, even when the fit
+  // fails validation below.
+  const std::shared_ptr<const SortedColumns> hint = std::move(presorted_hint_);
+  presorted_hint_.reset();
+  std::shared_ptr<const SortedColumns> base;
+  const bool all_features = tp.max_features == 0 || tp.max_features >= x.cols();
+  if (all_features && x.rows() >= 2) {
+    if (hint != nullptr) {
+      VARPRED_CHECK_ARG(hint->cols() == x.cols() &&
+                            hint->row_count() == x.rows(),
+                        "presorted artifact does not match training matrix");
+      base = hint;
+      VARPRED_OBS_COUNT("ml.forest.presort_reused", 1);
+    } else {
+      base = std::make_shared<const SortedColumns>(SortedColumns::build(x));
+    }
+  }
+
   trees_.assign(params_.n_trees, RegressionTree(tp));
   const std::size_t n = x.rows();
   parallel_for(params_.n_trees, [&](std::size_t t) {
@@ -46,10 +72,16 @@ void RandomForest::fit(const Matrix& x, const Matrix& y) {
     if (params_.bootstrap) {
       for (auto& r : rows) r = rng.uniform_index(n);
       std::sort(rows.begin(), rows.end());  // determinism & cache locality
+      if (base != nullptr) {
+        const SortedColumns sample = base->filtered(rows, /*remap=*/false);
+        tree.fit_rows(x, y, rows, &sample);
+      } else {
+        tree.fit_rows(x, y, rows);
+      }
     } else {
       std::iota(rows.begin(), rows.end(), std::size_t{0});
+      tree.fit_rows(x, y, rows, base.get());
     }
-    tree.fit_rows(x, y, rows);
     trees_[t] = std::move(tree);
   });
 }

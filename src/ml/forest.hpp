@@ -22,6 +22,7 @@ class RandomForest final : public Regressor {
   explicit RandomForest(ForestParams params = {});
 
   void fit(const Matrix& x, const Matrix& y) override;
+  void set_presorted(std::shared_ptr<const SortedColumns> cols) override;
   std::vector<double> predict(std::span<const double> row) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "RF"; }
@@ -37,6 +38,7 @@ class RandomForest final : public Regressor {
   ForestParams params_;
   std::vector<RegressionTree> trees_;
   std::size_t n_outputs_ = 0;
+  std::shared_ptr<const SortedColumns> presorted_hint_;  // next fit() only
 };
 
 }  // namespace varpred::ml

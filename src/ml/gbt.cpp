@@ -20,6 +20,11 @@ GradientBoosting::GradientBoosting(GbtParams params) : params_(params) {
   VARPRED_CHECK_ARG(params_.lambda >= 0.0, "lambda must be >= 0");
 }
 
+void GradientBoosting::set_presorted(
+    std::shared_ptr<const SortedColumns> cols) {
+  presorted_hint_ = std::move(cols);
+}
+
 double GradientBoosting::BoostTree::predict_one(
     std::span<const double> row) const {
   std::int32_t idx = 0;
@@ -37,7 +42,7 @@ std::int32_t GradientBoosting::build_node(
     std::span<const double> hess, std::vector<std::size_t>& work,
     std::size_t begin, std::size_t end, std::size_t depth,
     std::span<const std::size_t> cols, const SortedColumns* presorted,
-    std::vector<char>& in_node) const {
+    ColumnSegments* segments, std::vector<char>& in_node) const {
   const std::size_t n = end - begin;
   double g_total = 0.0;
   double h_total = 0.0;
@@ -95,7 +100,15 @@ std::int32_t GradientBoosting::build_node(
     }
   };
 
-  if (presorted != nullptr) {
+  if (segments != nullptr) {
+    // Each column's [begin, end) range holds exactly this node's rows in
+    // (feature value, row index) order — scan it directly, no filtering.
+    for (const std::size_t f : cols) {
+      scan_sorted(
+          f, std::span<const std::size_t>(segments->col[f]).subspan(begin, n),
+          [](std::size_t) { return true; });
+    }
+  } else if (presorted != nullptr) {
     // Filtered linear scan over the fit-level sorted order (no sorting).
     for (std::size_t i = begin; i < end; ++i) in_node[work[i]] = 1;
     for (const std::size_t f : cols) {
@@ -129,14 +142,38 @@ std::int32_t GradientBoosting::build_node(
   const auto mid = static_cast<std::size_t>(mid_it - work.begin());
   if (mid == begin || mid == end) return leaf();
 
+  if (segments != nullptr) {
+    // Keep every column's range partitioned in lockstep with `work`. The
+    // partition is stable, so each child's range stays in (value, index)
+    // order — exactly what a fresh per-node sort would produce.
+    for (auto& column : segments->col) {
+      std::size_t* seg = column.data();
+      std::size_t write = begin;
+      std::size_t spill = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t row = seg[i];
+        if (x(row, f) <= best_threshold) {
+          seg[write++] = row;
+        } else {
+          segments->scratch[spill++] = row;
+        }
+      }
+      std::copy(segments->scratch.begin(),
+                segments->scratch.begin() + static_cast<std::ptrdiff_t>(spill),
+                seg + write);
+    }
+  }
+
   tree.nodes.emplace_back();
   const auto self = static_cast<std::int32_t>(tree.nodes.size() - 1);
   tree.nodes[self].feature = best_feature;
   tree.nodes[self].threshold = best_threshold;
-  const std::int32_t left = build_node(tree, x, grad, hess, work, begin, mid,
-                                       depth + 1, cols, presorted, in_node);
-  const std::int32_t right = build_node(tree, x, grad, hess, work, mid, end,
-                                        depth + 1, cols, presorted, in_node);
+  const std::int32_t left =
+      build_node(tree, x, grad, hess, work, begin, mid, depth + 1, cols,
+                 presorted, segments, in_node);
+  const std::int32_t right =
+      build_node(tree, x, grad, hess, work, mid, end, depth + 1, cols,
+                 presorted, segments, in_node);
   tree.nodes[self].left = left;
   tree.nodes[self].right = right;
   return self;
@@ -145,13 +182,14 @@ std::int32_t GradientBoosting::build_node(
 GradientBoosting::BoostTree GradientBoosting::fit_tree(
     const Matrix& x, std::span<const double> grad,
     std::span<const double> hess, std::span<const std::size_t> rows,
-    std::span<const std::size_t> cols,
-    const SortedColumns* presorted) const {
+    std::span<const std::size_t> cols, const SortedColumns* presorted,
+    ColumnSegments* segments) const {
   BoostTree tree;
   std::vector<std::size_t> work(rows.begin(), rows.end());
-  std::vector<char> in_node(x.rows(), 0);
+  std::vector<char> in_node;
+  if (presorted != nullptr && segments == nullptr) in_node.assign(x.rows(), 0);
   build_node(tree, x, grad, hess, work, 0, work.size(), 0, cols, presorted,
-             in_node);
+             segments, in_node);
   return tree;
 }
 
@@ -166,24 +204,26 @@ void GradientBoosting::fit(const Matrix& x, const Matrix& y) {
   ensembles_.assign(n_outputs, Ensemble{});
 
   // With subsample == 1 every tree trains on the same rows, so the
-  // per-column sorted orders can be computed once and shared by every node
-  // of every tree of every output ensemble (exact, just faster).
-  SortedColumns presorted;
+  // per-column sorted orders are shared by every node of every tree of every
+  // output ensemble (exact, just faster). A caller-provided artifact (see
+  // set_presorted) skips even that one dataset-level sort — the evaluator
+  // builds it once per corpus and shares it across all folds.
+  // Take the hint eagerly: it applies to this fit only, even when the fit
+  // fails validation below.
+  const std::shared_ptr<const SortedColumns> hint = std::move(presorted_hint_);
+  presorted_hint_.reset();
+  std::shared_ptr<const SortedColumns> presorted;
   const bool share_rows = params_.subsample >= 1.0;
   if (share_rows) {
-    presorted.order.resize(x.cols());
-    std::vector<std::size_t> base(n);
-    std::iota(base.begin(), base.end(), std::size_t{0});
-    for (std::size_t f = 0; f < x.cols(); ++f) {
-      auto order = base;
-      std::sort(order.begin(), order.end(),
-                [&](std::size_t a, std::size_t b) {
-                  const double va = x(a, f);
-                  const double vb = x(b, f);
-                  if (va != vb) return va < vb;
-                  return a < b;
-                });
-      presorted.order[f] = std::move(order);
+    if (hint != nullptr) {
+      VARPRED_CHECK_ARG(hint->cols() == x.cols() &&
+                            hint->row_count() == x.rows(),
+                        "presorted artifact does not match training matrix");
+      presorted = hint;
+      VARPRED_OBS_COUNT("ml.gbt.presort_reused", 1);
+    } else {
+      presorted =
+          std::make_shared<const SortedColumns>(SortedColumns::build(x));
     }
   }
 
@@ -214,6 +254,16 @@ void GradientBoosting::fit(const Matrix& x, const Matrix& y) {
     std::vector<std::size_t> all_rows(n);
     std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
 
+    // When every tree also sees every column, maintain the column orders as
+    // node-partitioned segments: scans touch only the node's own rows
+    // instead of filtering the full dataset order at every node.
+    const bool segment_mode = share_rows && n_cols == x.cols();
+    ColumnSegments segments;
+    if (segment_mode) {
+      segments.col.resize(x.cols());
+      segments.scratch.resize(n);
+    }
+
     for (std::size_t round = 0; round < params_.n_rounds; ++round) {
       for (std::size_t r = 0; r < n; ++r) grad[r] = pred[r] - y(r, out);
 
@@ -238,9 +288,15 @@ void GradientBoosting::fit(const Matrix& x, const Matrix& y) {
         std::sort(rows.begin(), rows.end());
       }
 
-      BoostTree tree =
-          fit_tree(x, grad, hess, rows, cols,
-                   share_rows ? &presorted : nullptr);
+      ColumnSegments* seg = nullptr;
+      if (segment_mode) {
+        for (std::size_t f = 0; f < x.cols(); ++f) {
+          segments.col[f] = presorted->order[f];
+        }
+        seg = &segments;
+      }
+      BoostTree tree = fit_tree(x, grad, hess, rows, cols,
+                                share_rows ? presorted.get() : nullptr, seg);
       for (std::size_t r = 0; r < n; ++r) {
         pred[r] += params_.learning_rate * tree.predict_one(x.row(r));
       }

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "ml/regressor.hpp"
+#include "ml/sorted_columns.hpp"
 
 namespace varpred::ml {
 
@@ -33,6 +34,7 @@ class GradientBoosting final : public Regressor {
   explicit GradientBoosting(GbtParams params = {});
 
   void fit(const Matrix& x, const Matrix& y) override;
+  void set_presorted(std::shared_ptr<const SortedColumns> cols) override;
   std::vector<double> predict(std::span<const double> row) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "XGBoost"; }
@@ -60,19 +62,23 @@ class GradientBoosting final : public Regressor {
     std::vector<BoostTree> trees;
   };
 
-  // Pre-sorted row order per feature column (computed once per fit when the
-  // row set is shared by every tree, i.e. subsample == 1): column c of the
-  // matrix holds the training rows sorted by feature c. Nodes then find
-  // their split by a linear filtered scan instead of re-sorting.
-  struct SortedColumns {
-    std::vector<std::vector<std::size_t>> order;  // per column
+  // Per-feature row orders partitioned in lockstep with the node row stack:
+  // every tree node owns the same [begin, end) range of each column, and that
+  // range holds the node's rows sorted by that feature. Splitting a node
+  // stable-partitions every column's range, so child scans stay sorted —
+  // the scan sequence is exactly what a per-node sort would produce, without
+  // ever sorting past the tree root.
+  struct ColumnSegments {
+    std::vector<std::vector<std::size_t>> col;  // per feature
+    std::vector<std::size_t> scratch;           // stable-partition spill
   };
 
   BoostTree fit_tree(const Matrix& x, std::span<const double> grad,
                      std::span<const double> hess,
                      std::span<const std::size_t> rows,
                      std::span<const std::size_t> cols,
-                     const SortedColumns* presorted) const;
+                     const SortedColumns* presorted,
+                     ColumnSegments* segments) const;
   std::int32_t build_node(BoostTree& tree, const Matrix& x,
                           std::span<const double> grad,
                           std::span<const double> hess,
@@ -80,10 +86,12 @@ class GradientBoosting final : public Regressor {
                           std::size_t end, std::size_t depth,
                           std::span<const std::size_t> cols,
                           const SortedColumns* presorted,
+                          ColumnSegments* segments,
                           std::vector<char>& in_node) const;
 
   GbtParams params_;
   std::vector<Ensemble> ensembles_;  // one per output column
+  std::shared_ptr<const SortedColumns> presorted_hint_;  // next fit() only
 };
 
 }  // namespace varpred::ml

@@ -24,8 +24,8 @@ void KnnRegressor::fit(const Matrix& x, const Matrix& y) {
   trained_ = true;
 }
 
-std::vector<std::size_t> KnnRegressor::neighbors(
-    std::span<const double> row) const {
+std::vector<std::size_t> KnnRegressor::search(
+    std::span<const double> row, std::vector<double>* neighbor_dist) const {
   VARPRED_CHECK(trained_, "predict before fit");
   VARPRED_OBS_COUNT("ml.knn.queries", 1);
   const std::vector<double> q =
@@ -39,28 +39,36 @@ std::vector<std::size_t> KnnRegressor::neighbors(
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::partial_sort(order.begin(), order.begin() + k, order.end(),
                     [&](std::size_t a, std::size_t b) {
-                      // Tie-break on index for determinism.
+                      // Tie-break on index for determinism — this is what
+                      // keeps the neighbor set stable when distances tie
+                      // wholesale (e.g. a zero-norm cosine query, where
+                      // every row sits at exactly 1.0).
                       if (dist[a] != dist[b]) return dist[a] < dist[b];
                       return a < b;
                     });
   order.resize(k);
+  if (neighbor_dist != nullptr) {
+    neighbor_dist->resize(k);
+    for (std::size_t i = 0; i < k; ++i) (*neighbor_dist)[i] = dist[order[i]];
+  }
   return order;
 }
 
+std::vector<std::size_t> KnnRegressor::neighbors(
+    std::span<const double> row) const {
+  return search(row, nullptr);
+}
+
 std::vector<double> KnnRegressor::predict(std::span<const double> row) const {
-  const auto nn = neighbors(row);
-  const std::vector<double> q =
-      params_.standardize ? scaler_.transform_row(row)
-                          : std::vector<double>(row.begin(), row.end());
+  const bool weighted = params_.weighting == KnnWeighting::kDistance;
+  std::vector<double> nn_dist;
+  const auto nn = search(row, weighted ? &nn_dist : nullptr);
 
   std::vector<double> out(y_.cols(), 0.0);
   double total_weight = 0.0;
-  for (const std::size_t idx : nn) {
-    double w = 1.0;
-    if (params_.weighting == KnnWeighting::kDistance) {
-      w = 1.0 / (distance(params_.metric, q, x_.row(idx)) + 1e-9);
-    }
-    const auto target = y_.row(idx);
+  for (std::size_t i = 0; i < nn.size(); ++i) {
+    const double w = weighted ? 1.0 / (nn_dist[i] + 1e-9) : 1.0;
+    const auto target = y_.row(nn[i]);
     for (std::size_t c = 0; c < out.size(); ++c) out[c] += w * target[c];
     total_weight += w;
   }

@@ -38,12 +38,24 @@ class KnnRegressor final : public Regressor {
 
   /// Indices (into the training set) of the k nearest neighbors of `row`,
   /// nearest first. Exposed for diagnostics and tests.
+  ///
+  /// Distance ties are broken by ascending training-row index, so the
+  /// neighbor set is deterministic even when many rows tie — e.g. an
+  /// all-zero query under the cosine metric, where every row is at the
+  /// documented zero-norm distance of exactly 1.0 and the query returns
+  /// rows 0..k-1.
   std::vector<std::size_t> neighbors(std::span<const double> row) const;
 
   void save(std::ostream& out) const override;
   static KnnRegressor load(std::istream& in);
 
  private:
+  // Shared search: transforms the query once, runs the blocked distance
+  // kernel once, and optionally reports each selected neighbor's distance
+  // (so distance-weighted prediction does not recompute them).
+  std::vector<std::size_t> search(std::span<const double> row,
+                                  std::vector<double>* neighbor_dist) const;
+
   KnnParams params_;
   StandardScaler scaler_;
   Matrix x_;

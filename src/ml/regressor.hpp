@@ -13,6 +13,8 @@
 
 namespace varpred::ml {
 
+struct SortedColumns;
+
 /// Multi-output regressor: fit(X, Y) then predict a Y-row for an X-row.
 class Regressor {
  public:
@@ -20,6 +22,15 @@ class Regressor {
 
   /// Trains on rows of X (features) against rows of Y (targets).
   virtual void fit(const Matrix& x, const Matrix& y) = 0;
+
+  /// Hands the model presorted column orders of the X matrix that will be
+  /// passed to the next fit() call (see ml/sorted_columns.hpp). Purely an
+  /// acceleration: tree learners skip their per-fit column sorts and build
+  /// byte-identical trees from the shared artifact; models that cannot use
+  /// it ignore it. The artifact applies to the next fit() only — fit
+  /// releases it so a later refit on a different matrix cannot consume a
+  /// stale order.
+  virtual void set_presorted(std::shared_ptr<const SortedColumns> /*cols*/) {}
 
   /// Predicts the target vector for one feature row.
   virtual std::vector<double> predict(std::span<const double> row) const = 0;

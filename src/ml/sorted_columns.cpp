@@ -1,0 +1,71 @@
+#include "ml/sorted_columns.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace varpred::ml {
+
+SortedColumns SortedColumns::build(const Matrix& x) {
+  VARPRED_CHECK_ARG(!x.empty(), "cannot presort an empty matrix");
+  obs::Span span("ml.sorted_columns.build");
+  VARPRED_OBS_COUNT("ml.sorted_columns.builds", 1);
+  SortedColumns out;
+  out.order.resize(x.cols());
+  std::vector<std::size_t> base(x.rows());
+  std::iota(base.begin(), base.end(), std::size_t{0});
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    auto col_order = base;
+    std::sort(col_order.begin(), col_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                const double va = x(a, c);
+                const double vb = x(b, c);
+                if (va != vb) return va < vb;
+                return a < b;
+              });
+    out.order[c] = std::move(col_order);
+  }
+  return out;
+}
+
+SortedColumns SortedColumns::filtered(std::span<const std::size_t> rows,
+                                      bool remap) const {
+  VARPRED_CHECK_ARG(!rows.empty(), "cannot filter to an empty row set");
+  VARPRED_OBS_COUNT("ml.sorted_columns.filters", 1);
+  const std::size_t n = row_count();
+
+  // Multiplicity of each source row in the sample, plus (for remap) its row
+  // number in the gathered submatrix.
+  std::vector<std::uint32_t> count(n, 0);
+  std::vector<std::size_t> position(remap ? n : 0, 0);
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t r = rows[i];
+    VARPRED_CHECK_ARG(r < n, "filtered row index out of range");
+    if (i > 0) {
+      VARPRED_CHECK_ARG(remap ? r > prev : r >= prev,
+                        "filtered rows must be ascending");
+    }
+    prev = r;
+    ++count[r];
+    if (remap) position[r] = i;
+  }
+
+  SortedColumns out;
+  out.order.resize(order.size());
+  for (std::size_t c = 0; c < order.size(); ++c) {
+    std::vector<std::size_t> col_order;
+    col_order.reserve(rows.size());
+    for (const std::size_t r : order[c]) {
+      for (std::uint32_t k = 0; k < count[r]; ++k) {
+        col_order.push_back(remap ? position[r] : r);
+      }
+    }
+    out.order[c] = std::move(col_order);
+  }
+  return out;
+}
+
+}  // namespace varpred::ml

@@ -1,0 +1,53 @@
+// Presorted feature columns: for every column c of a row-major matrix, the
+// row indices sorted by (value, index). Tree learners find axis-aligned
+// splits by scanning rows in feature order; computing these orders once per
+// dataset and deriving per-fold / per-sample orders by linear filtering
+// replaces the O(cols * n log n) sort every tree fit used to pay.
+//
+// The (value, index) tie-break matters: it makes every order a deterministic
+// pure function of the matrix, and it is what keeps `filtered()` exact — a
+// subsequence of rows extracted in index order is still sorted by
+// (value, new index), so a filtered order is bit-for-bit the order a fresh
+// sort of the submatrix would produce. Tree fits that consume a filtered
+// artifact therefore build byte-identical trees.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace varpred::ml {
+
+/// Per-column row orders of one feature matrix (see file comment).
+struct SortedColumns {
+  /// order[c] holds the matrix's row indices sorted ascending by column c,
+  /// ties broken by row index. All columns have the same length: the number
+  /// of rows the artifact was built over (with multiplicity, for orders
+  /// derived over a bootstrap sample).
+  std::vector<std::vector<std::size_t>> order;
+
+  std::size_t cols() const { return order.size(); }
+  std::size_t row_count() const { return order.empty() ? 0 : order[0].size(); }
+
+  /// Sorts every column of `x` from scratch: order[c] = rows of x sorted by
+  /// (x(r, c), r). O(cols * n log n); do this once per dataset.
+  static SortedColumns build(const Matrix& x);
+
+  /// Derives the orders of the submatrix formed by `rows` (ascending,
+  /// duplicates allowed — a fold subset or a sorted bootstrap sample) by a
+  /// counted linear filter over this artifact: O(cols * n). `rows` must
+  /// index rows this artifact was built over.
+  ///
+  /// When `remap` is true, `rows` must be strictly ascending and the output
+  /// indices are positions into `rows` (i.e. row numbers of the gathered
+  /// submatrix); the result is exactly build(x.gather_rows(rows)). When
+  /// false, output indices stay in this artifact's row numbering, each
+  /// emitted once per occurrence in `rows` — the order a sort of the sample
+  /// multiset by (value, index) would produce.
+  SortedColumns filtered(std::span<const std::size_t> rows, bool remap) const;
+};
+
+}  // namespace varpred::ml

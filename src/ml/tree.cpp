@@ -26,19 +26,45 @@ RegressionTree::RegressionTree(TreeParams params) : params_(params) {
 void RegressionTree::fit(const Matrix& x, const Matrix& y) {
   std::vector<std::size_t> all(x.rows());
   std::iota(all.begin(), all.end(), std::size_t{0});
-  fit_rows(x, y, all);
+  // A dataset-level artifact over x is exactly the all-rows sample order.
+  const std::shared_ptr<const SortedColumns> hint = std::move(presorted_hint_);
+  presorted_hint_.reset();
+  fit_rows(x, y, all, hint.get());
+}
+
+void RegressionTree::set_presorted(std::shared_ptr<const SortedColumns> cols) {
+  presorted_hint_ = std::move(cols);
 }
 
 void RegressionTree::fit_rows(const Matrix& x, const Matrix& y,
-                              std::span<const std::size_t> indices) {
+                              std::span<const std::size_t> indices,
+                              const SortedColumns* presorted) {
   VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
   VARPRED_CHECK_ARG(!indices.empty(), "cannot fit on zero rows");
   nodes_.clear();
   leaf_values_.clear();
   n_outputs_ = y.cols();
   work_.assign(indices.begin(), indices.end());
+
+  // Column-segment mode needs every split to consider every feature, else
+  // the candidate subset would still have to be sorted per node anyway.
+  use_columns_ = presorted != nullptr && (params_.max_features == 0 ||
+                                          params_.max_features >= x.cols());
+  if (use_columns_) {
+    VARPRED_CHECK_ARG(presorted->cols() == x.cols() &&
+                          presorted->row_count() == indices.size(),
+                      "presorted artifact does not match sample");
+    col_ = presorted->order;  // partitioned in place as the tree grows
+    col_scratch_.resize(indices.size());
+  }
+
   Rng rng(params_.seed);
   build(x, y, 0, work_.size(), 0, rng);
+
+  col_.clear();
+  col_scratch_.clear();
+  col_scratch_.shrink_to_fit();
+  use_columns_ = false;
 }
 
 std::int32_t RegressionTree::make_leaf(const Matrix& y, std::size_t begin,
@@ -104,18 +130,30 @@ std::int32_t RegressionTree::build(const Matrix& x, const Matrix& y,
   std::int32_t best_feature = -1;
   double best_threshold = 0.0;
 
-  std::vector<std::size_t> order(work_.begin() + static_cast<std::ptrdiff_t>(begin),
-                                 work_.begin() + static_cast<std::ptrdiff_t>(end));
+  std::vector<std::size_t> scratch;
+  if (!use_columns_) {
+    scratch.assign(work_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   work_.begin() + static_cast<std::ptrdiff_t>(end));
+  }
   std::vector<double> left_sum(n_outputs_);
 
   for (std::size_t fi = 0; fi < n_candidates; ++fi) {
     const std::size_t f = features[fi];
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const double va = x(a, f);
-      const double vb = x(b, f);
-      if (va != vb) return va < vb;
-      return a < b;  // deterministic ties
-    });
+    std::span<const std::size_t> order;
+    if (use_columns_) {
+      // col_[f][begin, end) already holds this node's rows in
+      // (value, index) order — the exact sequence the sort below produces.
+      order = std::span<const std::size_t>(col_[f]).subspan(begin, n);
+    } else {
+      std::sort(scratch.begin(), scratch.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double va = x(a, f);
+                  const double vb = x(b, f);
+                  if (va != vb) return va < vb;
+                  return a < b;  // deterministic ties
+                });
+      order = scratch;
+    }
 
     std::fill(left_sum.begin(), left_sum.end(), 0.0);
     double left_sq = 0.0;
@@ -165,6 +203,28 @@ std::int32_t RegressionTree::build(const Matrix& x, const Matrix& y,
       static_cast<std::size_t>(mid_it - work_.begin());
   if (mid == begin || mid == end) {
     return make_leaf(y, begin, end, depth);  // numeric degeneracy guard
+  }
+
+  if (use_columns_) {
+    // Keep every column's range partitioned in lockstep with work_. The
+    // partition is stable, so each child's range stays in (value, index)
+    // order — exactly what a fresh per-node sort would produce.
+    for (auto& column : col_) {
+      std::size_t* seg = column.data();
+      std::size_t write = begin;
+      std::size_t spill = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t row = seg[i];
+        if (x(row, f) <= best_threshold) {
+          seg[write++] = row;
+        } else {
+          col_scratch_[spill++] = row;
+        }
+      }
+      std::copy(col_scratch_.begin(),
+                col_scratch_.begin() + static_cast<std::ptrdiff_t>(spill),
+                seg + write);
+    }
   }
 
   // Reserve this node's slot before building children.

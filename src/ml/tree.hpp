@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "ml/regressor.hpp"
+#include "ml/sorted_columns.hpp"
 
 namespace varpred::ml {
 
@@ -29,11 +30,19 @@ class RegressionTree final : public Regressor {
   explicit RegressionTree(TreeParams params = {});
 
   void fit(const Matrix& x, const Matrix& y) override;
+  void set_presorted(std::shared_ptr<const SortedColumns> cols) override;
 
-  /// Fits on a subset of rows (bootstrap support for forests); `weights`
-  /// (optional, same length as indices) weight each sample's contribution.
+  /// Fits on a subset of rows (bootstrap support for forests). `presorted`,
+  /// when given, must hold the per-feature orders of exactly the `indices`
+  /// sample (length match is checked): each column lists the sample's row
+  /// indices sorted by (feature value, index), duplicates included — i.e.
+  /// SortedColumns::filtered(indices, /*remap=*/false) of a dataset-level
+  /// artifact. It is consumed only when every split considers all features
+  /// (max_features covers the full column set) and yields byte-identical
+  /// trees; otherwise it is ignored.
   void fit_rows(const Matrix& x, const Matrix& y,
-                std::span<const std::size_t> indices);
+                std::span<const std::size_t> indices,
+                const SortedColumns* presorted = nullptr);
 
   std::vector<double> predict(std::span<const double> row) const override;
   std::unique_ptr<Regressor> clone() const override;
@@ -69,6 +78,16 @@ class RegressionTree final : public Regressor {
   std::vector<Node> nodes_;
   std::vector<double> leaf_values_;   // leaf_count * n_outputs
   std::vector<std::size_t> work_;     // index scratch during fit
+
+  // Segment-partitioned per-feature orders during fit: col_[f][begin, end)
+  // holds node [begin, end)'s rows sorted by feature f, kept in lockstep
+  // with work_ by stable-partitioning at each split. Replaces the per-node
+  // per-feature sort when a presorted artifact is supplied and every split
+  // considers all features.
+  std::vector<std::vector<std::size_t>> col_;
+  std::vector<std::size_t> col_scratch_;
+  bool use_columns_ = false;
+  std::shared_ptr<const SortedColumns> presorted_hint_;  // next fit() only
 };
 
 }  // namespace varpred::ml

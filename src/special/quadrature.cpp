@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/check.hpp"
 
@@ -46,11 +47,22 @@ GaussLegendreRule compute_rule(std::size_t n) {
 
 const GaussLegendreRule& gauss_legendre(std::size_t n) {
   VARPRED_CHECK_ARG(n >= 1, "quadrature order must be >= 1");
-  static std::mutex mutex;
+  // Concurrent maxent solves on pool workers all hit this cache; readers
+  // take a shared lock so the steady state (every order already computed)
+  // never serializes. std::map never moves nodes, so returned references
+  // stay valid while later orders are inserted.
+  static std::shared_mutex mutex;
   static std::map<std::size_t, GaussLegendreRule> cache;
-  std::lock_guard lock(mutex);
-  auto it = cache.find(n);
-  if (it == cache.end()) it = cache.emplace(n, compute_rule(n)).first;
+  {
+    std::shared_lock lock(mutex);
+    const auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+  }
+  // Compute outside the lock; two threads racing on the same first request
+  // both compute, try_emplace keeps one copy and the loser's work is dropped.
+  GaussLegendreRule rule = compute_rule(n);
+  std::unique_lock lock(mutex);
+  const auto it = cache.try_emplace(n, std::move(rule)).first;
   return it->second;
 }
 

@@ -4,13 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 
 #include "core/crosssystem.hpp"
+#include "core/evalcache.hpp"
 #include "core/evaluator.hpp"
 #include "core/predictor.hpp"
 #include "core/profile.hpp"
+#include "ml/forest.hpp"
+#include "ml/gbt.hpp"
 #include "ml/knn.hpp"
 #include "stats/moments.hpp"
 #include "stats/ks.hpp"
@@ -219,6 +223,120 @@ TEST(Evaluator, DeterministicAcrossInvocations) {
   const auto a = evaluate_few_runs(corpus, config, options);
   const auto b = evaluate_few_runs(corpus, config, options);
   EXPECT_EQ(a.ks, b.ks);
+}
+
+// Pins VARPRED_EVAL_NO_CACHE for one evaluation, restoring on scope exit so
+// the rest of the suite keeps exercising the cached hot path.
+class ScopedNoCache {
+ public:
+  ScopedNoCache() { ::setenv("VARPRED_EVAL_NO_CACHE", "1", 1); }
+  ~ScopedNoCache() { ::unsetenv("VARPRED_EVAL_NO_CACHE"); }
+  ScopedNoCache(const ScopedNoCache&) = delete;
+  ScopedNoCache& operator=(const ScopedNoCache&) = delete;
+};
+
+// S4: the fold-level evaluation cache (shared profiles/targets/presorted
+// columns) must change no score, for every distribution representation.
+// EXPECT_EQ on doubles — byte-identical, not merely close.
+TEST(EvalCache, FewRunsScoresMatchUncachedPathForAllReprs) {
+  const auto& corpus = small_intel();
+  for (const ReprKind repr :
+       {ReprKind::kHistogram, ReprKind::kMaxEnt, ReprKind::kPearson,
+        ReprKind::kQuantile}) {
+    FewRunsConfig config;
+    config.repr = repr;
+    EvalOptions options;
+    options.n_reconstruct = 200;
+    const auto cached = evaluate_few_runs(corpus, config, options);
+    EvalResult uncached;
+    {
+      ScopedNoCache pin;
+      uncached = evaluate_few_runs(corpus, config, options);
+    }
+    ASSERT_EQ(cached.ks.size(), uncached.ks.size());
+    for (std::size_t b = 0; b < cached.ks.size(); ++b) {
+      EXPECT_EQ(cached.ks[b], uncached.ks[b])
+          << to_string(repr) << " fold " << b;
+    }
+  }
+}
+
+TEST(EvalCache, CrossSystemScoresMatchUncachedPathForAllReprs) {
+  const auto& amd = small_amd();
+  const auto& intel = small_intel();
+  for (const ReprKind repr :
+       {ReprKind::kHistogram, ReprKind::kMaxEnt, ReprKind::kPearson,
+        ReprKind::kQuantile}) {
+    CrossSystemConfig config;
+    config.repr = repr;
+    EvalOptions options;
+    options.n_reconstruct = 200;
+    const auto cached = evaluate_cross_system(amd, intel, config, options);
+    EvalResult uncached;
+    {
+      ScopedNoCache pin;
+      uncached = evaluate_cross_system(amd, intel, config, options);
+    }
+    ASSERT_EQ(cached.ks.size(), uncached.ks.size());
+    for (std::size_t b = 0; b < cached.ks.size(); ++b) {
+      EXPECT_EQ(cached.ks[b], uncached.ks[b])
+          << to_string(repr) << " fold " << b;
+    }
+  }
+}
+
+// Same equivalence through the tree learners, which additionally consume the
+// cache's presorted-column artifact (segment-mode fits).
+TEST(EvalCache, TreeModelScoresMatchUncachedPath) {
+  const auto& corpus = small_intel();
+  const std::function<std::unique_ptr<ml::Regressor>()> forest_factory =
+      []() -> std::unique_ptr<ml::Regressor> {
+    ml::ForestParams fp;
+    fp.n_trees = 8;
+    fp.tree.max_depth = 6;
+    fp.bootstrap = true;
+    fp.feature_fraction = 1.0;
+    fp.seed = 3;
+    return std::make_unique<ml::RandomForest>(fp);
+  };
+  const std::function<std::unique_ptr<ml::Regressor>()> gbt_factory =
+      []() -> std::unique_ptr<ml::Regressor> {
+    ml::GbtParams gp;
+    gp.n_rounds = 6;
+    gp.subsample = 1.0;
+    gp.colsample = 1.0;
+    return std::make_unique<ml::GradientBoosting>(gp);
+  };
+  for (const auto& factory : {forest_factory, gbt_factory}) {
+    FewRunsConfig config;
+    config.model_factory = factory;
+    EvalOptions options;
+    options.n_reconstruct = 200;
+    const auto cached = evaluate_few_runs(corpus, config, options);
+    EvalResult uncached;
+    {
+      ScopedNoCache pin;
+      uncached = evaluate_few_runs(corpus, config, options);
+    }
+    ASSERT_EQ(cached.ks.size(), uncached.ks.size());
+    for (std::size_t b = 0; b < cached.ks.size(); ++b) {
+      EXPECT_EQ(cached.ks[b], uncached.ks[b]) << "fold " << b;
+    }
+  }
+}
+
+TEST(EvalCache, TrainRejectsMismatchedCache) {
+  // A cache built for a different config (replicate count) must be refused
+  // rather than silently producing different training rows.
+  const auto& corpus = small_intel();
+  FewRunsConfig cache_config;
+  const auto cache = FewRunsEvalCache::build(corpus, cache_config);
+  FewRunsConfig other = cache_config;
+  other.train_replicates = cache_config.train_replicates + 1;
+  FewRunsPredictor predictor(other);
+  const std::vector<std::size_t> training = {0, 1, 2, 3};
+  EXPECT_THROW(predictor.train(corpus, training, &cache),
+               std::invalid_argument);
 }
 
 }  // namespace

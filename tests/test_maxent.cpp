@@ -98,6 +98,44 @@ TEST(MaxEnt, RejectsBadInput) {
                std::invalid_argument);  // empty support
 }
 
+TEST(MaxEnt, SolveMomentSystemReportsConvergence) {
+  const auto raw = raw_moments_from_summary(make_moments(1.0, 0.1, 0.6, 3.4));
+  const auto solved = solve_moment_system(raw, 0.4, 1.6);
+  EXPECT_TRUE(solved.converged);
+  EXPECT_LT(solved.residual, 1e-6);
+  EXPECT_EQ(solved.lambda.size(), raw.size());
+  // A converged result constructs the same density the moment constructor
+  // builds (same solver, same options).
+  const MaxEntDensity from_solved(solved, 0.4, 1.6);
+  const MaxEntDensity direct(raw, 0.4, 1.6);
+  EXPECT_EQ(from_solved.pdf(1.0), direct.pdf(1.0));
+  // A failed solve is rejected by the density constructor.
+  const std::vector<double> infeasible = {1.0, 10.0, 100.5};
+  const auto failed = solve_moment_system(infeasible, 0.0, 1.0);
+  EXPECT_FALSE(failed.converged);
+  EXPECT_THROW(MaxEntDensity(failed, 0.0, 1.0), CheckError);
+}
+
+TEST(MaxEnt, WarmStartConvergesToSameSolution) {
+  // Seeding the Newton solver with the converged multipliers (the degrade
+  // ladder's warm start) must converge immediately to the same lambda.
+  const auto raw = raw_moments_from_summary(make_moments(1.0, 0.08, -0.4, 3.2));
+  const auto cold = solve_moment_system(raw, 0.5, 1.5);
+  ASSERT_TRUE(cold.converged);
+  MaxEntOptions options;
+  options.initial_lambda = cold.lambda;
+  const auto warm = solve_moment_system(raw, 0.5, 1.5, options);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_EQ(warm.lambda, cold.lambda);  // already at the optimum: no step
+  EXPECT_LE(warm.iterations, cold.iterations);
+  // A wrong-sized warm start is ignored, not an error.
+  MaxEntOptions bad;
+  bad.initial_lambda = {0.0};
+  const auto ignored = solve_moment_system(raw, 0.5, 1.5, bad);
+  EXPECT_TRUE(ignored.converged);
+  EXPECT_EQ(ignored.lambda, cold.lambda);
+}
+
 TEST(MaxEnt, InfeasibleMomentsFailCleanly) {
   // Moments far outside the support cannot be matched; expect CheckError
   // (the pipeline catches it and falls back to fewer moments).

@@ -2,15 +2,19 @@
 // cross-validation splitters, and regression metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <set>
 
+#include "common/rng.hpp"
 #include "ml/cv.hpp"
 #include "ml/dataset.hpp"
 #include "ml/distance.hpp"
 #include "ml/matrix.hpp"
 #include "ml/metrics.hpp"
 #include "ml/scaler.hpp"
+#include "ml/sorted_columns.hpp"
 
 namespace varpred::ml {
 namespace {
@@ -106,6 +110,158 @@ TEST(Distance, EuclideanAndManhattan) {
   EXPECT_DOUBLE_EQ(distance(Metric::kEuclidean, a, b), 5.0);
   EXPECT_THROW(euclidean_distance(a, std::vector<double>{1.0}),
                std::invalid_argument);
+}
+
+TEST(Distance, InvalidMetricFailsHard) {
+  // Regression test: an out-of-range metric used to fall through to a
+  // silent 0.0 distance (every row a perfect neighbor) and a "?" name.
+  // Both must now throw instead.
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {3.0, 4.0};
+  const auto bad = static_cast<Metric>(99);
+  EXPECT_THROW(distance(bad, a, b), std::invalid_argument);
+  EXPECT_THROW(to_string(bad), std::invalid_argument);
+  std::vector<double> out(1);
+  EXPECT_THROW(distances_to_rows(bad, a, 2, b, out), std::invalid_argument);
+}
+
+TEST(Distance, RowBlockKernelMatchesScalarKernels) {
+  // distances_to_rows must be bit-identical to calling distance() per row,
+  // for every metric, both below and above the parallel dispatch threshold.
+  Rng rng(1234);
+  for (const std::size_t n : {7u, 3000u}) {  // 3000 * 32 crosses the cutoff
+    const std::size_t dim = 32;
+    std::vector<double> rows(n * dim);
+    std::vector<double> query(dim);
+    for (double& v : rows) v = rng.uniform(-2.0, 2.0);
+    for (double& v : query) v = rng.uniform(-2.0, 2.0);
+    for (const Metric m :
+         {Metric::kCosine, Metric::kEuclidean, Metric::kManhattan}) {
+      std::vector<double> out(n);
+      distances_to_rows(m, rows, dim, query, out);
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::span<const double> row(rows.data() + r * dim, dim);
+        EXPECT_EQ(out[r], distance(m, query, row))
+            << to_string(m) << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(Distance, RowBlockZeroNormCosineIsOne) {
+  // Zero-norm queries and rows keep the documented distance of exactly 1.0
+  // in the fused kernel (see S3: this pins the kNN tie-break behaviour).
+  const std::vector<double> rows = {0.0, 0.0, 1.0, 2.0};
+  const std::vector<double> zero_query = {0.0, 0.0};
+  std::vector<double> out(2);
+  distances_to_rows(Metric::kCosine, rows, 2, zero_query, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);  // zero query vs zero row
+  EXPECT_DOUBLE_EQ(out[1], 1.0);  // zero query vs nonzero row
+  const std::vector<double> query = {3.0, -1.0};
+  distances_to_rows(Metric::kCosine, rows, 2, query, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);  // nonzero query vs zero row
+}
+
+TEST(Distance, RowBlockRejectsBadShapes) {
+  const std::vector<double> rows = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> out(2);
+  EXPECT_THROW(
+      distances_to_rows(Metric::kEuclidean, rows, 0, std::vector<double>{},
+                        out),
+      std::invalid_argument);
+  EXPECT_THROW(distances_to_rows(Metric::kEuclidean, rows, 2,
+                                 std::vector<double>{1.0}, out),
+               std::invalid_argument);
+  std::vector<double> short_out(1);
+  EXPECT_THROW(distances_to_rows(Metric::kEuclidean, rows, 2,
+                                 std::vector<double>{1.0, 2.0}, short_out),
+               std::invalid_argument);
+}
+
+// Brute-force reference: row indices sorted by (value, index).
+std::vector<std::size_t> sorted_column(const Matrix& x, std::size_t c) {
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (x(a, c) != x(b, c)) return x(a, c) < x(b, c);
+              return a < b;
+            });
+  return order;
+}
+
+Matrix tie_heavy_matrix(std::size_t n, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, cols);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Coarse quantization forces plenty of duplicate values so the
+      // (value, index) tie-break is actually exercised.
+      x(r, c) = std::floor(rng.uniform(-3.0, 3.0));
+    }
+  }
+  return x;
+}
+
+TEST(SortedColumns, BuildMatchesFreshSortWithTieBreak) {
+  const auto x = tie_heavy_matrix(120, 4, 99);
+  const auto cols = SortedColumns::build(x);
+  ASSERT_EQ(cols.cols(), 4u);
+  ASSERT_EQ(cols.row_count(), 120u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(cols.order[c], sorted_column(x, c)) << "column " << c;
+  }
+}
+
+TEST(SortedColumns, FilteredWithRemapEqualsBuildOfSubmatrix) {
+  // The fold-cache invariant: filtering the dataset artifact down to a
+  // strictly ascending row subset must be bit-for-bit what a fresh build
+  // over the gathered submatrix produces.
+  const auto x = tie_heavy_matrix(90, 3, 7);
+  const auto base = SortedColumns::build(x);
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < 90; r += 1 + r % 3) rows.push_back(r);
+  const auto filtered = base.filtered(rows, /*remap=*/true);
+  const auto fresh = SortedColumns::build(x.gather_rows(rows));
+  ASSERT_EQ(filtered.cols(), fresh.cols());
+  for (std::size_t c = 0; c < fresh.cols(); ++c) {
+    EXPECT_EQ(filtered.order[c], fresh.order[c]) << "column " << c;
+  }
+}
+
+TEST(SortedColumns, FilteredBootstrapEmitsMultiplicities) {
+  // Bootstrap mode (remap=false): duplicated sample rows appear once per
+  // occurrence, in the order a (value, index) sort of the multiset gives.
+  const auto x = tie_heavy_matrix(40, 2, 11);
+  const auto base = SortedColumns::build(x);
+  Rng rng(31);
+  std::vector<std::size_t> sample(40);
+  for (auto& r : sample) r = rng.uniform_index(40);
+  std::sort(sample.begin(), sample.end());
+  const auto filtered = base.filtered(sample, /*remap=*/false);
+  for (std::size_t c = 0; c < 2; ++c) {
+    std::vector<std::size_t> expect = sample;
+    std::stable_sort(expect.begin(), expect.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (x(a, c) != x(b, c)) return x(a, c) < x(b, c);
+                       return a < b;
+                     });
+    EXPECT_EQ(filtered.order[c], expect) << "column " << c;
+  }
+}
+
+TEST(SortedColumns, FilteredValidatesRowOrder) {
+  const auto x = tie_heavy_matrix(10, 2, 13);
+  const auto base = SortedColumns::build(x);
+  const std::vector<std::size_t> descending = {3, 1};
+  EXPECT_THROW(base.filtered(descending, /*remap=*/false),
+               std::invalid_argument);
+  // remap requires *strictly* ascending rows; duplicates must be rejected.
+  const std::vector<std::size_t> dup = {1, 1, 2};
+  EXPECT_THROW(base.filtered(dup, /*remap=*/true), std::invalid_argument);
+  EXPECT_NO_THROW(base.filtered(dup, /*remap=*/false));
+  const std::vector<std::size_t> oob = {5, 25};
+  EXPECT_THROW(base.filtered(oob, /*remap=*/false), std::invalid_argument);
 }
 
 TEST(Dataset, ValidateAndSubset) {

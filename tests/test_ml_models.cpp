@@ -11,6 +11,7 @@
 #include "ml/gbt.hpp"
 #include "ml/knn.hpp"
 #include "ml/metrics.hpp"
+#include "ml/sorted_columns.hpp"
 #include "ml/tree.hpp"
 
 namespace varpred::ml {
@@ -113,6 +114,30 @@ TEST(Knn, NeighborsSortedByDistance) {
   EXPECT_EQ(nn, (std::vector<std::size_t>{1, 2, 0}));
 }
 
+TEST(Knn, ZeroNormCosineQueryUsesStableIndexTieBreak) {
+  // S3: a zero-norm query under cosine distance puts every training row at
+  // exactly 1.0. The documented tie-break (ascending row index) must make
+  // the neighbor set and the prediction deterministic.
+  const auto x = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 1}});
+  const auto y = Matrix::from_rows({{10}, {20}, {30}, {40}, {50}});
+  KnnParams params;
+  params.k = 3;
+  params.metric = Metric::kCosine;
+  params.standardize = false;
+  KnnRegressor knn(params);
+  knn.fit(x, y);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_EQ(knn.neighbors(zero), (std::vector<std::size_t>{0, 1, 2}));
+  // Uniform weighting averages the first k targets.
+  EXPECT_DOUBLE_EQ(knn.predict(zero)[0], 20.0);
+  // Distance weighting is uniform too (all weights 1/(1 + 1e-9)).
+  KnnParams wp = params;
+  wp.weighting = KnnWeighting::kDistance;
+  KnnRegressor wknn(wp);
+  wknn.fit(x, y);
+  EXPECT_NEAR(wknn.predict(zero)[0], 20.0, 1e-9);
+}
+
 TEST(Tree, FitsConstantTarget) {
   const auto x = Matrix::from_rows({{1}, {2}, {3}});
   const auto y = Matrix::from_rows({{7}, {7}, {7}});
@@ -178,6 +203,84 @@ TEST(Tree, MultiOutputSplitsJointly) {
   EXPECT_GT(r2(p.y_test.col(1), pred.col(1)), 0.5);
 }
 
+// Quantized features create many tied values, which is where the presorted
+// segment scans and the per-node sorts could diverge if the tie-break or
+// partition stability were wrong.
+Problem make_tied_problem(std::size_t n_train, std::size_t n_test,
+                          std::uint64_t seed) {
+  Problem p = make_problem(n_train, n_test, seed, /*noise=*/0.2);
+  auto quantize = [](Matrix& m) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        m(r, c) = std::floor(m(r, c) * 4.0) / 4.0;
+      }
+    }
+  };
+  quantize(p.x_train);
+  quantize(p.x_test);
+  return p;
+}
+
+TEST(Tree, PresortedSegmentModeIsByteIdenticalToSortPath) {
+  // The tentpole invariant at tree level: fitting with a dataset-level
+  // SortedColumns artifact (segment scans + stable partitions) must produce
+  // exactly the tree the per-node sort path produces.
+  const auto p = make_tied_problem(200, 60, 41);
+  TreeParams params;
+  params.max_depth = 8;
+  RegressionTree plain(params);
+  plain.fit(p.x_train, p.y_train);  // no hint: per-node sorts
+  RegressionTree presorted(params);
+  presorted.set_presorted(
+      std::make_shared<const SortedColumns>(SortedColumns::build(p.x_train)));
+  presorted.fit(p.x_train, p.y_train);
+  EXPECT_EQ(plain.leaf_count(), presorted.leaf_count());
+  EXPECT_EQ(plain.depth(), presorted.depth());
+  for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
+    EXPECT_EQ(plain.predict(p.x_test.row(r)),
+              presorted.predict(p.x_test.row(r)))
+        << "row " << r;
+  }
+}
+
+TEST(Tree, FilteredBootstrapArtifactIsByteIdenticalToSortPath) {
+  // fit_rows over a duplicated (bootstrap) sample: the counted filter of the
+  // dataset artifact must reproduce the per-node sorts of the sample.
+  const auto p = make_tied_problem(120, 40, 43);
+  const auto base = SortedColumns::build(p.x_train);
+  Rng rng(77);
+  std::vector<std::size_t> rows(p.x_train.rows());
+  for (auto& r : rows) r = rng.uniform_index(p.x_train.rows());
+  std::sort(rows.begin(), rows.end());
+  TreeParams params;
+  params.max_depth = 8;
+  RegressionTree plain(params);
+  plain.fit_rows(p.x_train, p.y_train, rows);
+  RegressionTree filtered(params);
+  const SortedColumns sample = base.filtered(rows, /*remap=*/false);
+  filtered.fit_rows(p.x_train, p.y_train, rows, &sample);
+  for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
+    EXPECT_EQ(plain.predict(p.x_test.row(r)),
+              filtered.predict(p.x_test.row(r)))
+        << "row " << r;
+  }
+}
+
+TEST(Tree, RejectsMismatchedPresortedArtifact) {
+  const auto p = make_problem(50, 5, 47);
+  RegressionTree tree;
+  // Artifact over a different row count than the fit sample.
+  Matrix other(10, p.x_train.cols());
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < other.cols(); ++c) other(r, c) = double(r + c);
+  }
+  tree.set_presorted(
+      std::make_shared<const SortedColumns>(SortedColumns::build(other)));
+  EXPECT_THROW(tree.fit(p.x_train, p.y_train), std::invalid_argument);
+  // The hint applies to one fit only: the next fit must succeed cold.
+  EXPECT_NO_THROW(tree.fit(p.x_train, p.y_train));
+}
+
 TEST(Forest, OutperformsOrMatchesSingleTreeOnNoisyData) {
   const auto p = make_problem(300, 200, 13, /*noise=*/0.3);
   TreeParams tp;
@@ -212,6 +315,122 @@ TEST(Forest, DeterministicAcrossFits) {
   for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
     EXPECT_EQ(a.predict(p.x_test.row(r)), b.predict(p.x_test.row(r)));
   }
+}
+
+TEST(Forest, SharedPresortedArtifactIsByteIdentical) {
+  // A caller-provided dataset artifact (the evaluator's fold cache) must not
+  // change a single prediction relative to the forest building its own.
+  const auto p = make_tied_problem(150, 40, 53);
+  ForestParams fp;
+  fp.n_trees = 25;
+  fp.tree.max_depth = 8;
+  fp.bootstrap = true;
+  fp.feature_fraction = 1.0;
+  fp.seed = 11;
+  RandomForest own(fp);
+  own.fit(p.x_train, p.y_train);
+  RandomForest shared(fp);
+  shared.set_presorted(
+      std::make_shared<const SortedColumns>(SortedColumns::build(p.x_train)));
+  shared.fit(p.x_train, p.y_train);
+  for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
+    EXPECT_EQ(own.predict(p.x_test.row(r)), shared.predict(p.x_test.row(r)))
+        << "row " << r;
+  }
+}
+
+TEST(Forest, FeatureSubsamplingIgnoresPresortedHintSafely) {
+  // With feature_fraction < 1 splits only see a random feature subset, so
+  // segment mode does not apply; a stale hint must be ignored, not crash or
+  // change results.
+  const auto p = make_tied_problem(120, 30, 59);
+  ForestParams fp;
+  fp.n_trees = 15;
+  fp.tree.max_depth = 6;
+  fp.bootstrap = true;
+  fp.feature_fraction = 0.5;
+  fp.seed = 13;
+  RandomForest plain(fp);
+  plain.fit(p.x_train, p.y_train);
+  RandomForest hinted(fp);
+  hinted.set_presorted(
+      std::make_shared<const SortedColumns>(SortedColumns::build(p.x_train)));
+  hinted.fit(p.x_train, p.y_train);
+  for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
+    EXPECT_EQ(plain.predict(p.x_test.row(r)), hinted.predict(p.x_test.row(r)))
+        << "row " << r;
+  }
+}
+
+TEST(Gbt, SegmentModeIsByteIdenticalToSortPath) {
+  // subsample == 1 runs the node-partitioned segment scans; a subsample just
+  // below 1 rounds to the full row set (no RNG draws, identical training
+  // data) but takes the per-node sort path. Predictions must match exactly.
+  const auto p = make_tied_problem(150, 40, 61);
+  GbtParams seg;
+  seg.n_rounds = 40;
+  seg.subsample = 1.0;
+  seg.colsample = 1.0;
+  GbtParams sort_path = seg;
+  sort_path.subsample = 0.999999;  // llround(0.999999 * 150) == 150
+  GradientBoosting a(seg);
+  GradientBoosting b(sort_path);
+  a.fit(p.x_train, p.y_train);
+  b.fit(p.x_train, p.y_train);
+  for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
+    EXPECT_EQ(a.predict(p.x_test.row(r)), b.predict(p.x_test.row(r)))
+        << "row " << r;
+  }
+}
+
+TEST(Gbt, FilteredScanPathIsByteIdenticalToSortPath) {
+  // With colsample < 1 (segment mode off) the shared-rows fit scans the
+  // fit-level sorted orders with an in-node filter; the same near-1
+  // subsample trick pins it against the per-node sort path.
+  const auto p = make_tied_problem(150, 40, 67);
+  GbtParams filtered;
+  filtered.n_rounds = 40;
+  filtered.subsample = 1.0;
+  filtered.colsample = 0.67;  // 2 of 3 columns per tree
+  GbtParams sort_path = filtered;
+  sort_path.subsample = 0.999999;
+  GradientBoosting a(filtered);
+  GradientBoosting b(sort_path);
+  a.fit(p.x_train, p.y_train);
+  b.fit(p.x_train, p.y_train);
+  for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
+    EXPECT_EQ(a.predict(p.x_test.row(r)), b.predict(p.x_test.row(r)))
+        << "row " << r;
+  }
+}
+
+TEST(Gbt, SharedPresortedArtifactIsByteIdentical) {
+  const auto p = make_tied_problem(150, 40, 71);
+  GbtParams gp;
+  gp.n_rounds = 30;
+  gp.subsample = 1.0;
+  gp.colsample = 1.0;
+  GradientBoosting own(gp);
+  own.fit(p.x_train, p.y_train);
+  GradientBoosting shared(gp);
+  shared.set_presorted(
+      std::make_shared<const SortedColumns>(SortedColumns::build(p.x_train)));
+  shared.fit(p.x_train, p.y_train);
+  for (std::size_t r = 0; r < p.x_test.rows(); ++r) {
+    EXPECT_EQ(own.predict(p.x_test.row(r)), shared.predict(p.x_test.row(r)))
+        << "row " << r;
+  }
+  // Mismatched artifacts are rejected, and the hint never outlives one fit.
+  GradientBoosting bad(gp);
+  Matrix other(10, 2);
+  for (std::size_t r = 0; r < 10; ++r) {
+    other(r, 0) = static_cast<double>(r);
+    other(r, 1) = static_cast<double>(10 - r);
+  }
+  bad.set_presorted(
+      std::make_shared<const SortedColumns>(SortedColumns::build(other)));
+  EXPECT_THROW(bad.fit(p.x_train, p.y_train), std::invalid_argument);
+  EXPECT_NO_THROW(bad.fit(p.x_train, p.y_train));
 }
 
 TEST(Gbt, FitsTrainingDataClosely) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "special/functions.hpp"
 #include "special/quadrature.hpp"
 
@@ -113,6 +115,33 @@ TEST(Quadrature, NodesAreSortedAndSymmetric) {
   }
   for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
     EXPECT_NEAR(rule.nodes[i], -rule.nodes[rule.nodes.size() - 1 - i], 1e-12);
+  }
+}
+
+TEST(Quadrature, RuleCacheSurvivesConcurrentHammering) {
+  // S2 regression test: gauss_legendre memoizes rules in a static map that
+  // used to be mutated without a lock. Hammer it with many orders from an
+  // explicit 4-worker pool (the global pool serializes on 1-core hosts) —
+  // first requests race on insertion, repeats race with lookups. Run under
+  // TSan this is the data-race detector for the rule cache; the content
+  // checks below catch torn reads either way.
+  constexpr std::size_t kIters = 512;
+  std::vector<const GaussLegendreRule*> seen(kIters, nullptr);
+  ThreadPool pool(4);
+  pool.parallel_for(kIters, [&](std::size_t i) {
+    const std::size_t n = 1 + i % 37;
+    const GaussLegendreRule& rule = gauss_legendre(n);
+    ASSERT_EQ(rule.nodes.size(), n);
+    ASSERT_EQ(rule.weights.size(), n);
+    double sum = 0.0;
+    for (const double w : rule.weights) sum += w;
+    EXPECT_NEAR(sum, 2.0, 1e-12) << "n=" << n;
+    seen[i] = &rule;
+  });
+  // Map nodes are stable: every request for an order must have returned the
+  // same cached object, never a relocated or duplicated one.
+  for (std::size_t i = 37; i < kIters; ++i) {
+    EXPECT_EQ(seen[i], seen[i % 37]) << "order " << 1 + i % 37;
   }
 }
 

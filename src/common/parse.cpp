@@ -1,0 +1,103 @@
+#include "common/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace varpred {
+namespace {
+
+// strtod/strtoull skip leading whitespace and (for strtoull) accept a '-'
+// sign by wrapping; both behaviours hide malformed input, so reject them
+// up front.
+bool has_rejected_prefix(std::string_view text, bool allow_minus) {
+  if (text.empty()) return true;
+  const unsigned char head = static_cast<unsigned char>(text.front());
+  if (std::isspace(head)) return true;
+  if (!allow_minus && text.front() == '-') return true;
+  return false;
+}
+
+}  // namespace
+
+std::optional<double> parse_double_strict(std::string_view text) {
+  if (has_rejected_prefix(text, /*allow_minus=*/true)) return std::nullopt;
+  const std::string token(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || end == token.c_str()) {
+    return std::nullopt;
+  }
+  if (errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64_strict(std::string_view text) {
+  if (has_rejected_prefix(text, /*allow_minus=*/false)) return std::nullopt;
+  // strtoull accepts "0x" prefixes in base 16 and stops at the first
+  // non-digit in base 10; require every character to be a decimal digit so
+  // "1e3" and "12kb" fail instead of truncating.
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  const std::string token(text);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+std::optional<std::int64_t> parse_i64_strict(std::string_view text) {
+  if (has_rejected_prefix(text, /*allow_minus=*/true)) return std::nullopt;
+  std::string_view digits = text;
+  if (!digits.empty() && (digits.front() == '-' || digits.front() == '+')) {
+    digits.remove_prefix(1);
+  }
+  if (digits.empty()) return std::nullopt;
+  for (const char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  const std::string token(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return static_cast<std::int64_t>(value);
+}
+
+namespace {
+
+[[noreturn]] void bad_flag(std::string_view flag, std::string_view value,
+                           const char* expected) {
+  throw std::invalid_argument(std::string(flag) + " expects " + expected +
+                              ", got \"" + std::string(value) + "\"");
+}
+
+}  // namespace
+
+double require_double_flag(std::string_view flag, std::string_view value) {
+  const auto parsed = parse_double_strict(value);
+  if (!parsed.has_value()) bad_flag(flag, value, "a number");
+  return *parsed;
+}
+
+double require_finite_double_flag(std::string_view flag,
+                                  std::string_view value) {
+  const double parsed = require_double_flag(flag, value);
+  if (!std::isfinite(parsed)) bad_flag(flag, value, "a finite number");
+  return parsed;
+}
+
+std::uint64_t require_u64_flag(std::string_view flag, std::string_view value) {
+  const auto parsed = parse_u64_strict(value);
+  if (!parsed.has_value()) bad_flag(flag, value, "a non-negative integer");
+  return *parsed;
+}
+
+}  // namespace varpred

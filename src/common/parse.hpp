@@ -1,0 +1,44 @@
+// Strict numeric parsing shared by the CLI, the gate tools, and the model
+// deserializer.
+//
+// std::strtod / std::strtoull with a null end pointer turn malformed input
+// into silent zeros: `--alpha=abc` parses as 0.0 and quietly disables the
+// very gate the flag configures, and a truncated model file deserializes as
+// a model full of zeros. These helpers reject empty input, trailing
+// garbage, and out-of-range values instead, so every numeric parse in the
+// repo either yields the number that was actually written or fails loudly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace varpred {
+
+/// Parses `text` as a double. Fails (nullopt) on: empty input, leading or
+/// trailing garbage ("1.5x", "abc"), and out-of-range magnitudes (ERANGE).
+/// "inf"/"nan" parse successfully — callers that need finite values check
+/// on top. Leading whitespace is rejected: flag values are exact tokens.
+std::optional<double> parse_double_strict(std::string_view text);
+
+/// Parses `text` as an unsigned 64-bit integer. Fails on empty input,
+/// any non-digit character (including '-', '+', "0x", and trailing
+/// garbage such as "1e3"), and overflow.
+std::optional<std::uint64_t> parse_u64_strict(std::string_view text);
+
+/// Parses `text` as a signed 64-bit integer (optional leading '-').
+/// Fails on empty input, trailing garbage, and overflow.
+std::optional<std::int64_t> parse_i64_strict(std::string_view text);
+
+/// Flag-parsing helpers for `--name=value` tools: return the parsed value
+/// or throw std::invalid_argument naming the flag, e.g.
+///   config.alpha = require_double_flag("--alpha", arg + 8);
+/// `require_finite_double_flag` additionally rejects inf/nan, which no
+/// threshold or tolerance flag ever means on purpose.
+double require_double_flag(std::string_view flag, std::string_view value);
+double require_finite_double_flag(std::string_view flag,
+                                  std::string_view value);
+std::uint64_t require_u64_flag(std::string_view flag, std::string_view value);
+
+}  // namespace varpred

@@ -1,0 +1,86 @@
+#include "core/evalcache.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace varpred::core {
+
+std::vector<std::size_t> FewRunsEvalCache::rows_for(
+    std::span<const std::size_t> benchmarks) const {
+  std::vector<std::size_t> rows;
+  rows.reserve(benchmarks.size() * replicates);
+  for (const std::size_t b : benchmarks) {
+    VARPRED_CHECK_ARG(b < targets.size(), "benchmark index out of range");
+    for (std::size_t rep = 0; rep < replicates; ++rep) {
+      rows.push_back(b * replicates + rep);
+    }
+  }
+  VARPRED_CHECK_ARG(std::is_sorted(rows.begin(), rows.end()),
+                    "training benchmarks must be strictly ascending");
+  return rows;
+}
+
+FewRunsEvalCache FewRunsEvalCache::build(const measure::Corpus& corpus,
+                                         const FewRunsConfig& config) {
+  obs::Span span("eval.cache.build");
+  VARPRED_OBS_COUNT("eval.cache.builds", 1);
+  const auto repr = DistributionRepr::create(config.repr);
+  FewRunsEvalCache cache;
+  cache.replicates = config.train_replicates;
+  cache.targets.reserve(corpus.benchmarks.size());
+  for (std::size_t b = 0; b < corpus.benchmarks.size(); ++b) {
+    const auto& runs = corpus.benchmarks[b];
+    cache.targets.push_back(repr->encode(runs.relative_times()));
+    // Same per-benchmark stream as FewRunsPredictor::train's uncached loop:
+    // seeded independently of the training subset, so every fold sees these
+    // exact rows.
+    Rng rng(seed_combine(config.seed, stable_hash(corpus.system->name()) ^
+                                          (b * 0x9E37ULL + 17)));
+    const std::size_t probes =
+        std::min(config.n_probe_runs, runs.run_count());
+    for (std::size_t rep = 0; rep < config.train_replicates; ++rep) {
+      const auto idx = choose_run_indices(runs.run_count(), probes, rng);
+      cache.features.push_row(
+          build_profile(*corpus.system, runs, idx, config.profile));
+    }
+  }
+  if (cache.features.rows() >= 2) {
+    cache.presorted = std::make_shared<const ml::SortedColumns>(
+        ml::SortedColumns::build(cache.features));
+  }
+  return cache;
+}
+
+CrossSystemEvalCache CrossSystemEvalCache::build(
+    const measure::Corpus& source, const measure::Corpus& target,
+    const CrossSystemConfig& config) {
+  VARPRED_CHECK_ARG(source.benchmarks.size() == target.benchmarks.size(),
+                    "corpora must cover the same benchmark set");
+  obs::Span span("eval.cache.build");
+  VARPRED_OBS_COUNT("eval.cache.builds", 1);
+  const auto repr = DistributionRepr::create(config.repr);
+  CrossSystemEvalCache cache;
+  cache.targets.reserve(source.benchmarks.size());
+  for (std::size_t b = 0; b < source.benchmarks.size(); ++b) {
+    // Same construction as CrossSystemPredictor::make_features: full source
+    // profile with the encoded source distribution appended.
+    auto features =
+        build_full_profile(*source.system, source.benchmarks[b],
+                           config.profile);
+    const auto encoded =
+        repr->encode(source.benchmarks[b].relative_times());
+    features.insert(features.end(), encoded.begin(), encoded.end());
+    cache.features.push_row(features);
+    cache.targets.push_back(
+        repr->encode(target.benchmarks[b].relative_times()));
+  }
+  if (cache.features.rows() >= 2) {
+    cache.presorted = std::make_shared<const ml::SortedColumns>(
+        ml::SortedColumns::build(cache.features));
+  }
+  return cache;
+}
+
+}  // namespace varpred::core

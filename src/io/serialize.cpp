@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "common/parse.hpp"
 
 namespace varpred::io {
 namespace {
@@ -12,6 +13,30 @@ std::string format_double(double value) {
   char buffer[40];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   return buffer;
+}
+
+// Every numeric token in a model file was written by Writer, so any token
+// that does not parse cleanly end-to-end means the file is truncated or
+// corrupted — fail loudly instead of strtod's silent 0.0.
+std::uint64_t strict_u64(const std::string& token, const std::string& name) {
+  const auto parsed = parse_u64_strict(token);
+  VARPRED_CHECK_ARG(parsed.has_value(), "corrupt integer field " + name +
+                                            ": \"" + token + "\"");
+  return *parsed;
+}
+
+std::int64_t strict_i64(const std::string& token, const std::string& name) {
+  const auto parsed = parse_i64_strict(token);
+  VARPRED_CHECK_ARG(parsed.has_value(), "corrupt integer field " + name +
+                                            ": \"" + token + "\"");
+  return *parsed;
+}
+
+double strict_f64(const std::string& token, const std::string& name) {
+  const auto parsed = parse_double_strict(token);
+  VARPRED_CHECK_ARG(parsed.has_value(),
+                    "corrupt numeric field " + name + ": \"" + token + "\"");
+  return *parsed;
 }
 
 }  // namespace
@@ -86,17 +111,17 @@ void Reader::tag(const std::string& expected) { expect_label(expected); }
 
 std::uint64_t Reader::u64(const std::string& name) {
   expect_label(name);
-  return std::strtoull(next_token(name).c_str(), nullptr, 10);
+  return strict_u64(next_token(name), name);
 }
 
 std::int64_t Reader::i64(const std::string& name) {
   expect_label(name);
-  return std::strtoll(next_token(name).c_str(), nullptr, 10);
+  return strict_i64(next_token(name), name);
 }
 
 double Reader::f64(const std::string& name) {
   expect_label(name);
-  return std::strtod(next_token(name).c_str(), nullptr);
+  return strict_f64(next_token(name), name);
 }
 
 bool Reader::boolean(const std::string& name) { return u64(name) != 0; }
@@ -112,8 +137,7 @@ std::string Reader::text(const std::string& name) {
     if (!std::isspace(static_cast<unsigned char>(c))) len_str += c;
   }
   VARPRED_CHECK_ARG(!len_str.empty(), "malformed string field " + name);
-  const auto len = static_cast<std::size_t>(
-      std::strtoull(len_str.c_str(), nullptr, 10));
+  const auto len = static_cast<std::size_t>(strict_u64(len_str, name));
   std::string value(len, '\0');
   in_.read(value.data(), static_cast<std::streamsize>(len));
   VARPRED_CHECK_ARG(static_cast<std::size_t>(in_.gcount()) == len,
@@ -123,21 +147,17 @@ std::string Reader::text(const std::string& name) {
 
 std::vector<double> Reader::vec(const std::string& name) {
   expect_label(name);
-  const auto n = static_cast<std::size_t>(
-      std::strtoull(next_token(name).c_str(), nullptr, 10));
+  const auto n = static_cast<std::size_t>(strict_u64(next_token(name), name));
   std::vector<double> out(n);
-  for (auto& v : out) v = std::strtod(next_token(name).c_str(), nullptr);
+  for (auto& v : out) v = strict_f64(next_token(name), name);
   return out;
 }
 
 std::vector<std::uint64_t> Reader::vec_u64(const std::string& name) {
   expect_label(name);
-  const auto n = static_cast<std::size_t>(
-      std::strtoull(next_token(name).c_str(), nullptr, 10));
+  const auto n = static_cast<std::size_t>(strict_u64(next_token(name), name));
   std::vector<std::uint64_t> out(n);
-  for (auto& v : out) {
-    v = std::strtoull(next_token(name).c_str(), nullptr, 10);
-  }
+  for (auto& v : out) v = strict_u64(next_token(name), name);
   return out;
 }
 

@@ -1,0 +1,106 @@
+#include "ml/binned_columns.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace varpred::ml {
+
+BinnedColumns BinnedColumns::build(const Matrix& x, std::size_t max_bins) {
+  return build(x, SortedColumns::build(x), max_bins);
+}
+
+BinnedColumns BinnedColumns::build(const Matrix& x,
+                                   const SortedColumns& sorted,
+                                   std::size_t max_bins) {
+  VARPRED_CHECK_ARG(!x.empty(), "cannot bin an empty matrix");
+  VARPRED_CHECK_ARG(max_bins >= 2 && max_bins <= kMaxBins,
+                    "max_bins must be in [2, 256]");
+  VARPRED_CHECK_ARG(sorted.cols() == x.cols() &&
+                        sorted.row_count() == x.rows(),
+                    "sorted artifact does not match matrix");
+  obs::Span span("ml.binned_columns.build");
+  VARPRED_OBS_COUNT("ml.binned_columns.builds", 1);
+
+  const std::size_t n = x.rows();
+  BinnedColumns out;
+  out.rows_ = n;
+  out.codes.resize(x.cols() * n);
+  out.offset.reserve(x.cols() + 1);
+  out.offset.push_back(0);
+
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    const std::vector<std::size_t>& ord = sorted.order[f];
+    std::uint8_t* codes = out.codes.data() + f * n;
+
+    // Count distinct-value runs to pick the binning mode: one bin per
+    // distinct value when they fit (exact mode), equal-frequency quantile
+    // packing otherwise.
+    std::size_t n_runs = 1;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (x(ord[i], f) != x(ord[i - 1], f)) ++n_runs;
+    }
+    const bool exact_feature = n_runs <= max_bins;
+    if (!exact_feature) out.exact_ = false;
+
+    std::size_t bin = 0;           // current bin index within this feature
+    std::size_t filled = 0;        // rows assigned so far (all bins)
+    std::size_t bin_start = 0;     // first row index (in ord) of current bin
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = x(ord[i], f);
+      const bool run_ends = i + 1 == n || x(ord[i + 1], f) != v;
+      codes[ord[i]] = static_cast<std::uint8_t>(bin);
+      if (!run_ends) continue;
+      filled = i + 1;
+      // Close the bin at the end of a run: always in exact mode, or when
+      // the cumulative count reached the next quantile boundary. The
+      // boundary for bin b is floor((b+1) * n / max_bins), so bin
+      // max_bins-1 can only close at the last row — never more than
+      // max_bins bins.
+      const bool close =
+          exact_feature || filled >= ((bin + 1) * n) / max_bins ||
+          i + 1 == n;
+      if (close && i + 1 < n) {
+        out.value_min.push_back(x(ord[bin_start], f));
+        out.value_max.push_back(v);
+        ++bin;
+        bin_start = i + 1;
+      } else if (i + 1 == n) {
+        out.value_min.push_back(x(ord[bin_start], f));
+        out.value_max.push_back(v);
+      }
+    }
+    const std::size_t bins_f = bin + 1;
+    VARPRED_CHECK(bins_f <= max_bins, "bin count overflow");
+    out.offset.push_back(out.offset.back() +
+                         static_cast<std::uint32_t>(bins_f));
+  }
+  return out;
+}
+
+TreeBinnedMode tree_binned_mode() {
+  const char* env = std::getenv("VARPRED_TREE_BINNED");
+  if (env == nullptr || env[0] == '\0') return TreeBinnedMode::kAuto;
+  if (env[0] == '0') return TreeBinnedMode::kOff;
+  if (env[0] == '1') return TreeBinnedMode::kForce;
+  return TreeBinnedMode::kAuto;
+}
+
+bool tree_binned_enabled() {
+  return tree_binned_mode() != TreeBinnedMode::kOff;
+}
+
+bool tree_binned_profitable(std::size_t rows) {
+  switch (tree_binned_mode()) {
+    case TreeBinnedMode::kOff:
+      return false;
+    case TreeBinnedMode::kForce:
+      return true;
+    case TreeBinnedMode::kAuto:
+      return rows >= kTreeBinnedAutoRows;
+  }
+  return false;
+}
+
+}  // namespace varpred::ml

@@ -1,0 +1,107 @@
+// Quantized feature columns for histogram-binned tree training.
+//
+// Each feature column is mapped to at most 256 quantile bins; a row's value
+// is replaced by its bin code (uint8). Tree learners then find splits by
+// accumulating per-node bin histograms — O(rows) per node independent of
+// candidate count — instead of scanning rows in sorted order, and candidate
+// thresholds become midpoints between adjacent occupied bins.
+//
+// Bin boundaries are a pure function of the matrix (built from the same
+// (value, index)-sorted orders as ml::SortedColumns), so the artifact is
+// deterministic and can be built once per dataset and shared read-only
+// across trees, boosting rounds, and cross-validation folds.
+//
+// When a feature has at most 256 distinct values, every bin holds exactly
+// one distinct value ("exact" binning): the candidate thresholds equal the
+// exact presorted scan's midpoints between adjacent distinct values, so the
+// binned learner considers the same splits as the exact oracle and differs
+// only in floating-point summation grouping. With more than 256 distinct
+// values the bins are equal-frequency quantiles and split scores may
+// legitimately shift — the quality ledger arbitrates (see DESIGN.md §4.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "ml/sorted_columns.hpp"
+
+namespace varpred::ml {
+
+/// Per-feature quantized bin codes of one feature matrix (see file comment).
+struct BinnedColumns {
+  static constexpr std::size_t kMaxBins = 256;
+
+  /// Bin codes, column-major: codes[f * row_count() + r] is row r's bin in
+  /// feature f. Codes are dense per feature: 0 .. bin_count(f)-1, ascending
+  /// with the feature value.
+  std::vector<std::uint8_t> codes;
+  /// Exclusive prefix sum of per-feature bin counts; offset[cols()] is the
+  /// total bin count. Histograms of all features flatten into one buffer
+  /// indexed offset[f] + code.
+  std::vector<std::uint32_t> offset;
+  /// Per bin (flattened by `offset`): smallest and largest feature value
+  /// mapped to the bin. The split threshold between adjacent occupied bins
+  /// p < b is 0.5 * (value_max[p] + value_min[b]).
+  std::vector<double> value_min;
+  std::vector<double> value_max;
+
+  std::size_t cols() const { return offset.empty() ? 0 : offset.size() - 1; }
+  std::size_t row_count() const { return rows_; }
+  std::size_t total_bins() const { return offset.empty() ? 0 : offset.back(); }
+  std::size_t bin_count(std::size_t f) const {
+    return offset[f + 1] - offset[f];
+  }
+  std::uint8_t code(std::size_t r, std::size_t f) const {
+    return codes[f * rows_ + r];
+  }
+  const std::uint8_t* feature_codes(std::size_t f) const {
+    return codes.data() + f * rows_;
+  }
+  /// True when every bin of every feature holds a single distinct value, so
+  /// binned candidate thresholds match the exact presorted scan's.
+  bool exact() const { return exact_; }
+
+  /// Builds the artifact, sorting each column internally.
+  /// O(cols * n log n), like SortedColumns::build.
+  static BinnedColumns build(const Matrix& x,
+                             std::size_t max_bins = kMaxBins);
+
+  /// Builds from an existing sorted-columns artifact of the same matrix in
+  /// O(cols * n) — the usual path when both artifacts are cached together.
+  static BinnedColumns build(const Matrix& x, const SortedColumns& sorted,
+                             std::size_t max_bins = kMaxBins);
+
+ private:
+  std::size_t rows_ = 0;
+  bool exact_ = true;
+};
+
+/// Runtime gate for the binned fitting path (tentpole escape hatch,
+/// mirroring VARPRED_EVAL_NO_CACHE):
+///   VARPRED_TREE_BINNED=0      pin the exact presorted oracle everywhere
+///   VARPRED_TREE_BINNED=1      force binned fits at any size
+///   unset / anything else      auto: binned when the dataset is large
+///                              enough for histograms to win
+enum class TreeBinnedMode { kOff, kAuto, kForce };
+
+/// Auto-mode row threshold. Histogram accumulation adds O(rows) passes per
+/// node but shrinks the split scan from rows to bins — a trade that only
+/// pays once rows well exceeds the 256-bin cap. Measured on the reference
+/// container (forest + GBT fits, 14 features): binned is ~1.4x slower at
+/// <= 512 rows, break-even at ~2048, and 2-3.6x faster at 8k-32k rows.
+inline constexpr std::size_t kTreeBinnedAutoRows = 2048;
+
+TreeBinnedMode tree_binned_mode();
+
+/// Consume-side gate: may a fit use a supplied binned artifact at all?
+/// True unless the oracle is pinned — a caller that built/validated an
+/// artifact has already decided it is worth using.
+bool tree_binned_enabled();
+
+/// Build-side gate: should a learner/evaluator *construct* a binned
+/// artifact for a dataset of `rows` rows? Applies the auto threshold.
+bool tree_binned_profitable(std::size_t rows);
+
+}  // namespace varpred::ml

@@ -1,0 +1,139 @@
+#include "ml/histkernels.hpp"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VARPRED_HIST_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace varpred::ml {
+namespace {
+
+void add_rows_scalar(const std::uint8_t* codes, const std::size_t* rows,
+                     std::size_t n, const double* y, std::size_t d,
+                     double* cnt, double* sums) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = rows[i];
+    const std::size_t b = codes[r];
+    cnt[b] += 1.0;
+    const double* src = y + r * d;
+    double* dst = sums + b * d;
+    for (std::size_t c = 0; c < d; ++c) dst[c] += src[c];
+  }
+}
+
+void sub_rows_scalar(const std::uint8_t* codes, const std::size_t* rows,
+                     std::size_t n, const double* y, std::size_t d,
+                     double* cnt, double* sums) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = rows[i];
+    const std::size_t b = codes[r];
+    cnt[b] -= 1.0;
+    const double* src = y + r * d;
+    double* dst = sums + b * d;
+    for (std::size_t c = 0; c < d; ++c) dst[c] -= src[c];
+  }
+}
+
+#ifdef VARPRED_HIST_AVX2
+
+// Per-lane vector adds only: each output column is one independent add, the
+// same operation the scalar loop performs — results are bit-identical.
+__attribute__((target("avx2"))) void add_rows_avx2(
+    const std::uint8_t* codes, const std::size_t* rows, std::size_t n,
+    const double* y, std::size_t d, double* cnt, double* sums) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = rows[i];
+    const std::size_t b = codes[r];
+    cnt[b] += 1.0;
+    const double* src = y + r * d;
+    double* dst = sums + b * d;
+    std::size_t c = 0;
+    for (; c + 4 <= d; c += 4) {
+      const __m256d acc = _mm256_loadu_pd(dst + c);
+      const __m256d row = _mm256_loadu_pd(src + c);
+      _mm256_storeu_pd(dst + c, _mm256_add_pd(acc, row));
+    }
+    for (; c < d; ++c) dst[c] += src[c];
+  }
+}
+
+__attribute__((target("avx2"))) void sub_rows_avx2(
+    const std::uint8_t* codes, const std::size_t* rows, std::size_t n,
+    const double* y, std::size_t d, double* cnt, double* sums) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = rows[i];
+    const std::size_t b = codes[r];
+    cnt[b] -= 1.0;
+    const double* src = y + r * d;
+    double* dst = sums + b * d;
+    std::size_t c = 0;
+    for (; c + 4 <= d; c += 4) {
+      const __m256d acc = _mm256_loadu_pd(dst + c);
+      const __m256d row = _mm256_loadu_pd(src + c);
+      _mm256_storeu_pd(dst + c, _mm256_sub_pd(acc, row));
+    }
+    for (; c < d; ++c) dst[c] -= src[c];
+  }
+}
+
+bool avx2_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // VARPRED_HIST_AVX2
+
+constexpr HistKernels kScalar{add_rows_scalar, sub_rows_scalar, "scalar"};
+#ifdef VARPRED_HIST_AVX2
+constexpr HistKernels kAvx2{add_rows_avx2, sub_rows_avx2, "avx2"};
+#endif
+
+bool avx2_disabled_by_env() {
+  const char* env = std::getenv("VARPRED_NO_AVX2");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace
+
+const HistKernels& hist_kernels_scalar() { return kScalar; }
+
+const HistKernels* hist_kernels_avx2() {
+#ifdef VARPRED_HIST_AVX2
+  if (avx2_supported()) return &kAvx2;
+#endif
+  return nullptr;
+}
+
+const HistKernels& hist_kernels() {
+  static const HistKernels* chosen = [] {
+    const HistKernels* avx2 = hist_kernels_avx2();
+    if (avx2 != nullptr && !avx2_disabled_by_env()) return avx2;
+    return &kScalar;
+  }();
+  return *chosen;
+}
+
+void hist_add_rows_gh(const std::uint8_t* codes, const std::size_t* rows,
+                      std::size_t n, const double* grad, const double* hess,
+                      double* cnt, double* gsum, double* hsum) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = rows[i];
+    const std::size_t b = codes[r];
+    cnt[b] += 1.0;
+    gsum[b] += grad[r];
+    hsum[b] += hess[r];
+  }
+}
+
+void hist_sub_rows_gh(const std::uint8_t* codes, const std::size_t* rows,
+                      std::size_t n, const double* grad, const double* hess,
+                      double* cnt, double* gsum, double* hsum) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = rows[i];
+    const std::size_t b = codes[r];
+    cnt[b] -= 1.0;
+    gsum[b] -= grad[r];
+    hsum[b] -= hess[r];
+  }
+}
+
+}  // namespace varpred::ml

@@ -1,0 +1,58 @@
+// Histogram accumulation kernels for binned tree training, runtime-dispatched
+// between a scalar baseline and an AVX2 variant.
+//
+// The AVX2 variant vectorizes only across the d output columns of one row
+// (per-lane adds, no FMA, no horizontal reductions), so it performs exactly
+// the same floating-point operations as the scalar loop and the two produce
+// bit-identical histograms — dispatch can never change a trained model.
+//
+// Dispatch: AVX2 when the CPU supports it and VARPRED_NO_AVX2 is unset/zero;
+// scalar otherwise (and always on non-x86 builds). Both variants stay
+// callable directly so tests can compare them on the same machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace varpred::ml {
+
+/// Accumulates `n` sample rows into a per-feature histogram:
+///   for i in [0, n):  b = codes[rows[i]];
+///     cnt[b] += 1;  sums[b*d + c] += y[rows[i]*d + c]  for c in [0, d)
+/// `codes` is one feature's bin-code column (indexed by dataset row id, like
+/// `rows` and `y`); `cnt`/`sums` point at the feature's slice of the
+/// histogram buffer. The subtract form removes the same contributions
+/// (parent −= child: the parent−sibling subtraction trick).
+using HistAccumulateFn = void (*)(const std::uint8_t* codes,
+                                  const std::size_t* rows, std::size_t n,
+                                  const double* y, std::size_t d, double* cnt,
+                                  double* sums);
+
+struct HistKernels {
+  HistAccumulateFn add_rows;
+  HistAccumulateFn sub_rows;
+  const char* name;  // "scalar" or "avx2"
+};
+
+/// The dispatched kernel set (resolved once, see file comment).
+const HistKernels& hist_kernels();
+
+/// The scalar baseline, always available.
+const HistKernels& hist_kernels_scalar();
+
+/// The AVX2 variant, or nullptr when the build or CPU cannot run it.
+const HistKernels* hist_kernels_avx2();
+
+/// Gradient/hessian histogram accumulation for boosted trees (d is
+/// effectively 2, so this stays scalar):
+///   for i in [0, n):  b = codes[rows[i]];
+///     cnt[b] += 1;  gsum[b] += grad[rows[i]];  hsum[b] += hess[rows[i]]
+void hist_add_rows_gh(const std::uint8_t* codes, const std::size_t* rows,
+                      std::size_t n, const double* grad, const double* hess,
+                      double* cnt, double* gsum, double* hsum);
+/// Subtract form of hist_add_rows_gh (parent −= child).
+void hist_sub_rows_gh(const std::uint8_t* codes, const std::size_t* rows,
+                      std::size_t n, const double* grad, const double* hess,
+                      double* cnt, double* gsum, double* hsum);
+
+}  // namespace varpred::ml

@@ -14,6 +14,7 @@
 namespace varpred::ml {
 
 struct SortedColumns;
+struct BinnedColumns;
 
 /// Multi-output regressor: fit(X, Y) then predict a Y-row for an X-row.
 class Regressor {
@@ -31,6 +32,13 @@ class Regressor {
   /// releases it so a later refit on a different matrix cannot consume a
   /// stale order.
   virtual void set_presorted(std::shared_ptr<const SortedColumns> /*cols*/) {}
+
+  /// Hands the model quantized bin codes of the X matrix that will be passed
+  /// to the next fit() call (see ml/binned_columns.hpp). Tree learners use
+  /// it for histogram-binned split search when the runtime gate
+  /// (tree_binned_enabled) is on; models that cannot use it ignore it.
+  /// Like set_presorted, the artifact applies to the next fit() only.
+  virtual void set_binned(std::shared_ptr<const BinnedColumns> /*bins*/) {}
 
   /// Predicts the target vector for one feature row.
   virtual std::vector<double> predict(std::span<const double> row) const = 0;

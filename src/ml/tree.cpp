@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "ml/histkernels.hpp"
+
 namespace varpred::ml {
 namespace {
 
@@ -29,16 +31,23 @@ void RegressionTree::fit(const Matrix& x, const Matrix& y) {
   // A dataset-level artifact over x is exactly the all-rows sample order.
   const std::shared_ptr<const SortedColumns> hint = std::move(presorted_hint_);
   presorted_hint_.reset();
-  fit_rows(x, y, all, hint.get());
+  const std::shared_ptr<const BinnedColumns> bins = std::move(binned_hint_);
+  binned_hint_.reset();
+  fit_rows(x, y, all, hint.get(), bins.get());
 }
 
 void RegressionTree::set_presorted(std::shared_ptr<const SortedColumns> cols) {
   presorted_hint_ = std::move(cols);
 }
 
+void RegressionTree::set_binned(std::shared_ptr<const BinnedColumns> bins) {
+  binned_hint_ = std::move(bins);
+}
+
 void RegressionTree::fit_rows(const Matrix& x, const Matrix& y,
                               std::span<const std::size_t> indices,
-                              const SortedColumns* presorted) {
+                              const SortedColumns* presorted,
+                              const BinnedColumns* binned) {
   VARPRED_CHECK_ARG(x.rows() == y.rows(), "X/Y row count mismatch");
   VARPRED_CHECK_ARG(!indices.empty(), "cannot fit on zero rows");
   nodes_.clear();
@@ -46,10 +55,21 @@ void RegressionTree::fit_rows(const Matrix& x, const Matrix& y,
   n_outputs_ = y.cols();
   work_.assign(indices.begin(), indices.end());
 
+  // Histogram-binned mode (runtime-gated): splits come from per-node bin
+  // histograms over the dataset-level artifact, and any presorted sample
+  // order is ignored — no per-split column maintenance at all.
+  bins_ = tree_binned_enabled() ? binned : nullptr;
+  if (bins_ != nullptr) {
+    VARPRED_CHECK_ARG(bins_->cols() == x.cols() &&
+                          bins_->row_count() == x.rows(),
+                      "binned artifact does not match training matrix");
+  }
+
   // Column-segment mode needs every split to consider every feature, else
   // the candidate subset would still have to be sorted per node anyway.
-  use_columns_ = presorted != nullptr && (params_.max_features == 0 ||
-                                          params_.max_features >= x.cols());
+  const bool all_features =
+      params_.max_features == 0 || params_.max_features >= x.cols();
+  use_columns_ = bins_ == nullptr && presorted != nullptr && all_features;
   if (use_columns_) {
     VARPRED_CHECK_ARG(presorted->cols() == x.cols() &&
                           presorted->row_count() == indices.size(),
@@ -58,13 +78,111 @@ void RegressionTree::fit_rows(const Matrix& x, const Matrix& y,
     col_scratch_.resize(indices.size());
   }
 
+  std::size_t root_hist = kNoHist;
+  if (bins_ != nullptr) {
+    hk_ = &hist_kernels();
+    ydata_ = y.data().data();
+    binned_arena_ = all_features;
+    if (binned_arena_) {
+      root_hist = hist_acquire();
+      hist_add_range(root_hist, 0, work_.size());
+    } else {
+      hist_scratch_.assign(BinnedColumns::kMaxBins * (1 + n_outputs_), 0.0);
+    }
+  }
+
   Rng rng(params_.seed);
-  build(x, y, 0, work_.size(), 0, rng);
+  build(x, y, 0, work_.size(), 0, rng, root_hist);
 
   col_.clear();
   col_scratch_.clear();
   col_scratch_.shrink_to_fit();
   use_columns_ = false;
+  bins_ = nullptr;
+  hk_ = nullptr;
+  ydata_ = nullptr;
+  binned_arena_ = false;
+  hist_pool_.clear();
+  hist_free_.clear();
+  hist_scratch_.clear();
+  hist_scratch_.shrink_to_fit();
+}
+
+std::size_t RegressionTree::hist_acquire() {
+  if (!hist_free_.empty()) {
+    const std::size_t id = hist_free_.back();
+    hist_free_.pop_back();
+    return id;
+  }
+  hist_pool_.emplace_back(bins_->total_bins() * (1 + n_outputs_), 0.0);
+  return hist_pool_.size() - 1;
+}
+
+void RegressionTree::hist_release(std::size_t hist, std::size_t begin,
+                                  std::size_t end) {
+  // Sparse re-zero: only the bins this node's rows occupy can be nonzero,
+  // so revisiting the rows restores the all-zero invariant in O(rows) and
+  // the buffer can be reused without a full O(total_bins) clear.
+  std::vector<double>& h = hist_pool_[hist];
+  const std::size_t t = bins_->total_bins();
+  double* cnt = h.data();
+  double* sums = h.data() + t;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t r = work_[i];
+    for (std::size_t f = 0; f < bins_->cols(); ++f) {
+      const std::size_t b = bins_->offset[f] + bins_->feature_codes(f)[r];
+      cnt[b] = 0.0;
+      for (std::size_t c = 0; c < n_outputs_; ++c) {
+        sums[b * n_outputs_ + c] = 0.0;
+      }
+    }
+  }
+  hist_free_.push_back(hist);
+}
+
+void RegressionTree::hist_add_range(std::size_t hist, std::size_t begin,
+                                    std::size_t end) {
+  std::vector<double>& h = hist_pool_[hist];
+  const std::size_t t = bins_->total_bins();
+  for (std::size_t f = 0; f < bins_->cols(); ++f) {
+    hk_->add_rows(bins_->feature_codes(f), work_.data() + begin, end - begin,
+                  ydata_, n_outputs_, h.data() + bins_->offset[f],
+                  h.data() + t + bins_->offset[f] * n_outputs_);
+  }
+}
+
+void RegressionTree::hist_sub_range(std::size_t hist, std::size_t begin,
+                                    std::size_t end) {
+  std::vector<double>& h = hist_pool_[hist];
+  const std::size_t t = bins_->total_bins();
+  for (std::size_t f = 0; f < bins_->cols(); ++f) {
+    hk_->sub_rows(bins_->feature_codes(f), work_.data() + begin, end - begin,
+                  ydata_, n_outputs_, h.data() + bins_->offset[f],
+                  h.data() + t + bins_->offset[f] * n_outputs_);
+  }
+}
+
+void RegressionTree::hist_zero_drained(std::size_t hist, std::size_t begin,
+                                       std::size_t end) {
+  // After the subtraction trick, bins fully drained by the removed rows have
+  // an exactly-zero count (integer arithmetic) but may keep floating-point
+  // residue in their sums. Hard-zero them so the scan's count==0 skip and
+  // the sparse release invariant both stay sound.
+  std::vector<double>& h = hist_pool_[hist];
+  const std::size_t t = bins_->total_bins();
+  double* cnt = h.data();
+  double* sums = h.data() + t;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t r = work_[i];
+    for (std::size_t f = 0; f < bins_->cols(); ++f) {
+      const std::size_t b = bins_->offset[f] + bins_->feature_codes(f)[r];
+      if (cnt[b] == 0.0) {
+        for (std::size_t c = 0; c < n_outputs_; ++c) {
+          sums[b * n_outputs_ + c] = 0.0;
+        }
+      }
+    }
+  }
 }
 
 std::int32_t RegressionTree::make_leaf(const Matrix& y, std::size_t begin,
@@ -88,10 +206,12 @@ std::int32_t RegressionTree::make_leaf(const Matrix& y, std::size_t begin,
 
 std::int32_t RegressionTree::build(const Matrix& x, const Matrix& y,
                                    std::size_t begin, std::size_t end,
-                                   std::size_t depth, Rng& rng) {
+                                   std::size_t depth, Rng& rng,
+                                   std::size_t hist) {
   const std::size_t n = end - begin;
   if (depth >= params_.max_depth || n < params_.min_samples_split ||
       n < 2 * params_.min_samples_leaf) {
+    if (hist != kNoHist) hist_release(hist, begin, end);
     return make_leaf(y, begin, end, depth);
   }
 
@@ -124,74 +244,160 @@ std::int32_t RegressionTree::build(const Matrix& x, const Matrix& y,
   for (std::size_t c = 0; c < n_outputs_; ++c) {
     parent_sse -= total_sum[c] * total_sum[c] / static_cast<double>(n);
   }
-  if (parent_sse <= 1e-14) return make_leaf(y, begin, end, depth);
+  if (parent_sse <= 1e-14) {
+    if (hist != kNoHist) hist_release(hist, begin, end);
+    return make_leaf(y, begin, end, depth);
+  }
 
   double best_sse = parent_sse - 1e-12;
   std::int32_t best_feature = -1;
   double best_threshold = 0.0;
 
-  std::vector<std::size_t> scratch;
-  if (!use_columns_) {
-    scratch.assign(work_.begin() + static_cast<std::ptrdiff_t>(begin),
-                   work_.begin() + static_cast<std::ptrdiff_t>(end));
-  }
   std::vector<double> left_sum(n_outputs_);
 
-  for (std::size_t fi = 0; fi < n_candidates; ++fi) {
-    const std::size_t f = features[fi];
-    std::span<const std::size_t> order;
-    if (use_columns_) {
-      // col_[f][begin, end) already holds this node's rows in
-      // (value, index) order — the exact sequence the sort below produces.
-      order = std::span<const std::size_t>(col_[f]).subspan(begin, n);
-    } else {
-      std::sort(scratch.begin(), scratch.end(),
-                [&](std::size_t a, std::size_t b) {
-                  const double va = x(a, f);
-                  const double vb = x(b, f);
-                  if (va != vb) return va < vb;
-                  return a < b;  // deterministic ties
-                });
-      order = scratch;
+  // Shared candidate evaluation over one feature's occupied bins: the split
+  // scored between adjacent occupied bins p < b is the exact scan's
+  // candidate between adjacent distinct node values whenever binning is
+  // exact, with the identical SSE expression (total_sq is node-constant, so
+  // per-bin squared sums are never needed).
+  auto scan_bins = [&](std::size_t f, const double* cnt, const double* sums,
+                       const double* vmin, const double* vmax,
+                       std::size_t n_bins) {
+    std::fill(left_sum.begin(), left_sum.end(), 0.0);
+    std::size_t left_n = 0;
+    double prev_max = 0.0;
+    bool have_left = false;
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      if (cnt[b] == 0.0) continue;
+      if (have_left) {
+        const std::size_t n_left = left_n;
+        const std::size_t n_right = n - left_n;
+        if (n_left >= params_.min_samples_leaf &&
+            n_right >= params_.min_samples_leaf) {
+          double sse = total_sq;
+          double left_penalty = 0.0;
+          double right_penalty = 0.0;
+          for (std::size_t c = 0; c < n_outputs_; ++c) {
+            left_penalty += left_sum[c] * left_sum[c];
+            const double rs = total_sum[c] - left_sum[c];
+            right_penalty += rs * rs;
+          }
+          sse -= left_penalty / static_cast<double>(n_left) +
+                 right_penalty / static_cast<double>(n_right);
+          if (sse < best_sse) {
+            best_sse = sse;
+            best_feature = static_cast<std::int32_t>(f);
+            best_threshold = 0.5 * (prev_max + vmin[b]);
+          }
+        }
+      }
+      left_n += static_cast<std::size_t>(cnt[b]);
+      for (std::size_t c = 0; c < n_outputs_; ++c) {
+        left_sum[c] += sums[b * n_outputs_ + c];
+      }
+      prev_max = vmax[b];
+      have_left = true;
+    }
+  };
+
+  if (bins_ != nullptr && binned_arena_) {
+    const std::vector<double>& h = hist_pool_[hist];
+    const double* cnt = h.data();
+    const double* sums = h.data() + bins_->total_bins();
+    for (std::size_t fi = 0; fi < n_candidates; ++fi) {
+      const std::size_t f = features[fi];
+      const std::uint32_t off = bins_->offset[f];
+      scan_bins(f, cnt + off, sums + off * n_outputs_,
+                bins_->value_min.data() + off, bins_->value_max.data() + off,
+                bins_->bin_count(f));
+    }
+  } else if (bins_ != nullptr) {
+    // Feature-subset mode: one single-feature scratch histogram per
+    // candidate, sparse-cleared by revisiting the node's rows.
+    double* cnt = hist_scratch_.data();
+    double* sums = hist_scratch_.data() + BinnedColumns::kMaxBins;
+    for (std::size_t fi = 0; fi < n_candidates; ++fi) {
+      const std::size_t f = features[fi];
+      const std::uint8_t* codes = bins_->feature_codes(f);
+      hk_->add_rows(codes, work_.data() + begin, n, ydata_, n_outputs_, cnt,
+                    sums);
+      const std::uint32_t off = bins_->offset[f];
+      scan_bins(f, cnt, sums, bins_->value_min.data() + off,
+                bins_->value_max.data() + off, bins_->bin_count(f));
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t b = codes[work_[i]];
+        cnt[b] = 0.0;
+        for (std::size_t c = 0; c < n_outputs_; ++c) {
+          sums[b * n_outputs_ + c] = 0.0;
+        }
+      }
+    }
+  } else {
+    std::vector<std::size_t> scratch;
+    if (!use_columns_) {
+      scratch.assign(work_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     work_.begin() + static_cast<std::ptrdiff_t>(end));
     }
 
-    std::fill(left_sum.begin(), left_sum.end(), 0.0);
-    double left_sq = 0.0;
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      const auto row = y.row(order[i]);
-      for (std::size_t c = 0; c < n_outputs_; ++c) {
-        left_sum[c] += row[c];
-        left_sq += row[c] * row[c];
+    for (std::size_t fi = 0; fi < n_candidates; ++fi) {
+      const std::size_t f = features[fi];
+      std::span<const std::size_t> order;
+      if (use_columns_) {
+        // col_[f][begin, end) already holds this node's rows in
+        // (value, index) order — the exact sequence the sort below produces.
+        order = std::span<const std::size_t>(col_[f]).subspan(begin, n);
+      } else {
+        std::sort(scratch.begin(), scratch.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    const double va = x(a, f);
+                    const double vb = x(b, f);
+                    if (va != vb) return va < vb;
+                    return a < b;  // deterministic ties
+                  });
+        order = scratch;
       }
-      const std::size_t n_left = i + 1;
-      const std::size_t n_right = n - n_left;
-      if (n_left < params_.min_samples_leaf ||
-          n_right < params_.min_samples_leaf) {
-        continue;
-      }
-      const double v = x(order[i], f);
-      const double v_next = x(order[i + 1], f);
-      if (v == v_next) continue;  // cannot split between equal values
 
-      double sse = total_sq;  // left_sq + right_sq == total_sq always
-      double left_penalty = 0.0;
-      double right_penalty = 0.0;
-      for (std::size_t c = 0; c < n_outputs_; ++c) {
-        left_penalty += left_sum[c] * left_sum[c];
-        const double rs = total_sum[c] - left_sum[c];
-        right_penalty += rs * rs;
-      }
-      sse -= left_penalty / static_cast<double>(n_left) +
-             right_penalty / static_cast<double>(n_right);
-      if (sse < best_sse) {
-        best_sse = sse;
-        best_feature = static_cast<std::int32_t>(f);
-        best_threshold = 0.5 * (v + v_next);
+      std::fill(left_sum.begin(), left_sum.end(), 0.0);
+      double left_sq = 0.0;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const auto row = y.row(order[i]);
+        for (std::size_t c = 0; c < n_outputs_; ++c) {
+          left_sum[c] += row[c];
+          left_sq += row[c] * row[c];
+        }
+        const std::size_t n_left = i + 1;
+        const std::size_t n_right = n - n_left;
+        if (n_left < params_.min_samples_leaf ||
+            n_right < params_.min_samples_leaf) {
+          continue;
+        }
+        const double v = x(order[i], f);
+        const double v_next = x(order[i + 1], f);
+        if (v == v_next) continue;  // cannot split between equal values
+
+        double sse = total_sq;  // left_sq + right_sq == total_sq always
+        double left_penalty = 0.0;
+        double right_penalty = 0.0;
+        for (std::size_t c = 0; c < n_outputs_; ++c) {
+          left_penalty += left_sum[c] * left_sum[c];
+          const double rs = total_sum[c] - left_sum[c];
+          right_penalty += rs * rs;
+        }
+        sse -= left_penalty / static_cast<double>(n_left) +
+               right_penalty / static_cast<double>(n_right);
+        if (sse < best_sse) {
+          best_sse = sse;
+          best_feature = static_cast<std::int32_t>(f);
+          best_threshold = 0.5 * (v + v_next);
+        }
       }
     }
   }
 
-  if (best_feature < 0) return make_leaf(y, begin, end, depth);
+  if (best_feature < 0) {
+    if (hist != kNoHist) hist_release(hist, begin, end);
+    return make_leaf(y, begin, end, depth);
+  }
 
   // Partition work_[begin, end) around the chosen threshold.
   const auto f = static_cast<std::size_t>(best_feature);
@@ -202,6 +408,7 @@ std::int32_t RegressionTree::build(const Matrix& x, const Matrix& y,
   const auto mid =
       static_cast<std::size_t>(mid_it - work_.begin());
   if (mid == begin || mid == end) {
+    if (hist != kNoHist) hist_release(hist, begin, end);
     return make_leaf(y, begin, end, depth);  // numeric degeneracy guard
   }
 
@@ -227,14 +434,38 @@ std::int32_t RegressionTree::build(const Matrix& x, const Matrix& y,
     }
   }
 
+  // Arena mode: derive the children's histograms with the subtraction trick.
+  // The smaller child gets a fresh (all-zero) buffer filled from its rows;
+  // subtracting those same rows from the parent's buffer turns it into the
+  // larger child's histogram — 2·m_small row visits instead of m_small +
+  // m_large. Children that cannot split (next level hits max_depth) get
+  // kNoHist and skip all histogram work.
+  std::size_t left_hist = kNoHist;
+  std::size_t right_hist = kNoHist;
+  if (hist != kNoHist) {
+    if (depth + 1 >= params_.max_depth) {
+      hist_release(hist, begin, end);
+    } else {
+      const bool left_smaller = (mid - begin) <= (end - mid);
+      const std::size_t sb = left_smaller ? begin : mid;
+      const std::size_t se = left_smaller ? mid : end;
+      const std::size_t child = hist_acquire();
+      hist_add_range(child, sb, se);
+      hist_sub_range(hist, sb, se);
+      hist_zero_drained(hist, sb, se);
+      left_hist = left_smaller ? child : hist;
+      right_hist = left_smaller ? hist : child;
+    }
+  }
+
   // Reserve this node's slot before building children.
   nodes_.emplace_back();
   const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
   nodes_[self].feature = best_feature;
   nodes_[self].threshold = best_threshold;
   nodes_[self].node_depth = static_cast<std::int32_t>(depth);
-  const std::int32_t left = build(x, y, begin, mid, depth + 1, rng);
-  const std::int32_t right = build(x, y, mid, end, depth + 1, rng);
+  const std::int32_t left = build(x, y, begin, mid, depth + 1, rng, left_hist);
+  const std::int32_t right = build(x, y, mid, end, depth + 1, rng, right_hist);
   nodes_[self].left = left;
   nodes_[self].right = right;
   return self;

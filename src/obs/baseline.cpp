@@ -203,6 +203,10 @@ void append_baseline(const std::string& path, const BaselineRecord& record) {
   std::ofstream out(path, std::ios::app);
   if (!out) throw std::runtime_error(path + ": cannot open for append");
   out << baseline_record_json(record) << "\n";
+  // Flush before checking: a full disk or read-only mount often surfaces
+  // only when the buffered bytes actually hit the file, and a baseline
+  // that silently failed to append would let the perf gate pass vacuously.
+  out.flush();
   if (!out) throw std::runtime_error(path + ": write failed");
 }
 

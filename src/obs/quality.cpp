@@ -266,6 +266,10 @@ void append_quality(const std::string& path, const QualityDocument& doc) {
   std::ofstream out(path, std::ios::app);
   if (!out) throw std::runtime_error(path + ": cannot open for append");
   out << quality_document_json(doc) << "\n";
+  // Flush before checking, so buffered-write failures (full disk,
+  // read-only ledger checkout) fail the append instead of dropping the
+  // ledger entry silently.
+  out.flush();
   if (!out) throw std::runtime_error(path + ": write failed");
 }
 

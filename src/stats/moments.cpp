@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "stats/welford_simd.hpp"
 
 namespace varpred::stats {
 namespace {
@@ -71,6 +72,18 @@ void MomentAccumulator::merge(const MomentAccumulator& other) {
   n_ = n_ + other.n_;
 }
 
+MomentAccumulator MomentAccumulator::from_raw(std::size_t n, double mean,
+                                              double m2, double m3,
+                                              double m4) {
+  MomentAccumulator acc;
+  acc.n_ = n;
+  acc.mean_ = mean;
+  acc.m2_ = m2;
+  acc.m3_ = m3;
+  acc.m4_ = m4;
+  return acc;
+}
+
 Moments MomentAccumulator::moments() const {
   Moments m;
   m.count = n_;
@@ -101,9 +114,10 @@ Moments compute_moments_parallel(std::span<const double> sample) {
   const MomentAccumulator acc = ThreadPool::global().parallel_reduce(
       sample.size(), MomentAccumulator{},
       [&](std::size_t begin, std::size_t end) {
-        MomentAccumulator part;
-        for (std::size_t i = begin; i < end; ++i) part.add(sample[i]);
-        return part;
+        // Lane-parallel Welford per chunk (bit-identical across the scalar
+        // and AVX2 variants; see stats/welford_simd.hpp). Chunk boundaries
+        // still depend only on n, so the result stays worker-independent.
+        return accumulate_moments(sample.subspan(begin, end - begin));
       },
       [](MomentAccumulator a, const MomentAccumulator& b) {
         a.merge(b);

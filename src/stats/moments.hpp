@@ -47,6 +47,13 @@ class MomentAccumulator {
   void add(double x);
   void merge(const MomentAccumulator& other);
 
+  /// Rebuilds an accumulator from its raw state (count, mean, and the 2nd-4th
+  /// central moment sums). Used by the lane-parallel Welford kernel
+  /// (stats/welford_simd.hpp) to merge independently-accumulated lanes
+  /// through the exact pairwise-merge formulas above.
+  static MomentAccumulator from_raw(std::size_t n, double mean, double m2,
+                                    double m3, double m4);
+
   std::size_t count() const { return n_; }
   Moments moments() const;
 

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -208,6 +209,19 @@ TEST(BaselineStore, AppendLoadAndLatestSelection) {
   EXPECT_EQ(latest->timestamp, "2026-08-06T10:00:00Z");
   EXPECT_EQ(obs::latest_baseline(records, "missing"), nullptr);
   std::remove(path.c_str());
+}
+
+TEST(BaselineStore, AppendToUnwritablePathThrows) {
+  // A read-only checkout or missing directory used to drop the append on
+  // the floor, letting the perf gate pass against a stale store.
+  const obs::BaselineRecord r = demo_record();
+  EXPECT_THROW(
+      obs::append_baseline(
+          testing::TempDir() + "/varpred_missing_dir/baseline.jsonl", r),
+      std::runtime_error);
+  // A directory path opens no file either.
+  EXPECT_THROW(obs::append_baseline(testing::TempDir(), r),
+               std::runtime_error);
 }
 
 TEST(BaselineStore, EnvFingerprintComparability) {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "common/check.hpp"
 #include "common/linalg.hpp"
 #include "common/rng.hpp"
+#include "common/parse.hpp"
 #include "common/text.hpp"
 #include "common/thread_pool.hpp"
 
@@ -371,6 +373,79 @@ TEST(Text, TrimAndPad) {
 TEST(Text, FormatFixed) {
   EXPECT_EQ(format_fixed(0.2416, 3), "0.242");
   EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+}
+
+
+TEST(Parse, DoubleStrictAcceptsExactTokens) {
+  EXPECT_EQ(parse_double_strict("1.5"), 1.5);
+  EXPECT_EQ(parse_double_strict("-0.25"), -0.25);
+  EXPECT_EQ(parse_double_strict("1e3"), 1000.0);
+  EXPECT_EQ(parse_double_strict("0"), 0.0);
+  // inf/nan parse; finiteness is the flag helper's job.
+  ASSERT_TRUE(parse_double_strict("inf").has_value());
+  EXPECT_TRUE(std::isinf(*parse_double_strict("inf")));
+  ASSERT_TRUE(parse_double_strict("nan").has_value());
+  EXPECT_TRUE(std::isnan(*parse_double_strict("nan")));
+}
+
+TEST(Parse, DoubleStrictRejectsLaxInput) {
+  EXPECT_FALSE(parse_double_strict("").has_value());
+  EXPECT_FALSE(parse_double_strict("abc").has_value());
+  EXPECT_FALSE(parse_double_strict("1.5x").has_value());
+  EXPECT_FALSE(parse_double_strict(" 1.5").has_value());
+  EXPECT_FALSE(parse_double_strict("1.5 ").has_value());
+  EXPECT_FALSE(parse_double_strict("1e999").has_value());  // ERANGE
+}
+
+TEST(Parse, U64StrictAcceptsDecimalDigitsOnly) {
+  EXPECT_EQ(parse_u64_strict("0"), 0u);
+  EXPECT_EQ(parse_u64_strict("42"), 42u);
+  EXPECT_EQ(parse_u64_strict("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Parse, U64StrictRejectsLaxInput) {
+  EXPECT_FALSE(parse_u64_strict("").has_value());
+  EXPECT_FALSE(parse_u64_strict("-1").has_value());   // strtoull would wrap
+  EXPECT_FALSE(parse_u64_strict("+1").has_value());
+  EXPECT_FALSE(parse_u64_strict("0x10").has_value());
+  EXPECT_FALSE(parse_u64_strict("1e3").has_value());  // strtoull would stop at e
+  EXPECT_FALSE(parse_u64_strict("12kb").has_value());
+  EXPECT_FALSE(parse_u64_strict("12.5").has_value());
+  EXPECT_FALSE(parse_u64_strict(" 12").has_value());
+  EXPECT_FALSE(parse_u64_strict("18446744073709551616").has_value());  // 2^64
+}
+
+TEST(Parse, I64StrictHandlesSignsAndBounds) {
+  EXPECT_EQ(parse_i64_strict("-5"), -5);
+  EXPECT_EQ(parse_i64_strict("+5"), 5);
+  EXPECT_EQ(parse_i64_strict("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_i64_strict("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE(parse_i64_strict("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_i64_strict("-").has_value());
+  EXPECT_FALSE(parse_i64_strict("1x").has_value());
+  EXPECT_FALSE(parse_i64_strict("").has_value());
+}
+
+TEST(Parse, RequireFlagHelpersThrowNamingTheFlag) {
+  EXPECT_EQ(require_double_flag("--alpha", "0.01"), 0.01);
+  EXPECT_EQ(require_u64_flag("--runs", "100"), 100u);
+  EXPECT_EQ(require_finite_double_flag("--tolerance", "2.5"), 2.5);
+  try {
+    require_double_flag("--alpha", "abc");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--alpha"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+  EXPECT_THROW(require_finite_double_flag("--tolerance", "inf"),
+               std::invalid_argument);
+  EXPECT_THROW(require_finite_double_flag("--tolerance", "nan"),
+               std::invalid_argument);
+  EXPECT_THROW(require_u64_flag("--runs", "bogus"), std::invalid_argument);
+  EXPECT_THROW(require_u64_flag("--runs", "-3"), std::invalid_argument);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "common/rng.hpp"
 #include "core/crosssystem.hpp"
@@ -235,6 +237,67 @@ TEST(SerializePredictors, UntrainedSaveThrows) {
   EXPECT_THROW(predictor.save(ss), std::invalid_argument);
   core::CrossSystemPredictor cross;
   EXPECT_THROW(cross.save(ss), std::invalid_argument);
+}
+
+
+// Lax numeric parses used to turn corrupted tokens into silent zeros; the
+// Reader must now reject any token it did not fully consume.
+TEST(SerializePrimitives, CorruptNumericTokenThrows) {
+  {
+    std::stringstream ss("pi 3.14garbage\n");
+    io::Reader r(ss);
+    EXPECT_THROW(r.f64("pi"), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("count 4x2\n");
+    io::Reader r(ss);
+    EXPECT_THROW(r.u64("count"), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("offset --7\n");
+    io::Reader r(ss);
+    EXPECT_THROW(r.i64("offset"), std::invalid_argument);
+  }
+  {
+    // Corrupt element inside a vector payload.
+    std::stringstream ss("xs 3 1.0 2.0e 3.0\n");
+    io::Reader r(ss);
+    EXPECT_THROW(r.vec("xs"), std::invalid_argument);
+  }
+  {
+    // Corrupt length prefix: must not be read as zero elements.
+    std::stringstream ss("xs 3e 1.0 2.0 3.0\n");
+    io::Reader r(ss);
+    EXPECT_THROW(r.vec("xs"), std::invalid_argument);
+  }
+}
+
+TEST(SerializeModels, CorruptedIntegerFieldInSavedTreeThrows) {
+  ml::RegressionTree tree;
+  tree.fit(random_matrix(40, 4, 31), random_matrix(40, 2, 32));
+  std::stringstream ss;
+  tree.save(ss);
+  std::string doc = ss.str();
+  const auto pos = doc.find("n_nodes ");
+  ASSERT_NE(pos, std::string::npos);
+  doc.insert(pos + 8, "x");  // "n_nodes 13" -> "n_nodes x13"
+  std::stringstream corrupted(doc);
+  EXPECT_THROW(ml::RegressionTree::load(corrupted), std::invalid_argument);
+}
+
+TEST(SerializeModels, CorruptedNumericFieldInSavedGbtThrows) {
+  ml::GbtParams gp;
+  gp.n_rounds = 4;
+  ml::GradientBoosting gbt(gp);
+  gbt.fit(random_matrix(40, 4, 33), random_matrix(40, 1, 34));
+  std::stringstream ss;
+  gbt.save(ss);
+  std::string doc = ss.str();
+  const auto pos = doc.find("learning_rate ");
+  ASSERT_NE(pos, std::string::npos);
+  doc.insert(pos + 14, "x");  // "learning_rate 0.1" -> "learning_rate x0.1"
+  std::stringstream corrupted(doc);
+  EXPECT_THROW(ml::GradientBoosting::load(corrupted), std::invalid_argument);
 }
 
 }  // namespace

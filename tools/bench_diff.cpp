@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "obs/baseline.hpp"
 #include "obs/regression.hpp"
 #include "obs/telemetry.hpp"
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
   obs::DiffConfig config;
   std::vector<std::string> candidates;
 
+  try {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--baseline=", 11) == 0) {
@@ -78,17 +80,17 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--append-baseline=", 18) == 0) {
       append_path = arg + 18;
     } else if (std::strncmp(arg, "--alpha=", 8) == 0) {
-      config.alpha = std::strtod(arg + 8, nullptr);
+      config.alpha = require_finite_double_flag("--alpha", arg + 8);
     } else if (std::strncmp(arg, "--w1=", 5) == 0) {
-      config.w1_threshold = std::strtod(arg + 5, nullptr);
+      config.w1_threshold = require_finite_double_flag("--w1", arg + 5);
     } else if (std::strncmp(arg, "--min-samples=", 14) == 0) {
-      config.min_samples =
-          static_cast<std::size_t>(std::strtoul(arg + 14, nullptr, 10));
+      config.min_samples = static_cast<std::size_t>(
+          require_u64_flag("--min-samples", arg + 14));
     } else if (std::strncmp(arg, "--replicates=", 13) == 0) {
-      config.bootstrap_replicates =
-          static_cast<std::size_t>(std::strtoul(arg + 13, nullptr, 10));
+      config.bootstrap_replicates = static_cast<std::size_t>(
+          require_u64_flag("--replicates", arg + 13));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      config.seed = std::strtoull(arg + 7, nullptr, 10);
+      config.seed = require_u64_flag("--seed", arg + 7);
     } else if (std::strcmp(arg, "--require-env-match") == 0) {
       config.require_env_match = true;
     } else if (std::strncmp(arg, "--report=", 9) == 0) {
@@ -103,6 +105,10 @@ int main(int argc, char** argv) {
     } else {
       candidates.push_back(arg);
     }
+  }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
   }
   if (candidates.empty() || (baseline_path.empty() == append_path.empty())) {
     return usage(argv[0]);

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "obs/quality.hpp"
 
 namespace {
@@ -114,6 +115,7 @@ int main(int argc, char** argv) {
   double paper_tol = 0.05;
   std::vector<std::string> candidate_paths;
 
+  try {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--baseline=", 11) == 0) {
@@ -121,19 +123,19 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--append-baseline=", 18) == 0) {
       append_path = arg + 18;
     } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
-      config.tolerance = std::strtod(arg + 12, nullptr);
+      config.tolerance = require_finite_double_flag("--tolerance", arg + 12);
     } else if (std::strncmp(arg, "--min-ci-samples=", 17) == 0) {
-      config.min_samples_for_ci =
-          static_cast<std::size_t>(std::strtoul(arg + 17, nullptr, 10));
+      config.min_samples_for_ci = static_cast<std::size_t>(
+          require_u64_flag("--min-ci-samples", arg + 17));
     } else if (std::strncmp(arg, "--replicates=", 13) == 0) {
-      config.bootstrap_replicates =
-          static_cast<std::size_t>(std::strtoul(arg + 13, nullptr, 10));
+      config.bootstrap_replicates = static_cast<std::size_t>(
+          require_u64_flag("--replicates", arg + 13));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      config.seed = std::strtoull(arg + 7, nullptr, 10);
+      config.seed = require_u64_flag("--seed", arg + 7);
     } else if (std::strncmp(arg, "--paper=", 8) == 0) {
       paper_path = arg + 8;
     } else if (std::strncmp(arg, "--paper-tol=", 12) == 0) {
-      paper_tol = std::strtod(arg + 12, nullptr);
+      paper_tol = require_finite_double_flag("--paper-tol", arg + 12);
     } else if (std::strncmp(arg, "--report=", 9) == 0) {
       report_path = arg + 9;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -146,6 +148,10 @@ int main(int argc, char** argv) {
     } else {
       candidate_paths.push_back(arg);
     }
+  }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quality_diff: %s\n", e.what());
+    return 2;
   }
   if (candidate_paths.empty() ||
       (baseline_path.empty() == append_path.empty())) {

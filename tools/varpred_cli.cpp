@@ -33,6 +33,7 @@
 #include <string>
 
 #include "bench/bench_common.hpp"
+#include "common/parse.hpp"
 #include "common/text.hpp"
 #include "core/varpred.hpp"
 #include "io/serialize.hpp"
@@ -61,17 +62,12 @@ struct Args {
   std::size_t get_size(const std::string& key, std::size_t fallback) const {
     const auto it = options.find(key);
     if (it == options.end()) return fallback;
-    // Strict: rejects empty, non-numeric, and trailing-garbage values
-    // (e.g. --runs=1e3) instead of silently truncating them. Zero is
-    // allowed — it is a valid seed.
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0') {
-      throw std::invalid_argument("--" + key +
-                                  " expects a non-negative integer, got \"" +
-                                  it->second + "\"");
-    }
-    return static_cast<std::size_t>(v);
+    // Strict (shared with the gate tools): rejects empty, non-numeric,
+    // negative, out-of-range, and trailing-garbage values (e.g.
+    // --runs=1e3) instead of silently truncating them. Zero is allowed —
+    // it is a valid seed.
+    return static_cast<std::size_t>(
+        require_u64_flag("--" + key, it->second));
   }
   bool has(const std::string& key) const { return options.count(key) > 0; }
 };

@@ -310,7 +310,11 @@ int main(int argc, char** argv) {
   const int rc = varpred::bench::run_repeated(
       "micro_components", args, [](varpred::bench::Run& run) {
         run.stage("benchmarks");
-        benchmark::RunSpecifiedBenchmarks();
+        // google-benchmark 1.7 segfaults when RunSpecifiedBenchmarks() is
+        // called a second time through its internal default reporter; a
+        // fresh reporter per repetition keeps --repeat=N working.
+        benchmark::ConsoleReporter reporter;
+        benchmark::RunSpecifiedBenchmarks(&reporter);
       });
   benchmark::Shutdown();
   return rc;

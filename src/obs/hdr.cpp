@@ -1,0 +1,173 @@
+#include "obs/hdr.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace varpred::obs {
+
+int hdr_sub_bits(int significant_digits) noexcept {
+  const int sd = std::clamp(significant_digits, 1, 5);
+  // ceil(log2(2 * 10^sd)): the linear sub-bucket resolution needed so a
+  // slot's half-width stays below 10^-sd of its value.
+  double needed = 2.0;
+  for (int i = 0; i < sd; ++i) needed *= 10.0;
+  return static_cast<int>(std::ceil(std::log2(needed)));
+}
+
+std::size_t HdrLayout::index(std::uint64_t value) const noexcept {
+  const std::uint64_t exact = std::uint64_t{1} << sub_bits;
+  if (value < exact) return static_cast<std::size_t>(value);
+  // e doublings above the exact range; the top k bits of the value select
+  // the linear sub-slot inside that doubling.
+  const int e = std::bit_width(value) - sub_bits;
+  const std::uint64_t mantissa = value >> e;  // in [2^(k-1), 2^k)
+  const std::uint64_t half = exact >> 1;
+  return static_cast<std::size_t>(exact +
+                                  static_cast<std::uint64_t>(e - 1) * half +
+                                  (mantissa - half));
+}
+
+std::uint64_t HdrLayout::slot_lo(std::size_t i) const noexcept {
+  const std::uint64_t exact = std::uint64_t{1} << sub_bits;
+  if (i < exact) return i;
+  const std::uint64_t half = exact >> 1;
+  const std::uint64_t above = i - exact;
+  const int e = static_cast<int>(above / half) + 1;
+  const std::uint64_t mantissa = half + above % half;
+  return mantissa << e;
+}
+
+std::uint64_t HdrLayout::slot_hi(std::size_t i) const noexcept {
+  const std::uint64_t exact = std::uint64_t{1} << sub_bits;
+  if (i < exact) return i;
+  const std::uint64_t half = exact >> 1;
+  const std::uint64_t above = i - exact;
+  const int e = static_cast<int>(above / half) + 1;
+  const std::uint64_t mantissa = half + above % half;
+  // The last representable doubling tops out at UINT64_MAX.
+  if (e >= 64 - sub_bits && mantissa == exact - 1) return ~std::uint64_t{0};
+  return ((mantissa + 1) << e) - 1;
+}
+
+double HdrLayout::max_relative_error() const noexcept {
+  return 1.0 / static_cast<double>(std::uint64_t{1} << (sub_bits - 1));
+}
+
+std::uint64_t HdrSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile order statistic, 1-based: the smallest recorded
+  // value v such that at least ceil(q * count) values are <= v.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count);
+  std::uint64_t cumulative = 0;
+  for (const auto& [slot, n] : slots) {
+    cumulative += n;
+    if (cumulative >= rank) {
+      return std::clamp(layout.slot_hi(slot), min, max);
+    }
+  }
+  return max;  // unreachable when slots sum to count
+}
+
+void HdrSnapshot::merge(const HdrSnapshot& other) {
+  if (layout.sub_bits != other.layout.sub_bits) {
+    throw std::invalid_argument(
+        "HdrSnapshot::merge: sub-bucket layouts differ (" +
+        std::to_string(layout.sub_bits) + " vs " +
+        std::to_string(other.layout.sub_bits) + " bits)");
+  }
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  // Merge the two ascending sparse slot lists.
+  std::vector<std::pair<std::size_t, std::uint64_t>> merged;
+  merged.reserve(slots.size() + other.slots.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < slots.size() || b < other.slots.size()) {
+    if (b >= other.slots.size() ||
+        (a < slots.size() && slots[a].first < other.slots[b].first)) {
+      merged.push_back(slots[a++]);
+    } else if (a >= slots.size() || other.slots[b].first < slots[a].first) {
+      merged.push_back(other.slots[b++]);
+    } else {
+      merged.emplace_back(slots[a].first,
+                          slots[a].second + other.slots[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  slots = std::move(merged);
+}
+
+HdrHistogram::HdrHistogram(int significant_digits)
+    : significant_digits_(std::clamp(significant_digits, 1, 5)),
+      layout_{hdr_sub_bits(significant_digits)},
+      counts_(layout_.slot_count()) {}
+
+void HdrHistogram::record_n(std::uint64_t value, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  counts_[layout_.index(value)].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(value * n, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HdrSnapshot HdrHistogram::snapshot() const {
+  HdrSnapshot snap;
+  snap.layout = layout_;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      snap.slots.emplace_back(i, n);
+      total += n;
+    }
+  }
+  // Derive count from the swept slots so quantile ranks are consistent with
+  // the slot list even when records race the sweep; sum/min/max are
+  // best-effort point reads.
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (total != 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    // A racing first record can leave min/max unset relative to the slots;
+    // fall back to the slot bounds rather than report the sentinel.
+    if (snap.min == ~std::uint64_t{0}) {
+      snap.min = layout_.slot_lo(snap.slots.front().first);
+    }
+    if (snap.max == 0 && snap.slots.back().first != 0) {
+      snap.max = layout_.slot_hi(snap.slots.back().first);
+    }
+  }
+  return snap;
+}
+
+void HdrHistogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace varpred::obs

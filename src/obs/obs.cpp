@@ -17,6 +17,7 @@
 #endif
 
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 
 namespace varpred::obs {
 namespace {
@@ -28,8 +29,15 @@ Mode env_mode() {
   return m;
 }
 
-std::atomic<int>& mode_cell() noexcept {
-  // Initialized from the environment exactly once; set_mode overwrites.
+// One shared state cell holds the mode (low bits) and the profiler's
+// "maintain frame stacks" bit, so a span's fast path stays a single
+// relaxed load + branch even now that two subsystems can activate it.
+constexpr int kModeMask = 3;
+constexpr int kProfilingBit = 4;
+
+std::atomic<int>& state_cell() noexcept {
+  // Initialized from the environment exactly once; set_mode overwrites the
+  // mode bits, set_profiling_active the profiling bit.
   static std::atomic<int> cell{static_cast<int>(env_mode())};
   return cell;
 }
@@ -91,12 +99,34 @@ const char* to_string(Mode mode) {
 }
 
 Mode mode() noexcept {
-  return static_cast<Mode>(mode_cell().load(std::memory_order_relaxed));
+  return static_cast<Mode>(state_cell().load(std::memory_order_relaxed) &
+                           kModeMask);
 }
 
 void set_mode(Mode mode) noexcept {
-  mode_cell().store(static_cast<int>(mode), std::memory_order_relaxed);
+  std::atomic<int>& cell = state_cell();
+  int old = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(
+      old, (old & ~kModeMask) | static_cast<int>(mode),
+      std::memory_order_relaxed)) {
+  }
 }
+
+bool profiling_active() noexcept {
+  return (state_cell().load(std::memory_order_relaxed) & kProfilingBit) != 0;
+}
+
+namespace detail {
+
+void set_profiling_active(bool active) noexcept {
+  if (active) {
+    state_cell().fetch_or(kProfilingBit, std::memory_order_relaxed);
+  } else {
+    state_cell().fetch_and(~kProfilingBit, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
 
 std::uint64_t now_ns() noexcept {
   return static_cast<std::uint64_t>(
@@ -168,6 +198,7 @@ struct Registry::Stripe {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>> hdrs;
 };
 
 Registry::Registry() : stripes_(new Stripe[kStripes]) {}
@@ -221,6 +252,19 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+HdrHistogram& Registry::hdr(std::string_view name, int significant_digits) {
+  Stripe& s = stripe_for(name);
+  std::lock_guard lock(s.mutex);
+  auto it = s.hdrs.find(name);
+  if (it == s.hdrs.end()) {
+    it = s.hdrs
+             .emplace(std::string(name),
+                      std::make_unique<HdrHistogram>(significant_digits))
+             .first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot out;
   for (std::size_t i = 0; i < kStripes; ++i) {
@@ -243,6 +287,9 @@ MetricsSnapshot Registry::snapshot() const {
       }
       out.histograms.push_back(std::move(snap));
     }
+    for (const auto& [name, h] : s.hdrs) {
+      out.hdr.emplace_back(name, h->snapshot());
+    }
   }
   const auto by_name = [](const auto& a, const auto& b) {
     return a.first < b.first;
@@ -251,6 +298,7 @@ MetricsSnapshot Registry::snapshot() const {
   std::sort(out.gauges.begin(), out.gauges.end(), by_name);
   std::sort(out.histograms.begin(), out.histograms.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(out.hdr.begin(), out.hdr.end(), by_name);
   return out;
 }
 
@@ -261,6 +309,7 @@ void Registry::reset_values() {
     for (auto& [name, c] : s.counters) c->reset();
     for (auto& [name, g] : s.gauges) g->reset();
     for (auto& [name, h] : s.histograms) h->reset();
+    for (auto& [name, h] : s.hdrs) h->reset();
   }
 }
 
@@ -268,25 +317,34 @@ void Registry::reset_values() {
 // Span
 
 Span::Span(const char* name, unsigned flags) noexcept : name_(name) {
-  if (mode() == Mode::kOff) return;
-  active_ = true;
+  const int state = state_cell().load(std::memory_order_relaxed);
+  if (state == 0) return;  // off and not profiling: the one-load fast path
+  entered_ = true;
   depth_ = t_open_spans++;
+  if ((state & kProfilingBit) != 0) {
+    profiler_internal::push_frame(name);
+    framed_ = true;
+  }
+  if ((state & kModeMask) == static_cast<int>(Mode::kOff)) return;
+  active_ = true;
   pool_delta_ = (flags & kPoolStats) != 0;
   if (pool_delta_) pool_before_ = ThreadPool::global().stats();
   start_ns_ = now_ns();
 }
 
 Span::~Span() {
-  if (!active_) return;
-  const std::uint64_t end_ns = now_ns();
+  if (!entered_) return;
+  const std::uint64_t end_ns = active_ ? now_ns() : 0;
   --t_open_spans;
+  if (framed_) profiler_internal::pop_frame();
+  if (!active_) return;
   const Mode m = mode();
   if (m == Mode::kOff) return;  // switched off mid-span: just unwind depth
 
   const std::uint64_t dur = end_ns - start_ns_;
-  Registry::global()
-      .histogram(std::string("span.") + name_)
-      .record(dur);
+  const std::string hist_name = std::string("span.") + name_;
+  Registry::global().histogram(hist_name).record(dur);
+  Registry::global().hdr(hist_name).record(dur);
 
   if (m != Mode::kTrace) return;
   TraceEvent event;
@@ -359,7 +417,10 @@ std::string trace_json() {
 }
 
 void write_metrics_json(std::ostream& out) {
-  const auto snap = Registry::global().snapshot();
+  write_metrics_json(out, Registry::global().snapshot());
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap) {
   out << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : snap.counters) {
@@ -391,6 +452,19 @@ void write_metrics_json(std::ostream& out) {
     }
     out << "]}";
   }
+  out << "},\"hdr\":{";
+  first = true;
+  for (const auto& [name, h] : snap.hdr) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json::escape(name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":" << h.max
+        << ",\"p50\":" << h.quantile(0.50) << ",\"p90\":" << h.quantile(0.90)
+        << ",\"p99\":" << h.quantile(0.99)
+        << ",\"p999\":" << h.quantile(0.999)
+        << ",\"max_relative_error\":"
+        << json::number(h.layout.max_relative_error()) << "}";
+  }
   out << "}}";
 }
 
@@ -417,6 +491,12 @@ std::string summary_text() {
         static_cast<double>(h.sum) / static_cast<double>(h.count);
     out << "[obs] " << h.name << ": count=" << h.count << " sum=" << h.sum
         << " mean=" << json::number(mean) << "\n";
+  }
+  for (const auto& [name, h] : snap.hdr) {
+    if (h.count == 0) continue;
+    out << "[obs] " << name << " tails: p50=" << h.quantile(0.50)
+        << " p90=" << h.quantile(0.90) << " p99=" << h.quantile(0.99)
+        << " p999=" << h.quantile(0.999) << "\n";
   }
   return out.str();
 }

@@ -6,10 +6,11 @@
 //     (per-thread depth tracking, monotonic-clock timestamps). With
 //     observability off, constructing a span costs one relaxed atomic load
 //     and a branch; nothing is allocated or recorded.
-//   * Registry: a lock-striped global table of named counters, gauges, and
-//     log2-bucketed histograms. Metric objects are never deleted, so hot
-//     paths cache a reference once (see VARPRED_OBS_COUNT) and afterwards
-//     pay one relaxed fetch_add per event.
+//   * Registry: a lock-striped global table of named counters, gauges,
+//     log2-bucketed histograms, and HDR tail histograms (obs/hdr.hpp).
+//     Metric objects are never deleted, so hot paths cache a reference once
+//     (see VARPRED_OBS_COUNT) and afterwards pay one relaxed fetch_add per
+//     event.
 //   * Sinks: a Chrome trace_event JSON exporter for spans, a flat metrics
 //     JSON document, and a compact text reporter.
 //
@@ -21,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"  // PoolStats deltas attached to spans
+#include "obs/hdr.hpp"             // tail-accurate histograms in the registry
 
 namespace varpred::obs {
 
@@ -45,6 +48,17 @@ const char* to_string(Mode mode);
 Mode mode() noexcept;
 void set_mode(Mode mode) noexcept;
 inline bool enabled() noexcept { return mode() != Mode::kOff; }
+
+/// True while the sampling profiler (obs/profiler.hpp) is running. Spans
+/// maintain the per-thread frame stack whenever this is set, even with the
+/// metrics mode off; with both off a span stays one relaxed load + branch.
+bool profiling_active() noexcept;
+
+namespace detail {
+/// Flips the profiling bit in the shared mode/profiling state cell. Only
+/// profiler_start/profiler_stop call this.
+void set_profiling_active(bool active) noexcept;
+}  // namespace detail
 
 /// Nanoseconds on the monotonic clock since the process's trace epoch
 /// (the first obs call). Small values keep trace timestamps readable.
@@ -107,11 +121,7 @@ class Histogram {
   static constexpr std::size_t kBuckets = 64;
 
   static std::size_t bucket_index(std::uint64_t value) noexcept {
-    std::size_t bits = 0;
-    while (value != 0) {
-      ++bits;
-      value >>= 1;
-    }
+    const std::size_t bits = static_cast<std::size_t>(std::bit_width(value));
     return bits < kBuckets ? bits : kBuckets - 1;
   }
   /// Smallest value landing in bucket `b`.
@@ -165,6 +175,8 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  /// Tail-accurate histograms, name-sorted (obs/hdr.hpp).
+  std::vector<std::pair<std::string, HdrSnapshot>> hdr;
 };
 
 class Registry {
@@ -174,6 +186,10 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  /// HDR-style log-linear histogram for tail quantiles. The significant
+  /// digits apply on first creation; later lookups of the same name return
+  /// the existing histogram unchanged.
+  HdrHistogram& hdr(std::string_view name, int significant_digits = 2);
 
   /// Name-sorted copy of every metric's current value.
   MetricsSnapshot snapshot() const;
@@ -204,9 +220,13 @@ struct TraceEvent {
 };
 
 /// RAII scoped timer. In summary/trace mode the destructor records the
-/// duration into histogram "span.<name>" (ns); in trace mode it also
-/// appends a TraceEvent. Pass kPoolStats to attach the global ThreadPool's
-/// counter deltas over the span's lifetime to the trace event.
+/// duration into log2 histogram "span.<name>" and HDR histogram
+/// "span.<name>" (ns); in trace mode it also appends a TraceEvent. Pass
+/// kPoolStats to attach the global ThreadPool's counter deltas over the
+/// span's lifetime to the trace event. While the sampling profiler runs,
+/// the span additionally pushes its name onto the calling thread's frame
+/// stack (obs/profiler.hpp) — `name` must be a string literal (or outlive
+/// the profiler run), which every call site already satisfies.
 class Span {
  public:
   enum Flags : unsigned { kNone = 0, kPoolStats = 1u };
@@ -228,7 +248,9 @@ class Span {
   std::uint64_t start_ns_ = 0;
   PoolStats pool_before_{};
   std::uint32_t depth_ = 0;
-  bool active_ = false;
+  bool entered_ = false;  ///< depth counter bumped (mode on or profiling)
+  bool active_ = false;   ///< timing recorded (mode on)
+  bool framed_ = false;   ///< pushed onto the profiler frame stack
   bool pool_delta_ = false;
 };
 
@@ -244,8 +266,12 @@ void write_trace_json(std::ostream& out);
 std::string trace_json();
 
 /// Flat metrics document: {"counters":{...},"gauges":{...},
-/// "histograms":{name:{count,sum,buckets:[{lo,hi,count}]}}}.
+/// "histograms":{name:{count,sum,buckets:[{lo,hi,count}]}},
+/// "hdr":{name:{count,sum,min,max,p50,p90,p99,p999,max_relative_error}}}.
 void write_metrics_json(std::ostream& out);
+/// Same document from an already-taken snapshot (the exposition exporter
+/// stamps one snapshot into several sinks).
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap);
 std::string metrics_json();
 
 /// Compact human-readable report of every non-zero metric; empty string

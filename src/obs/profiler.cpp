@@ -1,0 +1,225 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"  // detail::set_profiling_active
+
+namespace varpred::obs {
+namespace {
+
+using profiler_internal::kMaxFrames;
+
+// Per-thread span-name stack. Written only by the owning thread; read by
+// the sampler. `depth` is the logical depth (it keeps counting past
+// kMaxFrames so truncation is detectable); frames beyond the capacity are
+// simply not stored.
+struct ThreadStack {
+  std::atomic<const char*> frames[kMaxFrames]{};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<bool> alive{true};
+};
+
+// Every thread that ever pushed a frame, living or dead. ThreadStack
+// records are leaked (marked dead, never freed) so the sampler can never
+// dereference a destroyed stack, mirroring the registry's leak-on-purpose
+// convention.
+struct StackRegistry {
+  std::mutex mutex;
+  std::vector<ThreadStack*> stacks;
+};
+
+StackRegistry& stack_registry() {
+  static StackRegistry* reg = new StackRegistry();  // leaked: outlive statics
+  return *reg;
+}
+
+struct ThreadStackHandle {
+  ThreadStack* stack;
+
+  ThreadStackHandle() : stack(new ThreadStack()) {
+    StackRegistry& reg = stack_registry();
+    std::lock_guard lock(reg.mutex);
+    reg.stacks.push_back(stack);
+  }
+  ~ThreadStackHandle() {
+    stack->alive.store(false, std::memory_order_release);
+  }
+};
+
+ThreadStack& this_thread_stack() {
+  thread_local ThreadStackHandle handle;
+  return *handle.stack;
+}
+
+struct Sampler {
+  std::mutex mutex;  // guards start/stop transitions and the wakeup cv
+  std::condition_variable cv;
+  std::thread thread;
+  bool running = false;
+  bool stop_requested = false;
+  std::chrono::steady_clock::time_point started_at;
+  std::atomic<std::uint64_t> sweeps{0};
+  // Written by the sampler thread between sweeps; read by profiler_stop
+  // only after joining it, so no lock is needed around the report itself.
+  ProfileReport report;
+};
+
+Sampler& sampler() {
+  static Sampler* s = new Sampler();  // leaked: outlive statics
+  return *s;
+}
+
+// One sweep over every live thread stack. The registry lock only contends
+// with thread birth (first span on a new thread), never with push/pop.
+void sample_once(ProfileReport& report) {
+  StackRegistry& reg = stack_registry();
+  std::lock_guard lock(reg.mutex);
+  std::string key;
+  for (ThreadStack* ts : reg.stacks) {
+    if (!ts->alive.load(std::memory_order_acquire)) continue;
+    // depth acquire pairs with the owner's release store, making every
+    // frame published at or below that depth visible.
+    const std::uint32_t depth = ts->depth.load(std::memory_order_acquire);
+    if (depth == 0) {
+      ++report.idle_samples;
+      continue;
+    }
+    const std::uint32_t kept = std::min(depth, kMaxFrames);
+    if (depth > kMaxFrames) ++report.truncated_samples;
+    key.clear();
+    bool valid = true;
+    for (std::uint32_t i = 0; i < kept; ++i) {
+      const char* name = ts->frames[i].load(std::memory_order_relaxed);
+      if (name == nullptr) {  // defensive: unpublished frame
+        valid = false;
+        break;
+      }
+      if (i != 0) key += ';';
+      key += name;
+    }
+    if (!valid) {
+      ++report.idle_samples;
+      continue;
+    }
+    ++report.samples;
+    ++report.stacks[key];
+  }
+}
+
+void sampler_loop(double hz) {
+  Sampler& s = sampler();
+  const auto period =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / hz));
+  auto next = std::chrono::steady_clock::now() + period;
+  std::unique_lock lock(s.mutex);
+  while (true) {
+    if (s.cv.wait_until(lock, next, [&] { return s.stop_requested; })) {
+      return;  // prompt stop, no final partial sweep
+    }
+    lock.unlock();
+    sample_once(s.report);
+    s.sweeps.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    next += period;
+    const auto now = std::chrono::steady_clock::now();
+    // If a sweep overran the period (huge thread count, scheduler stall),
+    // skip the missed ticks instead of bursting to catch up.
+    if (next < now) next = now + period;
+  }
+}
+
+}  // namespace
+
+std::string ProfileReport::collapsed_text(bool include_idle) const {
+  std::ostringstream out;
+  for (const auto& [stack, n] : stacks) {
+    out << stack << ' ' << n << '\n';
+  }
+  if (include_idle && idle_samples != 0) {
+    out << "(idle) " << idle_samples << '\n';
+  }
+  return out.str();
+}
+
+bool profiler_start(double hz) {
+  // NaN-safe clamp to [1, 1000] Hz.
+  if (!(hz >= 1.0)) hz = 1.0;
+  if (hz > 1000.0) hz = 1000.0;
+  Sampler& s = sampler();
+  std::lock_guard lock(s.mutex);
+  if (s.running) return false;
+  s.running = true;
+  s.stop_requested = false;
+  s.report = ProfileReport{};
+  s.report.hz = hz;
+  s.sweeps.store(0, std::memory_order_relaxed);
+  s.started_at = std::chrono::steady_clock::now();
+  // Spans start maintaining frame stacks from here on; stacks opened
+  // before this point are invisible (documented sampling noise).
+  detail::set_profiling_active(true);
+  s.thread = std::thread(sampler_loop, hz);
+  return true;
+}
+
+bool profiler_running() noexcept {
+  Sampler& s = sampler();
+  std::lock_guard lock(s.mutex);
+  return s.running;
+}
+
+std::uint64_t profiler_sweep_count() noexcept {
+  return sampler().sweeps.load(std::memory_order_relaxed);
+}
+
+ProfileReport profiler_stop() {
+  Sampler& s = sampler();
+  std::thread worker;
+  {
+    std::lock_guard lock(s.mutex);
+    if (!s.running) return ProfileReport{};
+    s.stop_requested = true;
+    worker = std::move(s.thread);
+  }
+  s.cv.notify_all();
+  detail::set_profiling_active(false);
+  worker.join();
+  std::lock_guard lock(s.mutex);
+  s.running = false;
+  s.report.duration_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    s.started_at)
+          .count();
+  ProfileReport out = std::move(s.report);
+  s.report = ProfileReport{};
+  return out;
+}
+
+namespace profiler_internal {
+
+void push_frame(const char* name) noexcept {
+  ThreadStack& ts = this_thread_stack();
+  const std::uint32_t depth = ts.depth.load(std::memory_order_relaxed);
+  if (depth < kMaxFrames) {
+    ts.frames[depth].store(name, std::memory_order_relaxed);
+  }
+  // Release publishes the frame written above to the sampler's acquire.
+  ts.depth.store(depth + 1, std::memory_order_release);
+}
+
+void pop_frame() noexcept {
+  ThreadStack& ts = this_thread_stack();
+  const std::uint32_t depth = ts.depth.load(std::memory_order_relaxed);
+  if (depth != 0) ts.depth.store(depth - 1, std::memory_order_release);
+}
+
+}  // namespace profiler_internal
+
+}  // namespace varpred::obs

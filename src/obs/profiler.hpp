@@ -1,0 +1,78 @@
+// Wall-clock sampling profiler attributed to obs::Span stacks.
+//
+// A dedicated sampler thread wakes at a configurable rate (default 97 Hz —
+// prime, so it does not phase-lock with millisecond-periodic work) and, for
+// every live thread that has ever opened a Span, reads that thread's
+// current span-name stack and bumps the matching collapsed-stack counter.
+// Threads with no open span count as idle samples. The result is the
+// classic flamegraph input format ("outer;inner;leaf <count>") plus a
+// self/total table, rendered by tools/prof_report.
+//
+// Cost model: while the profiler is *not* running, nothing changes — a Span
+// still costs one relaxed atomic load and a branch with VARPRED_OBS=off.
+// While it runs, each span push/pop is two relaxed stores plus one
+// release/relaxed store on a per-thread fixed array; the sampler owns all
+// aggregation.
+//
+// Concurrency: the per-thread frame stack is written only by its owner
+// (frames relaxed, then depth with release order) and read by the sampler
+// (depth acquire, then frames relaxed). A sample that races a push/pop may
+// see a stack that is one frame stale — benign sampling noise. Frame
+// entries are `const char*` to string literals (see Span's contract), so
+// the sampler never reads freed memory; ThreadStack records are leaked and
+// marked dead on thread exit so a sample can never touch a destroyed stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace varpred::obs {
+
+/// Aggregated result of one profiling run.
+struct ProfileReport {
+  double hz = 0.0;               ///< requested sampling rate
+  double duration_seconds = 0.0; ///< wall time the sampler ran
+  std::uint64_t samples = 0;     ///< thread-samples attributed to a span stack
+  std::uint64_t idle_samples = 0;  ///< thread-samples with no open span
+  /// Samples whose stack was deeper than the per-thread frame limit; their
+  /// deepest frames were dropped (they still count under the kept prefix).
+  std::uint64_t truncated_samples = 0;
+
+  /// Collapsed call stacks: "outer;inner;leaf" -> sample count, sorted by
+  /// stack string (std::map). Feed collapsed_text() to any flamegraph tool.
+  std::map<std::string, std::uint64_t> stacks;
+
+  /// One "stack count" line per entry, flamegraph.pl / speedscope
+  /// collapsed-stack format. Idle samples appear as "(idle) N" when
+  /// include_idle is set so totals add up to samples + idle_samples.
+  std::string collapsed_text(bool include_idle = false) const;
+};
+
+/// Starts the sampler thread at `hz` samples/s (clamped to [1, 1000]).
+/// Returns false (and does nothing) if a profiler run is already active.
+bool profiler_start(double hz);
+
+/// True between a successful profiler_start and the matching profiler_stop.
+bool profiler_running() noexcept;
+
+/// Sampling sweeps completed so far in the active run (resets on
+/// profiler_start; tests poll it to wait for sampling progress).
+/// Monotone during a run; mainly for tests and progress checks.
+std::uint64_t profiler_sweep_count() noexcept;
+
+/// Stops the sampler thread and returns the aggregated report. Returns an
+/// empty report (samples == 0, hz == 0) if no run was active.
+ProfileReport profiler_stop();
+
+namespace profiler_internal {
+/// Span integration: called from Span's ctor/dtor while profiling is
+/// active. `name` must outlive the profiling run (string literal).
+void push_frame(const char* name) noexcept;
+void pop_frame() noexcept;
+/// Frame-stack capacity per thread; deeper nesting is truncated (counted
+/// in ProfileReport::truncated_samples).
+inline constexpr std::uint32_t kMaxFrames = 64;
+}  // namespace profiler_internal
+
+}  // namespace varpred::obs

@@ -26,6 +26,29 @@ const char* to_string(Verdict verdict) {
   return "inconclusive";
 }
 
+namespace {
+
+/// Advisory tail columns: p50/p99 of the raw samples on each side. Never
+/// part of the verdict — with typical repeat counts the p99 is just the
+/// max — but a consistent tail drift across stages is worth seeing.
+void fill_tails(StageDiff& d, std::span<const double> baseline,
+                std::span<const double> candidate) {
+  if (baseline.empty() || candidate.empty()) return;
+  d.has_tails = true;
+  d.baseline_p50 = stats::quantile(baseline, 0.50);
+  d.candidate_p50 = stats::quantile(candidate, 0.50);
+  d.baseline_p99 = stats::quantile(baseline, 0.99);
+  d.candidate_p99 = stats::quantile(candidate, 0.99);
+  if (d.baseline_p50 > 0.0) {
+    d.p50_shift = (d.candidate_p50 - d.baseline_p50) / d.baseline_p50;
+  }
+  if (d.baseline_p99 > 0.0) {
+    d.p99_shift = (d.candidate_p99 - d.baseline_p99) / d.baseline_p99;
+  }
+}
+
+}  // namespace
+
 StageDiff diff_stage(std::string name, std::span<const double> baseline,
                      std::span<const double> candidate,
                      const DiffConfig& config) {
@@ -33,6 +56,7 @@ StageDiff diff_stage(std::string name, std::span<const double> baseline,
   d.stage = std::move(name);
   d.n_baseline = baseline.size();
   d.n_candidate = candidate.size();
+  fill_tails(d, baseline, candidate);
   if (d.n_baseline < config.min_samples ||
       d.n_candidate < config.min_samples) {
     d.verdict = Verdict::kInconclusive;
@@ -258,14 +282,16 @@ std::string markdown_report(std::span<const RunDiff> runs,
     }
     out +=
         "\n| stage | n(base) | n(cand) | median(base) s | median(cand) s "
-        "| shift [95% CI] | KS p | W1n | verdict |\n"
-        "|---|---|---|---|---|---|---|---|---|\n";
+        "| shift [95% CI] | Δp50 | Δp99 | KS p | W1n | verdict |\n"
+        "|---|---|---|---|---|---|---|---|---|---|---|\n";
     for (const StageDiff& d : run.stages) {
       out += "| " + d.stage + " | " + std::to_string(d.n_baseline) + " | " +
              std::to_string(d.n_candidate) + " | " +
              fixed(d.baseline_median, 4) + " | " +
              fixed(d.candidate_median, 4) + " | " + percent(d.shift) + " [" +
              percent(d.shift_lo) + ", " + percent(d.shift_hi) + "] | " +
+             (d.has_tails ? percent(d.p50_shift) : std::string("—")) + " | " +
+             (d.has_tails ? percent(d.p99_shift) : std::string("—")) + " | " +
              scientific(d.ks_pvalue) + " | " + fixed(d.w1_normalized, 3) +
              " | " + to_string(d.verdict);
       if (!d.note.empty()) out += " — " + d.note;
@@ -278,7 +304,8 @@ std::string markdown_report(std::span<const RunDiff> runs,
          ", min samples/side=" + std::to_string(config.min_samples) +
          ", bootstrap=" + std::to_string(config.bootstrap_replicates) +
          " reps at " + fixed((1.0 - config.ci_alpha) * 100.0, 0) +
-         "% CI, seed=" + std::to_string(config.seed) + "\n";
+         "% CI, seed=" + std::to_string(config.seed) +
+         "; Δp50/Δp99 are advisory and never gate\n";
   return out;
 }
 
@@ -317,6 +344,14 @@ std::string json_report(std::span<const RunDiff> runs) {
       js.object.emplace_back("shift", jnum(d.shift));
       js.object.emplace_back("shift_lo", jnum(d.shift_lo));
       js.object.emplace_back("shift_hi", jnum(d.shift_hi));
+      if (d.has_tails) {
+        js.object.emplace_back("baseline_p50", jnum(d.baseline_p50));
+        js.object.emplace_back("candidate_p50", jnum(d.candidate_p50));
+        js.object.emplace_back("baseline_p99", jnum(d.baseline_p99));
+        js.object.emplace_back("candidate_p99", jnum(d.candidate_p99));
+        js.object.emplace_back("p50_shift", jnum(d.p50_shift));
+        js.object.emplace_back("p99_shift", jnum(d.p99_shift));
+      }
       if (!d.note.empty()) js.object.emplace_back("note", jstr(d.note));
       jstages.array.push_back(std::move(js));
     }

@@ -74,6 +74,17 @@ struct StageDiff {
   double shift = 0.0;     ///< point estimate of the relative median shift
   double shift_lo = 0.0;  ///< bootstrap CI lower bound
   double shift_hi = 0.0;  ///< bootstrap CI upper bound
+  /// Advisory tail columns (schema v3 territory): p50/p99 of the raw
+  /// samples on each side plus their relative shifts. Purely informational
+  /// — tails of small repeat counts are too noisy to gate on, so they
+  /// never influence the verdict. Present when both sides have samples.
+  bool has_tails = false;
+  double baseline_p50 = 0.0;
+  double candidate_p50 = 0.0;
+  double baseline_p99 = 0.0;
+  double candidate_p99 = 0.0;
+  double p50_shift = 0.0;  ///< (cand_p50 - base_p50) / base_p50
+  double p99_shift = 0.0;  ///< (cand_p99 - base_p99) / base_p99
   Verdict verdict = Verdict::kInconclusive;
   std::string note;  ///< why the verdict is what it is, when not obvious
 };

@@ -1,11 +1,15 @@
 // Reader for the BENCH_<name>.json telemetry documents emitted by
-// bench::Run (bench/bench_common.hpp). Understands both schema versions:
+// bench::Run (bench/bench_common.hpp). Understands all schema versions:
 //   v1 (PR 2): one timed pass per stage — {"name", "seconds"}.
-//   v2 (this PR): --repeat=N gives every stage a *sample distribution* —
+//   v2 (PR 4): --repeat=N gives every stage a *sample distribution* —
 //       {"name", "seconds", "samples":[...], mean/stddev/min/max} plus
 //       top-level schema_version / hostname / timestamp / repeat.
-// v1 documents are mapped onto the v2 shape with a single-element sample
-// vector so downstream consumers (baseline store, bench_diff) handle both.
+//   v3 (this PR): every stage additionally carries HDR tail quantiles —
+//       p50/p90/p99/p999 in wall seconds.
+// Older documents are mapped onto the newest shape: v1 gets a
+// single-element sample vector; v1/v2 leave has_quantiles false so
+// downstream consumers (baseline store, bench_diff) can recompute tails
+// from the raw samples when they need them.
 #pragma once
 
 #include <cstdint>
@@ -16,11 +20,22 @@
 
 namespace varpred::obs {
 
+/// Per-stage tail quantiles (wall seconds), schema v3+.
+struct StageQuantiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
 /// One pipeline stage's timing samples: wall seconds per repetition, in
 /// repetition order.
 struct StageSamples {
   std::string name;
   std::vector<double> samples;
+  /// True when the document carried p50/p90/p99/p999 (schema v3+).
+  bool has_quantiles = false;
+  StageQuantiles quantiles;
 };
 
 /// Parsed telemetry document (the fields bench_diff and the baseline store

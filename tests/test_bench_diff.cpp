@@ -108,6 +108,50 @@ TEST(BenchDiff, VerdictsAreDeterministic) {
   EXPECT_EQ(a.shift_hi, b.shift_hi);
 }
 
+TEST(BenchDiff, TailColumnsAreAdvisoryAndExact) {
+  // Candidate = exactly 2x the same draw, so every quantile doubles and
+  // the relative tail shifts are exactly +100%.
+  const auto baseline = timing_draw(101, 24);
+  const auto candidate = timing_draw(101, 24, 2.0);
+  const auto d =
+      obs::diff_stage("stage", baseline, candidate, test_config());
+  ASSERT_TRUE(d.has_tails);
+  EXPECT_GT(d.baseline_p50, 0.0);
+  EXPECT_GT(d.baseline_p99, d.baseline_p50 * 0.5);
+  EXPECT_DOUBLE_EQ(d.candidate_p50, 2.0 * d.baseline_p50);
+  EXPECT_DOUBLE_EQ(d.p50_shift, 1.0);
+  EXPECT_DOUBLE_EQ(d.p99_shift, 1.0);
+
+  // Tails are filled even when the verdict path bails out early on sample
+  // size — and they never affect the verdict itself.
+  const auto tiny = timing_draw(202, 3, 2.0);
+  const auto small = obs::diff_stage("stage", baseline, tiny, test_config());
+  EXPECT_EQ(small.verdict, obs::Verdict::kInconclusive);
+  ASSERT_TRUE(small.has_tails);
+  EXPECT_GT(small.p50_shift, 0.5);
+
+  const auto same = obs::diff_stage("stage", baseline,
+                                    timing_draw(202, 24), test_config());
+  EXPECT_EQ(same.verdict, obs::Verdict::kUnchanged)
+      << "tail columns must not gate";
+  EXPECT_TRUE(same.has_tails);
+
+  // Both report sinks carry the advisory columns.
+  obs::RunDiff run;
+  run.bench = "tails_bench";
+  run.stages.push_back(d);
+  run.overall = obs::overall_verdict(run.stages);
+  const std::vector<obs::RunDiff> runs{run};
+  const std::string md = obs::markdown_report(runs, test_config());
+  EXPECT_NE(md.find("Δp50"), std::string::npos) << md;
+  EXPECT_NE(md.find("Δp99"), std::string::npos);
+  EXPECT_NE(md.find("advisory"), std::string::npos)
+      << "footer must say tails never gate";
+  const std::string js = obs::json_report(runs);
+  EXPECT_NE(js.find("\"p50_shift\":"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"baseline_p99\":"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Telemetry parsing: v2 and the v1 compat path.
 

@@ -6,17 +6,27 @@
 // calls here cannot leak into other tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/expose.hpp"
+#include "obs/hdr.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
 
 namespace varpred {
 namespace {
@@ -48,7 +58,12 @@ TEST(ObsHistogram, BucketBoundaries) {
   EXPECT_EQ(obs::Histogram::bucket_index(8), 4u);
   EXPECT_EQ(obs::Histogram::bucket_index((1ull << 62) - 1), 62u);
   EXPECT_EQ(obs::Histogram::bucket_index(1ull << 62), 63u);
+  EXPECT_EQ(obs::Histogram::bucket_index((1ull << 63) - 1), 63u);
+  // Bit width 64 would index bucket 64; these clamp into the last bucket.
+  EXPECT_EQ(obs::Histogram::bucket_index(1ull << 63), 63u);
   EXPECT_EQ(obs::Histogram::bucket_index(~std::uint64_t{0}), 63u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(63), 1ull << 62);
+  EXPECT_EQ(obs::Histogram::bucket_hi(63), ~std::uint64_t{0});
 
   // lo/hi invert bucket_index at the edges of every bucket.
   for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
@@ -464,6 +479,517 @@ TEST(ObsEnv, HostnameAndTimestampAreWellFormed) {
   EXPECT_EQ(ts[13], ':');
   EXPECT_EQ(ts[16], ':');
   EXPECT_EQ(ts[19], 'Z');
+}
+
+// ---------------------------------------------------------------------------
+// HDR histogram (obs/hdr.hpp)
+
+TEST(ObsHdr, SubBitsMatchSignificantDigits) {
+  // k = ceil(log2(2 * 10^sd)).
+  EXPECT_EQ(obs::hdr_sub_bits(1), 5);
+  EXPECT_EQ(obs::hdr_sub_bits(2), 8);
+  EXPECT_EQ(obs::hdr_sub_bits(3), 11);
+  EXPECT_EQ(obs::hdr_sub_bits(4), 15);
+  EXPECT_EQ(obs::hdr_sub_bits(5), 18);
+  // Out-of-range digits clamp instead of exploding the slot table.
+  EXPECT_EQ(obs::hdr_sub_bits(0), obs::hdr_sub_bits(1));
+  EXPECT_EQ(obs::hdr_sub_bits(-3), obs::hdr_sub_bits(1));
+  EXPECT_EQ(obs::hdr_sub_bits(9), obs::hdr_sub_bits(5));
+  // sd=2 -> 1/128 relative error, the documented default.
+  EXPECT_DOUBLE_EQ(obs::HdrLayout{8}.max_relative_error(), 1.0 / 128.0);
+}
+
+TEST(ObsHdr, LayoutIndexAndSlotBoundsRoundTrip) {
+  for (const int sub_bits : {5, 8, 11}) {
+    const obs::HdrLayout layout{sub_bits};
+    const std::uint64_t exact = std::uint64_t{1} << sub_bits;
+
+    // Values below 2^k are stored exactly, one slot per value.
+    EXPECT_EQ(layout.index(0), 0u);
+    EXPECT_EQ(layout.index(1), 1u);
+    EXPECT_EQ(layout.index(exact - 1),
+              static_cast<std::size_t>(exact - 1));
+    EXPECT_EQ(layout.slot_lo(static_cast<std::size_t>(exact - 1)),
+              exact - 1);
+    EXPECT_EQ(layout.slot_hi(static_cast<std::size_t>(exact - 1)),
+              exact - 1);
+
+    // Every slot inverts: lo and hi both map back to the slot, slots tile
+    // the u64 range with no gaps, and the error bound holds per slot.
+    const double rel = layout.max_relative_error();
+    for (std::size_t i = 0; i < layout.slot_count(); ++i) {
+      const std::uint64_t lo = layout.slot_lo(i);
+      const std::uint64_t hi = layout.slot_hi(i);
+      ASSERT_LE(lo, hi) << "slot " << i;
+      ASSERT_EQ(layout.index(lo), i) << "slot " << i;
+      ASSERT_EQ(layout.index(hi), i) << "slot " << i;
+      if (i + 1 < layout.slot_count()) {
+        ASSERT_EQ(layout.slot_lo(i + 1), hi + 1) << "slot " << i;
+      }
+      if (lo > 0) {
+        ASSERT_LE(static_cast<double>(hi - lo), rel * static_cast<double>(lo))
+            << "slot " << i;
+      }
+    }
+    // The top slot clamps at UINT64_MAX.
+    EXPECT_EQ(layout.slot_hi(layout.slot_count() - 1), ~std::uint64_t{0});
+    EXPECT_EQ(layout.index(~std::uint64_t{0}), layout.slot_count() - 1);
+  }
+}
+
+TEST(ObsHdr, RecordSnapshotAndExactSmallQuantiles) {
+  obs::HdrHistogram h(2);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0u);  // empty -> 0
+
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  const obs::HdrSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 100u);
+  // Values below 2^8 are exact, so quantiles are the exact order stats.
+  EXPECT_EQ(snap.quantile(0.0), 1u);
+  EXPECT_EQ(snap.quantile(0.5), 50u);
+  EXPECT_EQ(snap.quantile(0.9), 90u);
+  EXPECT_EQ(snap.quantile(1.0), 100u);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.snapshot().slots.size(), 0u);
+}
+
+/// Records `values` and checks quantile(q) against the exact sorted-sample
+/// order statistic at every probed q: the HDR answer must sit at or above
+/// the exact one, within the layout's relative-error bound.
+void check_hdr_against_exact(std::vector<std::uint64_t> values,
+                             int significant_digits) {
+  obs::HdrHistogram h(significant_digits);
+  for (const std::uint64_t v : values) h.record(v);
+  std::sort(values.begin(), values.end());
+  const obs::HdrSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count, values.size());
+  const double rel = snap.layout.max_relative_error();
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999,
+                         0.9999, 1.0}) {
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    rank = std::clamp<std::uint64_t>(rank, 1, values.size());
+    const std::uint64_t exact = values[rank - 1];
+    const std::uint64_t hdr = snap.quantile(q);
+    ASSERT_GE(hdr, exact) << "q=" << q;
+    ASSERT_LE(static_cast<double>(hdr - exact),
+              rel * static_cast<double>(exact))
+        << "q=" << q << " exact=" << exact << " hdr=" << hdr;
+  }
+}
+
+TEST(ObsHdr, QuantilesMatchExactOnUniformMillionSamples) {
+  Rng rng(0xD15Cu);
+  std::vector<std::uint64_t> values(1'000'000);
+  for (auto& v : values) v = rng.uniform_index(10'000'000);
+  check_hdr_against_exact(std::move(values), 2);
+}
+
+TEST(ObsHdr, QuantilesMatchExactOnLognormalMillionSamples) {
+  Rng rng(0x10C4Lu);
+  std::vector<std::uint64_t> values(1'000'000);
+  for (std::size_t i = 0; i < values.size(); i += 2) {
+    // Box-Muller on the repo Rng keeps the fixture deterministic.
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double z0 = r * std::cos(2.0 * M_PI * u2);
+    const double z1 = r * std::sin(2.0 * M_PI * u2);
+    values[i] = static_cast<std::uint64_t>(std::exp(10.0 + 1.5 * z0));
+    if (i + 1 < values.size()) {
+      values[i + 1] = static_cast<std::uint64_t>(std::exp(10.0 + 1.5 * z1));
+    }
+  }
+  check_hdr_against_exact(std::move(values), 2);
+}
+
+TEST(ObsHdr, QuantilesMatchExactOnBimodalMillionSamples) {
+  // Fast path vs. contended path: the shape log2 buckets get wrong.
+  Rng rng(0xB1D0Du);
+  std::vector<std::uint64_t> values(1'000'000);
+  for (auto& v : values) {
+    v = rng.uniform() < 0.7 ? 10'000 + rng.uniform_index(2'000)
+                            : 8'000'000 + rng.uniform_index(1'000'000);
+  }
+  check_hdr_against_exact(std::move(values), 3);
+}
+
+TEST(ObsHdr, ConcurrentRecordsMergeToSerialEquivalent) {
+  // 4 threads record disjoint deterministic streams into two histograms;
+  // merging their snapshots must equal one serial histogram over the union.
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 200'000;
+  obs::HdrHistogram parts[2]{obs::HdrHistogram(2), obs::HdrHistogram(2)};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &parts] {
+      Rng rng(0xC0DE + t);
+      obs::HdrHistogram& h = parts[t % 2];
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        h.record(rng.uniform_index(50'000'000));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  obs::HdrHistogram serial(2);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    Rng rng(0xC0DE + t);
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      serial.record(rng.uniform_index(50'000'000));
+    }
+  }
+
+  obs::HdrSnapshot merged = parts[0].snapshot();
+  merged.merge(parts[1].snapshot());
+  const obs::HdrSnapshot expected = serial.snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.min, expected.min);
+  EXPECT_EQ(merged.max, expected.max);
+  ASSERT_EQ(merged.slots.size(), expected.slots.size());
+  for (std::size_t i = 0; i < merged.slots.size(); ++i) {
+    EXPECT_EQ(merged.slots[i], expected.slots[i]) << "slot entry " << i;
+  }
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.quantile(q), expected.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(ObsHdr, MergeRejectsMismatchedLayouts) {
+  obs::HdrHistogram a(1);
+  obs::HdrHistogram b(3);
+  a.record(10);
+  b.record(10);
+  obs::HdrSnapshot sa = a.snapshot();
+  EXPECT_THROW(sa.merge(b.snapshot()), std::invalid_argument);
+}
+
+TEST(ObsHdr, RegistryKeepsStableReferencesAndSnapshotsHdr) {
+  obs::set_mode(obs::Mode::kSummary);
+  obs::reset();
+  auto& reg = obs::Registry::global();
+  obs::HdrHistogram& h = reg.hdr("test.hdr.latency");
+  EXPECT_EQ(&reg.hdr("test.hdr.latency"), &h);
+  h.record(1000);
+  h.record(2000);
+  const auto snap = reg.snapshot();
+  bool found = false;
+  for (const auto& [name, hs] : snap.hdr) {
+    if (name == "test.hdr.latency") {
+      found = true;
+      EXPECT_EQ(hs.count, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Spans feed both histogram families under summary mode.
+  { obs::Span span("test.hdr.span"); }
+  bool span_hdr = false;
+  for (const auto& [name, hs] : reg.snapshot().hdr) {
+    if (name == "span.test.hdr.span") span_hdr = hs.count == 1;
+  }
+  EXPECT_TRUE(span_hdr);
+  // The metrics JSON sink carries the hdr section with quantile fields.
+  const auto doc = obs::json::parse(obs::metrics_json());
+  const auto* hdr = doc.find("hdr");
+  ASSERT_NE(hdr, nullptr);
+  const auto* entry = hdr->find("test.hdr.latency");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_NE(entry->find("p50"), nullptr);
+  EXPECT_NE(entry->find("p999"), nullptr);
+  EXPECT_NE(entry->find("max_relative_error"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler (obs/profiler.hpp)
+
+TEST(ObsProfiler, CollapsedTextFormat) {
+  obs::ProfileReport report;
+  report.samples = 5;
+  report.idle_samples = 2;
+  report.stacks["outer"] = 2;
+  report.stacks["outer;inner"] = 3;
+  EXPECT_EQ(report.collapsed_text(), "outer 2\nouter;inner 3\n");
+  EXPECT_EQ(report.collapsed_text(true),
+            "outer 2\nouter;inner 3\n(idle) 2\n");
+}
+
+TEST(ObsProfiler, AttributesSamplesToLiveSpanStacks) {
+  // Profiling must work with the metrics mode off — and leave the
+  // registry untouched while doing so.
+  obs::set_mode(obs::Mode::kOff);
+  obs::reset();
+  EXPECT_FALSE(obs::profiler_running());
+  ASSERT_TRUE(obs::profiler_start(500.0));
+  EXPECT_TRUE(obs::profiler_running());
+  EXPECT_FALSE(obs::profiler_start(500.0)) << "one run at a time";
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  {
+    obs::Span outer("prof.outer");
+    while (obs::profiler_sweep_count() < 25 &&
+           std::chrono::steady_clock::now() < deadline) {
+      obs::Span inner("prof.inner");
+      volatile std::uint64_t sink = 0;
+      for (int i = 0; i < 4000; ++i) sink += static_cast<std::uint64_t>(i);
+    }
+  }
+  const obs::ProfileReport report = obs::profiler_stop();
+  EXPECT_FALSE(obs::profiler_running());
+
+  EXPECT_DOUBLE_EQ(report.hz, 500.0);
+  EXPECT_GT(report.duration_seconds, 0.0);
+  ASSERT_GT(report.samples, 0u);
+  ASSERT_FALSE(report.stacks.empty());
+  // Every sample was taken with prof.outer as the root frame.
+  for (const auto& [stack, n] : report.stacks) {
+    EXPECT_EQ(stack.rfind("prof.outer", 0), 0u) << stack;
+    EXPECT_GT(n, 0u);
+  }
+  // Off-mode guarantee: the frames went to the profiler, not the registry.
+  const auto snap = obs::Registry::global().snapshot();
+  for (const auto& h : snap.histograms) {
+    EXPECT_EQ(h.name.rfind("span.prof.", 0), std::string::npos) << h.name;
+  }
+  for (const auto& [name, hs] : snap.hdr) {
+    EXPECT_EQ(name.rfind("span.prof.", 0), std::string::npos) << name;
+  }
+
+  // A second run starts cleanly after the first.
+  ASSERT_TRUE(obs::profiler_start(200.0));
+  const obs::ProfileReport empty_run = obs::profiler_stop();
+  EXPECT_DOUBLE_EQ(empty_run.hz, 200.0);
+  EXPECT_EQ(empty_run.stacks.count("prof.outer"), 0u)
+      << "reports must not leak across runs";
+  // Stopping with no run active returns an empty report.
+  const obs::ProfileReport idle = obs::profiler_stop();
+  EXPECT_EQ(idle.samples, 0u);
+  EXPECT_DOUBLE_EQ(idle.hz, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics exposition (obs/expose.hpp)
+
+TEST(ObsExpose, ParsesSpecsStrictly) {
+  obs::ExposeSpec spec;
+  ASSERT_TRUE(obs::parse_expose_spec("prom:/tmp/metrics.prom", spec));
+  EXPECT_EQ(spec.format, obs::ExpositionFormat::kPrometheus);
+  EXPECT_EQ(spec.path, "/tmp/metrics.prom");
+  EXPECT_EQ(spec.period.count(), 1000);
+
+  ASSERT_TRUE(obs::parse_expose_spec("jsonl:series.jsonl:250", spec));
+  EXPECT_EQ(spec.format, obs::ExpositionFormat::kJsonl);
+  EXPECT_EQ(spec.path, "series.jsonl");
+  EXPECT_EQ(spec.period.count(), 250);
+
+  // Period clamps; a non-numeric trailing segment stays part of the path.
+  ASSERT_TRUE(obs::parse_expose_spec("prom:out.prom:1", spec));
+  EXPECT_EQ(spec.period.count(), 10);
+  ASSERT_TRUE(obs::parse_expose_spec("prom:dir:v2/out.prom", spec));
+  EXPECT_EQ(spec.path, "dir:v2/out.prom");
+
+  obs::ExposeSpec untouched;
+  untouched.path = "sentinel";
+  EXPECT_FALSE(obs::parse_expose_spec("csv:/tmp/x", untouched));
+  EXPECT_FALSE(obs::parse_expose_spec("prom:", untouched));
+  EXPECT_FALSE(obs::parse_expose_spec("", untouched));
+  EXPECT_EQ(untouched.path, "sentinel") << "failed parse must not clobber";
+}
+
+TEST(ObsExpose, PrometheusTextCoversEveryMetricKind) {
+  obs::set_mode(obs::Mode::kSummary);
+  obs::reset();
+  auto& reg = obs::Registry::global();
+  reg.counter("exp.events").add(3);
+  reg.gauge("exp.load").set(1.5);
+  reg.histogram("exp.lat").record(10);
+  reg.histogram("exp.lat").record(100);
+  for (std::uint64_t v = 1; v <= 1000; ++v) reg.hdr("exp.hdr").record(v);
+
+  const std::string text = obs::prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE varpred_exp_events counter\n"
+                      "varpred_exp_events 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE varpred_exp_load gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE varpred_exp_lat histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("varpred_exp_lat_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("varpred_exp_lat_count 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE varpred_exp_hdr_tail summary"),
+            std::string::npos);
+  // p99 of 1..1000 under sd=2: the exact order stat is 990; the HDR answer
+  // is its slot's inclusive upper bound 991 (within the 1/128 error bound).
+  EXPECT_NE(text.find("varpred_exp_hdr_tail{quantile=\"0.99\"} 991"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("varpred_exp_hdr_tail_count 1000"), std::string::npos);
+}
+
+TEST(ObsExpose, WritesAtomicPromAndAppendsJsonl) {
+  obs::set_mode(obs::Mode::kSummary);
+  obs::reset();
+  obs::Registry::global().counter("exp.write").add(7);
+  const auto snap = obs::Registry::global().snapshot();
+  const std::string dir = ::testing::TempDir();
+
+  obs::ExposeSpec prom;
+  prom.format = obs::ExpositionFormat::kPrometheus;
+  prom.path = dir + "varpred_test_metrics.prom";
+  ASSERT_TRUE(obs::write_exposition(snap, prom));
+  ASSERT_TRUE(obs::write_exposition(snap, prom));  // replace, not append
+  {
+    std::ifstream in(prom.path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("varpred_exp_write 7"), std::string::npos);
+    // Exactly one copy: atomic replace, no append.
+    EXPECT_EQ(buf.str().find("varpred_exp_write 7"),
+              buf.str().rfind("varpred_exp_write 7"));
+  }
+  EXPECT_FALSE(std::ifstream(prom.path + ".tmp").good())
+      << "tmp file must be renamed away";
+
+  obs::ExposeSpec jsonl;
+  jsonl.format = obs::ExpositionFormat::kJsonl;
+  jsonl.path = dir + "varpred_test_series.jsonl";
+  std::remove(jsonl.path.c_str());
+  ASSERT_TRUE(obs::write_exposition(snap, jsonl));
+  ASSERT_TRUE(obs::write_exposition(snap, jsonl));
+  {
+    std::ifstream in(jsonl.path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      ++lines;
+      const auto doc = obs::json::parse(line);  // every line parses alone
+      ASSERT_NE(doc.find("time"), nullptr);
+      ASSERT_NE(doc.find("uptime_ns"), nullptr);
+      const auto* metrics = doc.find("metrics");
+      ASSERT_NE(metrics, nullptr);
+      EXPECT_NE(metrics->find("counters"), nullptr);
+    }
+    EXPECT_EQ(lines, 2u) << "jsonl appends one line per write";
+  }
+  // An unwritable path fails loudly instead of silently dropping data.
+  obs::ExposeSpec bad;
+  bad.path = dir + "no/such/dir/metrics.prom";
+  EXPECT_FALSE(obs::write_exposition(snap, bad));
+
+  std::remove(prom.path.c_str());
+  std::remove(jsonl.path.c_str());
+}
+
+TEST(ObsExpose, ExporterWritesPeriodicallyAndFlushesOnStop) {
+  obs::set_mode(obs::Mode::kSummary);
+  obs::reset();
+  obs::Registry::global().counter("exp.exporter").add(1);
+  obs::ExposeSpec spec;
+  spec.format = obs::ExpositionFormat::kJsonl;
+  spec.path = ::testing::TempDir() + "varpred_test_exporter.jsonl";
+  spec.period = std::chrono::milliseconds(10);
+  std::remove(spec.path.c_str());
+
+  EXPECT_FALSE(obs::exporter_running());
+  ASSERT_TRUE(obs::exporter_start(spec));
+  EXPECT_TRUE(obs::exporter_running());
+  EXPECT_FALSE(obs::exporter_start(spec)) << "one exporter per process";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (obs::exporter_write_count() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  obs::exporter_stop();
+  EXPECT_FALSE(obs::exporter_running());
+
+  std::ifstream in(spec.path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NO_THROW(obs::json::parse(line));
+  }
+  // Start probe + >=2 periodic ticks + final flush on stop.
+  EXPECT_GE(lines, 4u);
+  EXPECT_EQ(lines, obs::exporter_write_count());
+  // A bad path fails at start, not in the background.
+  obs::ExposeSpec bad = spec;
+  bad.path = ::testing::TempDir() + "no/such/dir/exporter.jsonl";
+  EXPECT_FALSE(obs::exporter_start(bad));
+  EXPECT_FALSE(obs::exporter_running());
+  std::remove(spec.path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry compat readers (schema v1 / v2 / v3)
+
+#ifndef VARPRED_TEST_DATA_DIR
+#define VARPRED_TEST_DATA_DIR "tests/data"
+#endif
+
+TEST(ObsTelemetry, LoadsV1FixtureAsSingleSamples) {
+  const auto t = obs::load_bench_telemetry(std::string(VARPRED_TEST_DATA_DIR) +
+                                           "/telemetry_v1.json");
+  EXPECT_EQ(t.schema_version, 1);
+  EXPECT_EQ(t.bench, "fixture_v1");
+  EXPECT_EQ(t.repeat, 1u);
+  ASSERT_EQ(t.stages.size(), 2u);
+  EXPECT_EQ(t.stages[0].name, "corpus");
+  ASSERT_EQ(t.stages[0].samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.stages[0].samples[0], 0.5);
+  EXPECT_FALSE(t.stages[0].has_quantiles);
+}
+
+TEST(ObsTelemetry, LoadsV2FixtureWithoutQuantiles) {
+  const auto t = obs::load_bench_telemetry(std::string(VARPRED_TEST_DATA_DIR) +
+                                           "/telemetry_v2.json");
+  EXPECT_EQ(t.schema_version, 2);
+  EXPECT_EQ(t.bench, "fixture_v2");
+  EXPECT_EQ(t.repeat, 4u);
+  ASSERT_EQ(t.stages.size(), 2u);
+  ASSERT_EQ(t.stages[1].samples.size(), 4u);
+  EXPECT_FALSE(t.stages[0].has_quantiles);
+  EXPECT_FALSE(t.stages[1].has_quantiles);
+}
+
+TEST(ObsTelemetry, LoadsV3FixtureWithQuantiles) {
+  const auto t = obs::load_bench_telemetry(std::string(VARPRED_TEST_DATA_DIR) +
+                                           "/telemetry_v3.json");
+  EXPECT_EQ(t.schema_version, 3);
+  EXPECT_EQ(t.bench, "fixture_v3");
+  ASSERT_EQ(t.stages.size(), 2u);
+  ASSERT_TRUE(t.stages[0].has_quantiles);
+  EXPECT_DOUBLE_EQ(t.stages[0].quantiles.p50, 0.1);
+  EXPECT_DOUBLE_EQ(t.stages[0].quantiles.p90, 0.11);
+  ASSERT_TRUE(t.stages[1].has_quantiles);
+  EXPECT_DOUBLE_EQ(t.stages[1].quantiles.p50, 0.205);
+  EXPECT_DOUBLE_EQ(t.stages[1].quantiles.p999, 0.21);
+}
+
+TEST(ObsTelemetry, RejectsPartialQuantileSets) {
+  const std::string doc =
+      "{\"schema_version\":3,\"bench\":\"b\",\"stages\":"
+      "[{\"name\":\"s\",\"samples\":[0.1],\"p50\":0.1,\"p90\":0.1}]}";
+  EXPECT_THROW(obs::parse_bench_telemetry(obs::json::parse(doc)),
+               std::invalid_argument);
+  const std::string bad_type =
+      "{\"schema_version\":3,\"bench\":\"b\",\"stages\":"
+      "[{\"name\":\"s\",\"samples\":[0.1],\"p50\":0.1,\"p90\":0.1,"
+      "\"p99\":\"x\",\"p999\":0.1}]}";
+  EXPECT_THROW(obs::parse_bench_telemetry(obs::json::parse(bad_type)),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+// prof_report: renders the collapsed-stack output of the sampling profiler
+// (obs/profiler.hpp; "outer;inner;leaf COUNT" lines, "(idle) N" for
+// samples with no open span).
+//
+//   prof_report [--top=N] [--svg=PATH] <profile.collapsed>
+//
+// Prints a top-N table of frames ranked by self samples (samples where the
+// frame was the innermost open span) alongside total samples (frame
+// anywhere on the stack), and with --svg writes a self-contained flamegraph
+// SVG (no external scripts or fonts). Exit code 0 on a report with at
+// least one attributed sample, 1 when the profile is empty or malformed,
+// 2 on usage errors. CI uses the exit code to assert the profiler smoke
+// run actually captured stacks.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct FrameStat {
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+
+struct Profile {
+  std::uint64_t samples = 0;  ///< attributed (non-idle) samples
+  std::uint64_t idle = 0;
+  /// stack string -> count, insertion order preserved for the flamegraph.
+  std::vector<std::pair<std::vector<std::string>, std::uint64_t>> stacks;
+  std::map<std::string, FrameStat> frames;
+};
+
+std::vector<std::string> split_stack(const std::string& text) {
+  std::vector<std::string> frames;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t semi = text.find(';', start);
+    if (semi == std::string::npos) {
+      frames.push_back(text.substr(start));
+      break;
+    }
+    frames.push_back(text.substr(start, semi - start));
+    start = semi + 1;
+  }
+  return frames;
+}
+
+bool parse_profile(std::istream& in, Profile& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      std::fprintf(stderr, "prof_report: malformed line: %s\n", line.c_str());
+      return false;
+    }
+    char* end = nullptr;
+    const std::uint64_t count =
+        std::strtoull(line.c_str() + space + 1, &end, 10);
+    if (end == line.c_str() + space + 1 || *end != '\0' || count == 0) {
+      std::fprintf(stderr, "prof_report: bad sample count: %s\n",
+                   line.c_str());
+      return false;
+    }
+    const std::string stack = line.substr(0, space);
+    if (stack == "(idle)") {
+      out.idle += count;
+      continue;
+    }
+    std::vector<std::string> frames = split_stack(stack);
+    if (frames.empty() || frames.front().empty()) {
+      std::fprintf(stderr, "prof_report: empty frame in: %s\n", line.c_str());
+      return false;
+    }
+    out.samples += count;
+    out.frames[frames.back()].self += count;
+    // total counts each frame once per stack, even under recursion.
+    std::vector<std::string> seen;
+    for (const std::string& f : frames) {
+      if (std::find(seen.begin(), seen.end(), f) == seen.end()) {
+        out.frames[f].total += count;
+        seen.push_back(f);
+      }
+    }
+    out.stacks.emplace_back(std::move(frames), count);
+  }
+  return true;
+}
+
+void print_table(const Profile& p, std::size_t top_n) {
+  std::printf("[prof] %llu samples across %zu stacks (%llu idle)\n",
+              static_cast<unsigned long long>(p.samples), p.stacks.size(),
+              static_cast<unsigned long long>(p.idle));
+  std::vector<std::pair<std::string, FrameStat>> rows(p.frames.begin(),
+                                                      p.frames.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.self != b.second.self) return a.second.self > b.second.self;
+    if (a.second.total != b.second.total) {
+      return a.second.total > b.second.total;
+    }
+    return a.first < b.first;
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+  std::printf("%7s %7s %8s %8s  %s\n", "self%", "total%", "self", "total",
+              "frame");
+  const double denom = p.samples == 0 ? 1.0 : static_cast<double>(p.samples);
+  for (const auto& [name, stat] : rows) {
+    std::printf("%6.1f%% %6.1f%% %8llu %8llu  %s\n",
+                100.0 * static_cast<double>(stat.self) / denom,
+                100.0 * static_cast<double>(stat.total) / denom,
+                static_cast<unsigned long long>(stat.self),
+                static_cast<unsigned long long>(stat.total), name.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flamegraph SVG: a trie over the stacks, one <rect> per node, width
+// proportional to sample count. Deterministic output (colors hash off the
+// frame name) so repeated runs diff cleanly.
+
+struct TrieNode {
+  std::string name;
+  std::uint64_t count = 0;  ///< samples passing through this node
+  std::vector<std::unique_ptr<TrieNode>> children;
+
+  TrieNode* child(const std::string& frame) {
+    for (auto& c : children) {
+      if (c->name == frame) return c.get();
+    }
+    children.push_back(std::make_unique<TrieNode>());
+    children.back()->name = frame;
+    return children.back().get();
+  }
+};
+
+std::size_t trie_depth(const TrieNode& node) {
+  std::size_t deepest = 0;
+  for (const auto& c : node.children) {
+    deepest = std::max(deepest, trie_depth(*c));
+  }
+  return deepest + 1;
+}
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Warm flame palette, deterministic per frame name (FNV-1a).
+std::string frame_color(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  const int r = 205 + static_cast<int>(h % 50);
+  const int g = 80 + static_cast<int>((h >> 8) % 110);
+  const int b = static_cast<int>((h >> 16) % 55);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+void emit_node(std::ostream& out, const TrieNode& node, double x,
+               double width, std::size_t depth, double total_height,
+               double row_height, double px_per_sample) {
+  const double y = total_height - static_cast<double>(depth + 1) * row_height;
+  out << "<g><title>" << xml_escape(node.name) << " (" << node.count
+      << " samples)</title>"
+      << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << width
+      << "\" height=\"" << row_height - 1 << "\" fill=\""
+      << frame_color(node.name) << "\" rx=\"2\"/>";
+  // Label only when the box plausibly fits ~7px/char of text.
+  if (width > static_cast<double>(node.name.size()) * 7.0 + 4.0) {
+    out << "<text x=\"" << x + 3 << "\" y=\"" << y + row_height - 5
+        << "\" font-size=\"11\" font-family=\"monospace\">"
+        << xml_escape(node.name) << "</text>";
+  }
+  out << "</g>\n";
+  double child_x = x;
+  for (const auto& c : node.children) {
+    const double child_width = static_cast<double>(c->count) * px_per_sample;
+    emit_node(out, *c, child_x, child_width, depth + 1, total_height,
+              row_height, px_per_sample);
+    child_x += child_width;
+  }
+}
+
+bool write_svg(const Profile& p, const std::string& path) {
+  TrieNode root;
+  root.name = "all";
+  root.count = p.samples;
+  for (const auto& [frames, count] : p.stacks) {
+    TrieNode* node = &root;
+    for (const std::string& f : frames) {
+      node = node->child(f);
+      node->count += count;
+    }
+  }
+  constexpr double kWidth = 1200.0;
+  constexpr double kRow = 18.0;
+  const std::size_t depth = trie_depth(root);
+  const double height = static_cast<double>(depth) * kRow + 30.0;
+  const double px_per_sample =
+      p.samples == 0 ? 0.0 : kWidth / static_cast<double>(p.samples);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "prof_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << kWidth
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << kWidth << " "
+      << height << "\">\n"
+      << "<text x=\"4\" y=\"16\" font-size=\"13\" "
+         "font-family=\"monospace\">varpred profile: "
+      << p.samples << " samples</text>\n";
+  emit_node(out, root, 0.0, kWidth, 0, height, kRow, px_per_sample);
+  out << "</svg>\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t top_n = 20;
+  std::string svg_path;
+  std::string input;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--top=", 6) == 0) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(argv[i] + 6, &end, 10);
+      if (end == argv[i] + 6 || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "prof_report: bad --top value: %s\n", argv[i]);
+        return 2;
+      }
+      top_n = static_cast<std::size_t>(v);
+    } else if (std::strncmp(argv[i], "--svg=", 6) == 0) {
+      svg_path = argv[i] + 6;
+    } else if (input.empty() && argv[i][0] != '-') {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--top=N] [--svg=PATH] <profile.collapsed>\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--top=N] [--svg=PATH] <profile.collapsed>\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "prof_report: cannot open %s\n", input.c_str());
+    return 2;
+  }
+  Profile profile;
+  if (!parse_profile(in, profile)) return 1;
+  if (profile.samples == 0) {
+    std::fprintf(stderr, "prof_report: %s holds no attributed samples\n",
+                 input.c_str());
+    return 1;
+  }
+  print_table(profile, top_n);
+  if (!svg_path.empty()) {
+    if (!write_svg(profile, svg_path)) return 2;
+    std::printf("[prof] flamegraph -> %s\n", svg_path.c_str());
+  }
+  return 0;
+}

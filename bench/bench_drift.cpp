@@ -1,0 +1,751 @@
+// Drift observatory harness: replays multi-day simulated fleet traces and
+// measures the online drift detector end to end.
+//
+// A fleet system (default: the virtualized cloud guest) runs a handful of
+// monitored applications continuously. Runs stream into src/stream/
+// ingestion state (tumbling runtime windows + online profiles); each closed
+// window's prediction error (PIT values of the measured runtimes under the
+// deployed predicted distribution) is compared against a frozen reference
+// window by obs::DriftDetector. Three refit policies replay the same trace:
+//
+//   never     -- deploy once, never refit (the baseline the paper implies)
+//   periodic  -- refit every kPeriodicWindows windows regardless of state
+//   on_shift  -- refit when the detector reports `shifted`
+//
+// On the cloud system the initial deployment is the use-case-2 vendor
+// model (trained intel -> cloud, predicting from intel measurements). A
+// refit scores two candidates against the retained lookback samples and
+// keeps the better: the use-case-1 local predictor fed by the *online*
+// profile of recent windows, or a direct re-estimate of the distribution
+// representation from those samples (a novel regime may have no
+// counterpart in the training corpus). Reported: detection latency vs.
+// the trace's ground-truth regime
+// change (HDR histograms in BENCH_drift.json via the metrics registry),
+// false-positive shifts on stationary streams, and accuracy-vs-refit-cost
+// per policy. The full timeline lands in a schema-validated DRIFT_*.json
+// (tools/drift_schema.json, rendered by tools/drift_report).
+//
+// Exit code: --expect=shift fails (1) unless the on_shift policy detects
+// the regime switch within --budget-windows and recovers its quality cells;
+// --expect=stationary fails (1) on any `shifted` verdict. CI smoke uses
+// both directions.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/evaluator.hpp"
+#include "measure/fleet.hpp"
+#include "obs/drift.hpp"
+#include "stream/ingest.hpp"
+
+namespace {
+
+using varpred::Rng;
+using varpred::parallel_for;
+using varpred::seed_combine;
+using varpred::stable_hash;
+namespace bench = varpred::bench;
+namespace core = varpred::core;
+namespace measure = varpred::measure;
+namespace obs = varpred::obs;
+namespace stream = varpred::stream;
+namespace json = varpred::obs::json;
+
+// Monitored applications: a spread of Table I entries (indices into
+// benchmark_table()). Detection works on any app — a 2x jitter switch
+// roughly doubles the main-mode spread and the interference mode lands
+// many sigma out — so the spread is for variety, not cherry-picking.
+constexpr std::size_t kAppIndices[] = {7, 21, 35, 49};
+constexpr std::size_t kApps = 4;
+
+constexpr double kWindowSeconds = 1800.0;  // 30-minute tumbling windows
+constexpr std::size_t kCalibrationWindows = 8;  // 4h deployment calibration
+constexpr std::size_t kPeriodicWindows = 12;    // periodic policy: 6h cadence
+constexpr std::size_t kRefitLookback = 4;       // refit profile: last 2h
+constexpr std::size_t kReconstruct = 2000;
+
+struct DriftArgs {
+  bench::HarnessArgs base;
+  std::string scenario = "neighbor";
+  std::string system = "cloud";
+  std::size_t days = 2;
+  std::size_t streams = 5;  ///< stationary-trace repeats
+  std::string expect = "none";
+  std::size_t budget_windows = 6;
+  std::size_t window_runs = 0;  ///< 0: 64 (48 under --fast)
+  /// Absolute KS tolerance for the calibration-vs-post-refit recovery
+  /// verdict. Per-window KS means fluctuate by ~0.03-0.05 at the default
+  /// window sizes (n=48-64), so 0.08 absorbs sampling noise while still
+  /// failing the never-refit baseline (which drifts by ~+0.10 under the
+  /// acceptance scenario's 2x jitter switch).
+  double recovery_tol = 0.08;
+  std::string drift_out;
+  std::uint64_t trace_seed = 7;
+
+  std::size_t runs_per_window() const {
+    if (window_runs != 0) return window_runs;
+    return base.fast ? 48 : 64;
+  }
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--fast] [--runs=N] [--repeat=N] [--obs=...] "
+      "[--scenario=neighbor|burstable|thermal|stationary] "
+      "[--system=intel|amd|arm|cloud] [--days=N] [--streams=N] "
+      "[--expect=shift|stationary|none] [--budget-windows=N] "
+      "[--window-runs=N] [--trace-seed=N] [--drift-out=PATH]\n",
+      argv0);
+  std::exit(2);
+}
+
+DriftArgs parse_args(int argc, char** argv) {
+  DriftArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      args.scenario = arg + 11;
+      measure::DriftKind kind;
+      if (!measure::parse_drift_kind(args.scenario, &kind)) usage(argv[0]);
+    } else if (std::strncmp(arg, "--system=", 9) == 0) {
+      args.system = arg + 9;
+    } else if (std::strncmp(arg, "--days=", 7) == 0) {
+      if (!bench::HarnessArgs::parse_count(arg + 7, args.days)) usage(argv[0]);
+    } else if (std::strncmp(arg, "--streams=", 10) == 0) {
+      if (!bench::HarnessArgs::parse_count(arg + 10, args.streams)) {
+        usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--expect=", 9) == 0) {
+      args.expect = arg + 9;
+      if (args.expect != "shift" && args.expect != "stationary" &&
+          args.expect != "none") {
+        usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--budget-windows=", 17) == 0) {
+      if (!bench::HarnessArgs::parse_count(arg + 17, args.budget_windows)) {
+        usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--window-runs=", 14) == 0) {
+      if (!bench::HarnessArgs::parse_count(arg + 14, args.window_runs)) {
+        usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--trace-seed=", 13) == 0) {
+      std::size_t seed = 0;
+      if (!bench::HarnessArgs::parse_count(arg + 13, seed)) usage(argv[0]);
+      args.trace_seed = seed;
+    } else if (std::strncmp(arg, "--drift-out=", 12) == 0) {
+      args.drift_out = arg + 12;
+    } else if (!args.base.consume(arg)) {
+      usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+struct TimelineRow {
+  std::size_t window = 0;
+  double t_end = 0.0;
+  std::size_t n = 0;
+  obs::DriftState state = obs::DriftState::kStable;
+  bool flagged = false;
+  double ks_pvalue = 1.0;
+  double w1 = 0.0;
+  double pred_ks = 0.0;  ///< window vs. deployed prediction (paper metric)
+};
+
+struct Detection {
+  std::string app;
+  std::size_t window = 0;
+  double t = 0.0;
+  double latency_windows = -1.0;
+  double latency_seconds = -1.0;
+};
+
+struct AppResult {
+  std::string app;
+  obs::DriftState final_state = obs::DriftState::kStable;
+  std::size_t shift_events = 0;
+  std::size_t refits = 0;
+  std::string recovery = "n/a";
+  bool recovered = true;  ///< false only when a refit failed to recover
+  std::vector<Detection> detections;
+  std::vector<TimelineRow> timeline;
+  std::vector<double> cal_ks;    ///< per-window pred-KS, calibration phase
+  std::vector<double> final_ks;  ///< per-window pred-KS after last refit
+};
+
+struct PolicyResult {
+  std::string policy;
+  std::vector<AppResult> apps;
+  std::size_t refits = 0;
+  std::size_t shift_events = 0;
+  std::size_t flagged_windows = 0;
+  double mean_pred_ks = 0.0;
+  double post_onset_pred_ks = 0.0;
+};
+
+struct TraceResult {
+  std::size_t stream = 0;
+  std::uint64_t seed = 0;
+  std::vector<double> regime_changes;
+  std::vector<PolicyResult> policies;
+};
+
+std::vector<double> normalize(std::span<const double> samples, double scale) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const double s : samples) out.push_back(s / scale);
+  return out;
+}
+
+/// Probability-integral-transform of `rel` under the deployed predicted
+/// distribution: u_i = F_pred(rel_i). A well-calibrated prediction makes
+/// the u's uniform; the detector compares their windowed distribution
+/// against the calibration reference, so model bias cancels and only
+/// *change* triggers.
+std::vector<double> pit(const std::vector<double>& sorted_pred,
+                        std::span<const double> rel) {
+  std::vector<double> u;
+  u.reserve(rel.size());
+  const double n = static_cast<double>(sorted_pred.size());
+  for (const double x : rel) {
+    const auto it =
+        std::upper_bound(sorted_pred.begin(), sorted_pred.end(), x);
+    u.push_back(static_cast<double>(it - sorted_pred.begin()) / n);
+  }
+  return u;
+}
+
+/// Mean measured runtime over window range [first, last).
+double range_mean_runtime(const stream::AppStream& app, std::size_t first,
+                          std::size_t last) {
+  varpred::stats::MomentAccumulator acc;
+  for (std::size_t w = first; w < last; ++w) {
+    if (const stream::Window* win = app.runtime_windows().find(w)) {
+      acc.merge(win->moments);
+    }
+  }
+  VARPRED_CHECK(acc.count() > 0, "window range has no runs");
+  return acc.moments().mean;
+}
+
+/// Concatenated PIT values over window range [first, last).
+std::vector<double> range_pit(const stream::AppStream& app,
+                              const std::vector<double>& sorted_pred,
+                              double scale, std::size_t first,
+                              std::size_t last) {
+  std::vector<double> out;
+  for (std::size_t w = first; w < last; ++w) {
+    if (const stream::Window* win = app.runtime_windows().find(w)) {
+      const auto u = pit(sorted_pred, normalize(win->samples, scale));
+      out.insert(out.end(), u.begin(), u.end());
+    }
+  }
+  return out;
+}
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DriftArgs args = parse_args(argc, argv);
+  // The detection-latency HDR histograms live in the metrics registry;
+  // default to summary mode (unless the user or environment said
+  // otherwise) so they land in BENCH_drift.json's metrics section.
+  if (!args.base.obs_mode && !obs::enabled()) {
+    args.base.obs_mode = obs::Mode::kSummary;
+  }
+
+  measure::DriftKind kind = measure::DriftKind::kNoisyNeighbor;
+  measure::parse_drift_kind(args.scenario, &kind);
+  const bool stationary = kind == measure::DriftKind::kStationary;
+  const std::size_t n_traces = stationary ? args.streams : 1;
+  const std::vector<std::string> policies =
+      stationary ? std::vector<std::string>{"never"}
+                 : std::vector<std::string>{"never", "periodic", "on_shift"};
+
+  const auto& system = measure::SystemModel::by_name(args.system);
+  const std::size_t windows = args.days * 48;  // 48 half-hours per day
+  const std::size_t runs_per_window = args.runs_per_window();
+  VARPRED_CHECK_ARG(windows > kCalibrationWindows + 4,
+                    "trace too short for calibration + replay");
+
+  int rc = 0;
+  bench::run_repeated("drift", args.base, [&](bench::Run& run) {
+    run.stage("corpus");
+    const auto corpus =
+        measure::build_corpus(system, args.base.runs, bench::kCorpusSeed);
+
+    run.stage("train");
+    // Local use-case-1 predictor: refits (and, off-cloud, the initial
+    // deployment) predict from a profile of the monitored app itself.
+    core::FewRunsPredictor local;
+    local.train_all(corpus);
+    // On the virtualized system the initial deployment is the use-case-2
+    // vendor artifact: trained intel -> cloud, predicting each app's cloud
+    // distribution from its intel measurements.
+    std::optional<measure::Corpus> source;
+    std::optional<core::CrossSystemPredictor> vendor;
+    if (args.system == "cloud") {
+      source = measure::build_corpus(measure::SystemModel::intel(),
+                                     args.base.runs, bench::kCorpusSeed);
+      vendor.emplace();
+      vendor->train_all(*source, corpus);
+    }
+
+    run.stage("replay");
+    std::vector<TraceResult> traces(n_traces);
+    for (std::size_t s = 0; s < n_traces; ++s) {
+      measure::FleetTraceConfig trace_cfg;
+      trace_cfg.kind = kind;
+      trace_cfg.duration_seconds =
+          static_cast<double>(args.days) * 86400.0;
+      trace_cfg.severity = 2.0;
+      trace_cfg.seed = seed_combine(args.trace_seed, s);
+      const measure::FleetSystem fleet(system, trace_cfg);
+
+      TraceResult& trace = traces[s];
+      trace.stream = s;
+      trace.seed = trace_cfg.seed;
+      trace.regime_changes.assign(fleet.regime_changes().begin(),
+                                  fleet.regime_changes().end());
+
+      // Ingest the whole trace: per-app streams fold runs into tumbling
+      // windows + online profiles. Apps are independent, so the fleet
+      // fans out across the pool; per-(app, window) seeding keeps the
+      // stream byte-identical at any worker count.
+      stream::IngestConfig icfg;
+      icfg.window_seconds = kWindowSeconds;
+      icfg.profile_window_seconds = kWindowSeconds;
+      icfg.half_life_seconds = 4.0 * kWindowSeconds;
+      stream::StreamIngestor ingest(system, kApps, icfg);
+      parallel_for(kApps, [&](std::size_t a) {
+        const auto& info = measure::benchmark_table()[kAppIndices[a]];
+        for (std::size_t w = 0; w < windows; ++w) {
+          Rng rng(seed_combine(
+              trace_cfg.seed,
+              seed_combine(stable_hash(info.full_name()), w)));
+          for (std::size_t i = 0; i < runs_per_window; ++i) {
+            const double t =
+                (static_cast<double>(w) +
+                 (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(runs_per_window)) *
+                kWindowSeconds;
+            ingest.ingest(a, t, measure::simulate_run_at(info, fleet, t, rng));
+          }
+        }
+      });
+
+      // Replay each policy over the ingested trace. (policy, app) cells
+      // are independent; detector bootstraps are seeded by detector name
+      // and quality cells are recorded serially afterwards, so the fan-out
+      // does not disturb determinism.
+      trace.policies.resize(policies.size());
+      for (PolicyResult& pr : trace.policies) pr.apps.resize(kApps);
+      parallel_for(policies.size() * kApps, [&](std::size_t cell) {
+        const std::size_t p = cell / kApps;
+        const std::size_t a = cell % kApps;
+        const std::string& policy = policies[p];
+        const auto& info = measure::benchmark_table()[kAppIndices[a]];
+        const stream::AppStream& app_stream = ingest.app(a);
+
+        AppResult result;
+        result.app = info.full_name();
+
+        // Deployment: predicted relative-time distribution + runtime scale
+        // from the calibration window.
+        Rng rng(seed_combine(
+            run.repetition_seed(),
+            seed_combine(stable_hash(policy),
+                         seed_combine(stable_hash(result.app), s))));
+        std::vector<double> predicted;
+        if (vendor) {
+          predicted = vendor->predict_distribution(
+              source->benchmarks[kAppIndices[a]], kReconstruct, rng);
+        } else {
+          const auto features =
+              app_stream.profile().features_range(0, kCalibrationWindows);
+          predicted = local.repr().reconstruct(
+              local.predict_encoded(features), kReconstruct, rng);
+        }
+        std::vector<double> sorted_pred = predicted;
+        std::sort(sorted_pred.begin(), sorted_pred.end());
+        double scale = range_mean_runtime(app_stream, 0, kCalibrationWindows);
+
+        obs::DriftDetector det(args.scenario + "." + std::to_string(s) +
+                               "." + policy + "." + result.app);
+        det.set_reference(range_pit(app_stream, sorted_pred, scale, 0,
+                                    kCalibrationWindows),
+                          kCalibrationWindows * kWindowSeconds);
+        if (!trace.regime_changes.empty()) {
+          det.note_regime_change(trace.regime_changes.front());
+        }
+
+        // Calibration-phase prediction quality: the recovery baseline.
+        for (std::size_t w = 0; w < kCalibrationWindows; ++w) {
+          const stream::Window* win = app_stream.runtime_windows().find(w);
+          if (win == nullptr) continue;
+          result.cal_ks.push_back(
+              core::score_window(normalize(win->samples, scale), predicted)
+                  .ks);
+        }
+
+        std::size_t last_refit_window = windows;  // sentinel: never
+        const auto refit = [&](std::size_t upto) {
+          const std::size_t first = upto + 1 - kRefitLookback;
+          const double new_scale =
+              range_mean_runtime(app_stream, first, upto + 1);
+          std::vector<double> rel;
+          for (std::size_t lw = first; lw < upto + 1; ++lw) {
+            const stream::Window* lwin =
+                app_stream.runtime_windows().find(lw);
+            if (lwin == nullptr) continue;
+            for (const double r : lwin->samples) {
+              rel.push_back(r / new_scale);
+            }
+          }
+          // Two refit candidates: the profile-space kNN re-prediction and
+          // a direct re-estimate of the representation from the retained
+          // lookback samples. The detector alarms precisely when the
+          // deployed shape stopped matching, and a novel regime may have
+          // no counterpart in the training corpus's neighborhood, so the
+          // measured re-estimate must be allowed to win; keep whichever
+          // better explains the lookback windows.
+          const auto features =
+              app_stream.profile().features_range(first, upto + 1);
+          auto knn = local.repr().reconstruct(
+              local.predict_encoded(features), kReconstruct, rng);
+          auto direct = local.repr().reconstruct(local.repr().encode(rel),
+                                                 kReconstruct, rng);
+          const double knn_ks = core::score_window(rel, knn).ks;
+          const double direct_ks = core::score_window(rel, direct).ks;
+          predicted = direct_ks < knn_ks ? std::move(direct) : std::move(knn);
+          sorted_pred = predicted;
+          std::sort(sorted_pred.begin(), sorted_pred.end());
+          scale = new_scale;
+          det.set_reference(
+              range_pit(app_stream, sorted_pred, scale, first, upto + 1),
+              (upto + 1) * kWindowSeconds);
+          result.refits += 1;
+          last_refit_window = upto;
+        };
+
+        for (std::size_t w = kCalibrationWindows; w < windows; ++w) {
+          const stream::Window* win = app_stream.runtime_windows().find(w);
+          if (win == nullptr) continue;
+          const auto rel = normalize(win->samples, scale);
+          const obs::DriftWindow& dwin = det.observe(
+              w, (w + 1) * kWindowSeconds, pit(sorted_pred, rel));
+
+          TimelineRow row;
+          row.window = w;
+          row.t_end = dwin.t_end;
+          row.n = dwin.n;
+          row.state = dwin.state;
+          row.flagged = dwin.flagged;
+          row.ks_pvalue = dwin.diff.ks_pvalue;
+          row.w1 = dwin.diff.w1_normalized;
+          row.pred_ks = core::score_window(rel, predicted).ks;
+          result.timeline.push_back(row);
+
+          if (policy == "on_shift" && det.state() == obs::DriftState::kShifted) {
+            refit(w);
+          } else if (policy == "periodic" &&
+                     (w - kCalibrationWindows + 1) % kPeriodicWindows == 0) {
+            refit(w);
+          }
+        }
+        result.final_state = det.state();
+        result.shift_events = det.shift_count();
+        for (const obs::DriftEvent& event : det.events()) {
+          if (event.kind != obs::DriftEvent::Kind::kShiftDetected) continue;
+          Detection d;
+          d.app = result.app;
+          d.window = event.window;
+          d.t = event.t;
+          d.latency_windows = event.latency_windows;
+          d.latency_seconds = event.latency_seconds;
+          result.detections.push_back(d);
+        }
+
+        // Recovery: per-window prediction quality after the last refit,
+        // compared cell-wise against the calibration phase.
+        if (result.refits > 0 && last_refit_window + 1 < windows) {
+          for (const TimelineRow& row : result.timeline) {
+            if (row.window > last_refit_window) {
+              result.final_ks.push_back(row.pred_ks);
+            }
+          }
+          obs::QualityDiffConfig qcfg;
+          qcfg.tolerance = args.recovery_tol;
+          obs::QualityCellKey key;
+          key.app = result.app;
+          key.systems = system.name();
+          key.repr = "stream";
+          key.model = policy;
+          key.metric = "ks";
+          const obs::CellDiff cell =
+              obs::diff_cell(key, result.cal_ks, result.final_ks, qcfg);
+          result.recovery = obs::quality_verdict_string(cell.verdict);
+          // Recovery fails only on evidence of degradation: a confirmed
+          // `degraded` verdict, or an inconclusive one whose mean shift
+          // points the worse way. (An improvement beyond tolerance with a
+          // straddling CI also reads `inconclusive`; that must not fail
+          // a gate asking "did quality come back?".)
+          result.recovered =
+              cell.verdict == obs::Verdict::kUnchanged ||
+              cell.verdict == obs::Verdict::kImproved ||
+              (cell.verdict == obs::Verdict::kInconclusive &&
+               cell.worse <= 0.0);
+        }
+
+        trace.policies[p].apps[a] = std::move(result);
+      });
+
+      // Aggregate + record quality cells serially (deterministic order).
+      const double onset = trace.regime_changes.empty()
+                               ? trace_cfg.duration_seconds
+                               : trace.regime_changes.front();
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        PolicyResult& pr = trace.policies[p];
+        pr.policy = policies[p];
+        varpred::stats::MomentAccumulator all_ks;
+        varpred::stats::MomentAccumulator post_ks;
+        for (const AppResult& app : pr.apps) {
+          pr.refits += app.refits;
+          pr.shift_events += app.shift_events;
+          for (const TimelineRow& row : app.timeline) {
+            if (row.flagged) pr.flagged_windows += 1;
+            all_ks.add(row.pred_ks);
+            if (row.t_end > onset) post_ks.add(row.pred_ks);
+          }
+          obs::QualityCellKey key;
+          key.app = app.app;
+          key.systems = system.name();
+          key.repr = "stream";
+          key.model = pr.policy;
+          key.metric = "ks";
+          key.context = n_traces > 1
+                            ? "phase=calibration,stream=" + std::to_string(s)
+                            : "phase=calibration";
+          for (const double v : app.cal_ks) {
+            obs::QualityRecorder::instance().record(key, v);
+          }
+          if (!app.final_ks.empty()) {
+            key.context = n_traces > 1
+                              ? "phase=final,stream=" + std::to_string(s)
+                              : "phase=final";
+            for (const double v : app.final_ks) {
+              obs::QualityRecorder::instance().record(key, v);
+            }
+          }
+        }
+        pr.mean_pred_ks = all_ks.count() ? all_ks.moments().mean : 0.0;
+        pr.post_onset_pred_ks =
+            post_ks.count() ? post_ks.moments().mean : 0.0;
+      }
+    }
+
+    // -------- summary, stdout report, gate decision, DRIFT document ------
+    std::size_t total_shift_events = 0;
+    bool detected = false;
+    double max_latency_windows = 0.0;
+    bool within_budget = true;
+    bool recovered = true;
+    for (const TraceResult& trace : traces) {
+      for (const PolicyResult& pr : trace.policies) {
+        total_shift_events += pr.shift_events;
+        if (pr.policy != "on_shift") continue;
+        for (const AppResult& app : pr.apps) {
+          if (app.detections.empty()) {
+            within_budget = false;
+            continue;
+          }
+          detected = true;
+          const Detection& first = app.detections.front();
+          max_latency_windows =
+              std::max(max_latency_windows, first.latency_windows);
+          if (first.latency_windows < 0.0 ||
+              first.latency_windows >
+                  static_cast<double>(args.budget_windows)) {
+            within_budget = false;
+          }
+          if (!app.recovered) recovered = false;
+        }
+      }
+    }
+
+    std::printf(
+        "[drift] scenario=%s system=%s days=%zu windows=%zu "
+        "window_runs=%zu traces=%zu\n",
+        args.scenario.c_str(), system.name().c_str(), args.days, windows,
+        runs_per_window, n_traces);
+    for (const TraceResult& trace : traces) {
+      if (!trace.regime_changes.empty()) {
+        std::printf("[drift] stream %zu: regime change at t=%.0fs (window %zu)\n",
+                    trace.stream, trace.regime_changes.front(),
+                    static_cast<std::size_t>(trace.regime_changes.front() /
+                                             kWindowSeconds));
+      }
+      for (const PolicyResult& pr : trace.policies) {
+        std::printf(
+            "[drift] stream %zu policy %-8s refits=%zu shifts=%zu "
+            "flagged=%zu meanKS=%.3f postKS=%.3f\n",
+            trace.stream, pr.policy.c_str(), pr.refits, pr.shift_events,
+            pr.flagged_windows, pr.mean_pred_ks, pr.post_onset_pred_ks);
+        for (const AppResult& app : pr.apps) {
+          for (const Detection& d : app.detections) {
+            std::printf(
+                "[drift]   %s: shifted at window %zu "
+                "(latency %.0f windows, %.0fs) recovery=%s\n",
+                app.app.c_str(), d.window, d.latency_windows,
+                d.latency_seconds, app.recovery.c_str());
+          }
+        }
+      }
+    }
+    if (stationary) {
+      std::printf("[drift] stationary false-positive shifts: %zu\n",
+                  total_shift_events);
+    } else {
+      std::printf(
+          "[drift] detected=%s max_latency=%.0f/%zu windows "
+          "within_budget=%s recovered=%s\n",
+          json_bool(detected).c_str(), max_latency_windows,
+          args.budget_windows, json_bool(within_budget).c_str(),
+          json_bool(recovered).c_str());
+    }
+
+    if (run.repetition() == 0) {
+      if (args.expect == "shift" &&
+          !(detected && within_budget && recovered)) {
+        std::fprintf(stderr,
+                     "[drift] FAIL: expected a detected shift within %zu "
+                     "windows with quality recovery\n",
+                     args.budget_windows);
+        rc = 1;
+      } else if (args.expect == "stationary" && total_shift_events != 0) {
+        std::fprintf(stderr,
+                     "[drift] FAIL: %zu shifted verdict(s) on stationary "
+                     "streams\n",
+                     total_shift_events);
+        rc = 1;
+      } else {
+        rc = 0;
+      }
+
+      // DRIFT document (schema: tools/drift_schema.json).
+      std::ostringstream doc;
+      doc << "{\"schema_version\":1"
+          << ",\"bench\":\"drift\""
+          << ",\"scenario\":\"" << json::escape(args.scenario) << "\""
+          << ",\"system\":\"" << json::escape(system.name()) << "\""
+          << ",\"git\":\"" << json::escape(VARPRED_GIT_DESCRIBE) << "\""
+          << ",\"seed\":" << args.trace_seed
+          << ",\"severity\":" << json::number(2.0)
+          << ",\"window_seconds\":" << json::number(kWindowSeconds)
+          << ",\"windows\":" << windows
+          << ",\"calibration_windows\":" << kCalibrationWindows
+          << ",\"runs_per_window\":" << runs_per_window
+          << ",\"budget_windows\":" << args.budget_windows
+          << ",\"apps\":[";
+      for (std::size_t a = 0; a < kApps; ++a) {
+        if (a) doc << ",";
+        doc << "\""
+            << json::escape(
+                   measure::benchmark_table()[kAppIndices[a]].full_name())
+            << "\"";
+      }
+      doc << "],\"traces\":[";
+      for (std::size_t t = 0; t < traces.size(); ++t) {
+        const TraceResult& trace = traces[t];
+        if (t) doc << ",";
+        doc << "{\"stream\":" << trace.stream << ",\"seed\":" << trace.seed
+            << ",\"regime_changes\":[";
+        for (std::size_t i = 0; i < trace.regime_changes.size(); ++i) {
+          if (i) doc << ",";
+          doc << json::number(trace.regime_changes[i]);
+        }
+        doc << "],\"policies\":[";
+        for (std::size_t p = 0; p < trace.policies.size(); ++p) {
+          const PolicyResult& pr = trace.policies[p];
+          if (p) doc << ",";
+          doc << "{\"policy\":\"" << json::escape(pr.policy) << "\""
+              << ",\"refits\":" << pr.refits
+              << ",\"shift_events\":" << pr.shift_events
+              << ",\"flagged_windows\":" << pr.flagged_windows
+              << ",\"mean_pred_ks\":" << json::number(pr.mean_pred_ks)
+              << ",\"post_onset_pred_ks\":"
+              << json::number(pr.post_onset_pred_ks) << ",\"detections\":[";
+          bool first_det = true;
+          for (const AppResult& app : pr.apps) {
+            for (const Detection& d : app.detections) {
+              if (!first_det) doc << ",";
+              first_det = false;
+              doc << "{\"app\":\"" << json::escape(d.app) << "\""
+                  << ",\"window\":" << d.window
+                  << ",\"t\":" << json::number(d.t)
+                  << ",\"latency_windows\":" << json::number(d.latency_windows)
+                  << ",\"latency_seconds\":" << json::number(d.latency_seconds)
+                  << "}";
+            }
+          }
+          doc << "],\"apps\":[";
+          for (std::size_t a = 0; a < pr.apps.size(); ++a) {
+            const AppResult& app = pr.apps[a];
+            if (a) doc << ",";
+            doc << "{\"app\":\"" << json::escape(app.app) << "\""
+                << ",\"final_state\":\"" << obs::to_string(app.final_state)
+                << "\",\"shift_events\":" << app.shift_events
+                << ",\"refits\":" << app.refits << ",\"recovery\":\""
+                << json::escape(app.recovery) << "\",\"timeline\":[";
+            for (std::size_t r = 0; r < app.timeline.size(); ++r) {
+              const TimelineRow& row = app.timeline[r];
+              if (r) doc << ",";
+              doc << "{\"window\":" << row.window
+                  << ",\"t_end\":" << json::number(row.t_end)
+                  << ",\"n\":" << row.n << ",\"state\":\""
+                  << obs::to_string(row.state)
+                  << "\",\"flagged\":" << json_bool(row.flagged)
+                  << ",\"ks_pvalue\":" << json::number(row.ks_pvalue)
+                  << ",\"w1\":" << json::number(row.w1)
+                  << ",\"pred_ks\":" << json::number(row.pred_ks) << "}";
+            }
+            doc << "]}";
+          }
+          doc << "]}";
+        }
+        doc << "]}";
+      }
+      doc << "],\"summary\":{\"shift_events\":" << total_shift_events
+          << ",\"detected\":" << json_bool(detected)
+          << ",\"max_latency_windows\":" << json::number(max_latency_windows)
+          << ",\"within_budget\":" << json_bool(within_budget)
+          << ",\"recovered\":" << json_bool(recovered)
+          << ",\"false_positive_shifts\":"
+          << (stationary ? total_shift_events : 0) << "}}";
+
+      const std::string path =
+          args.drift_out.empty() ? "DRIFT_drift.json" : args.drift_out;
+      std::ofstream out(path);
+      if (out) {
+        out << doc.str() << "\n";
+        std::printf("[drift] timeline -> %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "[drift] cannot write %s\n", path.c_str());
+        rc = 1;
+      }
+    }
+  });
+  return rc;
+}

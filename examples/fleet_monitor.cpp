@@ -1,0 +1,187 @@
+// Fleet monitor: stream a drifting cloud guest through the online drift
+// detector and refit the predictor when it reports a shift.
+//
+//   1. Train the use-case-1 predictor on a measurement corpus of the
+//      virtualized `cloud` system and deploy it for one monitored app.
+//   2. Replay a 1-day noisy-neighbor trace: a co-tenant arrives at a
+//      seeded time and doubles the jitter. Runs stream one window at a
+//      time into an AppStream (tumbling windows + online profile).
+//   3. Each closed window's PIT values (measured runtimes pushed through
+//      the deployed predicted CDF) are compared against the calibration
+//      reference by obs::DriftDetector; on `shifted`, the predictor is
+//      refit from the online profile of the last few windows and the
+//      reference is re-armed.
+//
+// An optional argument caps the per-benchmark run budget of the training
+// corpus (default 300): `fleet_monitor 150` is what the CI smoke step
+// runs. Everything is seeded — two runs print identical timelines.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/varpred.hpp"
+#include "measure/fleet.hpp"
+#include "obs/drift.hpp"
+#include "stream/ingest.hpp"
+
+namespace {
+
+using namespace varpred;
+
+std::vector<double> pit(const std::vector<double>& sorted_pred,
+                        const std::vector<double>& rel) {
+  std::vector<double> u;
+  u.reserve(rel.size());
+  for (const double x : rel) {
+    const auto it =
+        std::upper_bound(sorted_pred.begin(), sorted_pred.end(), x);
+    u.push_back(static_cast<double>(it - sorted_pred.begin()) /
+                static_cast<double>(sorted_pred.size()));
+  }
+  return u;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t runs = 300;
+  if (argc > 1) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || v == 0) {
+      std::fprintf(stderr, "usage: %s [runs_per_benchmark]\n", argv[0]);
+      return 2;
+    }
+    runs = static_cast<std::size_t>(v);
+  }
+
+  // 1. Train the local predictor on the virtualized guest's corpus.
+  const auto& system = measure::SystemModel::cloud();
+  std::printf("measuring cloud corpus (60 benchmarks x %zu runs)...\n", runs);
+  const auto corpus = measure::build_corpus(system, runs, /*seed=*/7);
+  core::FewRunsPredictor predictor;
+  predictor.train_all(corpus);
+
+  // 2. A 1-day noisy-neighbor trace for one monitored application.
+  measure::FleetTraceConfig trace;
+  trace.kind = measure::DriftKind::kNoisyNeighbor;
+  trace.duration_seconds = 86400.0;
+  trace.seed = 7;
+  const measure::FleetSystem fleet(system, trace);
+  const double onset = fleet.regime_changes()[0];
+  const auto& app = measure::benchmark_table()[21];
+  std::printf("monitoring %s on %s; neighbor arrives at t=%.0fs\n",
+              app.full_name().c_str(), system.name().c_str(), onset);
+
+  constexpr double kWindow = 1800.0;
+  constexpr std::size_t kRunsPerWindow = 48;
+  constexpr std::size_t kCalibration = 6;
+  constexpr std::size_t kLookback = 4;
+  const std::size_t windows =
+      static_cast<std::size_t>(trace.duration_seconds / kWindow);
+
+  stream::IngestConfig icfg;
+  icfg.window_seconds = kWindow;
+  icfg.profile_window_seconds = kWindow;
+  stream::AppStream stream_state(system, icfg);
+  obs::DriftDetector detector("fleet_monitor");
+  detector.note_regime_change(onset);
+
+  Rng run_rng(1234);
+  Rng fit_rng(4321);
+  std::vector<double> predicted;
+  std::vector<double> sorted_pred;
+  double scale = 0.0;
+  std::size_t refits = 0;
+
+  const auto deploy = [&](std::size_t first_window, std::size_t end_window) {
+    // Scale + lookback relative times from the online stream state only —
+    // no batch pass over retained history.
+    stats::MomentAccumulator acc;
+    for (std::size_t w = first_window; w < end_window; ++w) {
+      const stream::Window* win = stream_state.runtime_windows().find(w);
+      if (win != nullptr) acc.merge(win->moments);
+    }
+    scale = acc.moments().mean;
+    std::vector<double> rel;
+    for (std::size_t w = first_window; w < end_window; ++w) {
+      const stream::Window* win = stream_state.runtime_windows().find(w);
+      if (win == nullptr) continue;
+      for (const double r : win->samples) rel.push_back(r / scale);
+    }
+    // Two candidates, as in bench_drift: the profile-space kNN
+    // re-prediction, and a direct re-estimate of the representation from
+    // the retained samples (a drifted regime may have no counterpart in
+    // the training corpus). Keep whichever explains the lookback better.
+    const auto features =
+        stream_state.profile().features_range(first_window, end_window);
+    auto knn = predictor.repr().reconstruct(
+        predictor.predict_encoded(features), 2000, fit_rng);
+    auto direct = predictor.repr().reconstruct(predictor.repr().encode(rel),
+                                               2000, fit_rng);
+    predicted = core::score_window(rel, direct).ks <
+                        core::score_window(rel, knn).ks
+                    ? std::move(direct)
+                    : std::move(knn);
+    sorted_pred = predicted;
+    std::sort(sorted_pred.begin(), sorted_pred.end());
+    detector.set_reference(pit(sorted_pred, rel), end_window * kWindow);
+  };
+
+  // 3. Stream the trace window by window.
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (std::size_t i = 0; i < kRunsPerWindow; ++i) {
+      const double t =
+          (static_cast<double>(w) +
+           (static_cast<double>(i) + 0.5) / kRunsPerWindow) *
+          kWindow;
+      stream_state.observe(t, measure::simulate_run_at(app, fleet, t,
+                                                       run_rng));
+    }
+    if (w + 1 == kCalibration) {
+      deploy(0, kCalibration);
+      std::printf("calibrated on windows [0, %zu): scale=%.3fs\n",
+                  kCalibration, scale);
+      continue;
+    }
+    if (w + 1 <= kCalibration) continue;
+
+    const stream::Window* win = stream_state.runtime_windows().find(w);
+    std::vector<double> rel;
+    for (const double r : win->samples) rel.push_back(r / scale);
+    const auto& verdict =
+        detector.observe(w, (w + 1) * kWindow, pit(sorted_pred, rel));
+    const double pred_ks = core::score_window(rel, predicted).ks;
+    std::printf("window %2zu t=%6.0fs n=%2zu state=%-8s predKS=%.3f\n", w,
+                verdict.t_end, verdict.n,
+                obs::to_string(verdict.state), pred_ks);
+
+    if (detector.state() == obs::DriftState::kShifted) {
+      refits += 1;
+      deploy(w + 1 - kLookback, w + 1);
+      std::printf("  -> shifted: refit #%zu from windows [%zu, %zu)\n",
+                  refits, w + 1 - kLookback, w + 1);
+    }
+  }
+
+  std::size_t detections = 0;
+  for (const auto& event : detector.events()) {
+    if (event.kind != obs::DriftEvent::Kind::kShiftDetected) continue;
+    detections += 1;
+    if (event.latency_windows >= 0.0) {
+      std::printf(
+          "detected the regime switch %.0f windows (%.0fs) after onset\n",
+          event.latency_windows, event.latency_seconds);
+    }
+  }
+  std::printf("done: %zu windows, %zu detections, %zu refits, final "
+              "state=%s\n",
+              windows, detections, refits,
+              obs::to_string(detector.state()));
+  if (detections == 0) {
+    std::fprintf(stderr, "expected the injected neighbor to be detected\n");
+    return 1;
+  }
+  return 0;
+}

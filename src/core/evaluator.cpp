@@ -105,6 +105,15 @@ std::vector<double> predict_held_out_cross_system(
                                         options.n_reconstruct, rng);
 }
 
+WindowScore score_window(std::span<const double> measured,
+                         std::span<const double> predicted) {
+  WindowScore score;
+  score.ks = stats::ks_statistic(measured, predicted);
+  score.wasserstein1 = stats::wasserstein1_normalized(measured, predicted);
+  score.overlap = stats::overlap_coefficient(measured, predicted);
+  return score;
+}
+
 EvalResult evaluate_few_runs(const measure::Corpus& corpus,
                              const FewRunsConfig& config,
                              const EvalOptions& options) {
@@ -128,10 +137,13 @@ EvalResult evaluate_few_runs(const measure::Corpus& corpus,
     const auto predicted =
         predict_held_out_few_runs(corpus, b, config, options, cache.get());
     const auto measured = corpus.benchmarks[b].relative_times();
-    result.ks[b] = stats::ks_statistic(measured, predicted);
     if (record_quality) {
-      w1[b] = stats::wasserstein1_normalized(measured, predicted);
-      overlap[b] = stats::overlap_coefficient(measured, predicted);
+      const WindowScore score = score_window(measured, predicted);
+      result.ks[b] = score.ks;
+      w1[b] = score.wasserstein1;
+      overlap[b] = score.overlap;
+    } else {
+      result.ks[b] = stats::ks_statistic(measured, predicted);
     }
     result.benchmark_names[b] =
         measure::benchmark_table()[corpus.benchmarks[b].benchmark].full_name();
@@ -168,10 +180,13 @@ EvalResult evaluate_cross_system(const measure::Corpus& source,
     const auto predicted = predict_held_out_cross_system(
         source, target, b, config, options, cache.get());
     const auto measured = target.benchmarks[b].relative_times();
-    result.ks[b] = stats::ks_statistic(measured, predicted);
     if (record_quality) {
-      w1[b] = stats::wasserstein1_normalized(measured, predicted);
-      overlap[b] = stats::overlap_coefficient(measured, predicted);
+      const WindowScore score = score_window(measured, predicted);
+      result.ks[b] = score.ks;
+      w1[b] = score.wasserstein1;
+      overlap[b] = score.overlap;
+    } else {
+      result.ks[b] = stats::ks_statistic(measured, predicted);
     }
     result.benchmark_names[b] =
         measure::benchmark_table()[source.benchmarks[b].benchmark]

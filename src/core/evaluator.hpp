@@ -7,6 +7,7 @@
 // are what the paper's violin plots (Figs. 4, 6, 7, 8) summarize.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,19 @@ namespace varpred::core {
 
 struct FewRunsEvalCache;
 struct CrossSystemEvalCache;
+
+/// The three paper metrics for one measured-vs-predicted sample pair.
+/// Shared by the LOGO-CV fold loops and the streaming drift harness, which
+/// scores each closed window of live measurements against the deployed
+/// prediction with exactly the evaluation-time metrics.
+struct WindowScore {
+  double ks = 1.0;           ///< two-sample KS statistic (0 = perfect)
+  double wasserstein1 = 0.0; ///< normalized 1-Wasserstein distance
+  double overlap = 0.0;      ///< overlap coefficient (1 = perfect)
+};
+
+WindowScore score_window(std::span<const double> measured,
+                         std::span<const double> predicted);
 
 /// Per-benchmark KS scores for one configuration.
 struct EvalResult {

@@ -21,7 +21,12 @@ const BenchmarkRuns& Corpus::runs_of(const std::string& full_name) const {
 
 RunRecord simulate_run(const BenchmarkInfo& bench, const SystemModel& system,
                        Rng& rng) {
-  const auto mixture = system.runtime_distribution(bench);
+  return simulate_run(bench, system, SystemCondition{}, rng);
+}
+
+RunRecord simulate_run(const BenchmarkInfo& bench, const SystemModel& system,
+                       const SystemCondition& cond, Rng& rng) {
+  const auto mixture = system.runtime_distribution(bench, cond);
   RunRecord run;
   run.runtime_seconds = mixture.sample(rng, &run.mode);
   VARPRED_CHECK(run.runtime_seconds > 0.0, "non-positive simulated runtime");

@@ -1,0 +1,90 @@
+// Longitudinal fleet simulation: a machine observed over days, whose
+// operating condition drifts or regime-switches with simulated time.
+//
+// The paper predicts a distribution from a one-shot profile; real fleets
+// drift (Costello & Bhatele, arXiv 2007.03451; Baresi et al., arXiv
+// 2309.11959 document cloud VMs switching variability regimes over hours).
+// A FleetSystem wraps a SystemModel with a deterministic, seeded trajectory
+// of SystemCondition over time:
+//
+//   * kStationary    -- the neutral condition forever (false-positive floor)
+//   * kNoisyNeighbor -- a co-tenant arrives at a seeded time and stays:
+//                       jitter doubles (severity x) and an interference
+//                       mode appears. The canonical regime *switch*.
+//   * kBurstable     -- a burstable instance exhausts its CPU credits at a
+//                       seeded time, then cycles between throttled and
+//                       recovery phases (speed drop + elevated jitter).
+//   * kThermalRamp   -- a slow, smooth ramp toward severity x jitter as the
+//                       machine heats: drift without a sharp switch.
+//
+// Everything is a pure function of (seed, time): replaying a trace twice,
+// or from two threads, yields byte-identical runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "measure/corpus.hpp"
+#include "measure/system_model.hpp"
+
+namespace varpred::measure {
+
+enum class DriftKind {
+  kStationary,
+  kNoisyNeighbor,
+  kBurstable,
+  kThermalRamp,
+};
+
+const char* to_string(DriftKind kind);
+
+/// Parses "stationary" / "neighbor" / "burstable" / "thermal".
+/// Returns false on unknown names.
+bool parse_drift_kind(const std::string& name, DriftKind* out);
+
+struct FleetTraceConfig {
+  DriftKind kind = DriftKind::kNoisyNeighbor;
+  double duration_seconds = 2.0 * 86400.0;  ///< trace length (2 days)
+  /// Jitter multiplier at full effect. The acceptance scenario is a 2x
+  /// jitter regime switch, so 2.0 is the default.
+  double severity = 2.0;
+  std::uint64_t seed = 7;
+};
+
+/// A machine plus its condition trajectory over simulated time.
+class FleetSystem {
+ public:
+  FleetSystem(const SystemModel& system, FleetTraceConfig config);
+
+  const SystemModel& system() const { return *system_; }
+  const FleetTraceConfig& config() const { return config_; }
+
+  /// Operating condition at simulated time `t` (seconds from trace start).
+  /// Deterministic; neutral outside the drift episodes.
+  SystemCondition condition_at(double t) const;
+
+  /// Ground truth for the harness: simulated times at which the variability
+  /// regime materially changes (neighbor arrival, credit exhaustion,
+  /// thermal-ramp onset). Empty for stationary traces. Detection latency
+  /// is measured from these.
+  std::span<const double> regime_changes() const { return regime_changes_; }
+
+ private:
+  const SystemModel* system_;
+  FleetTraceConfig config_;
+  std::vector<double> regime_changes_;
+  // Derived, seeded episode geometry.
+  double onset_ = 0.0;        ///< arrival / exhaustion / ramp-onset time
+  double ramp_seconds_ = 0.0; ///< thermal ramp length
+  double cycle_seconds_ = 0.0;     ///< burstable throttle cycle period
+  double throttled_seconds_ = 0.0; ///< throttled fraction of each cycle
+};
+
+/// Simulates one run at simulated time `t` on a fleet system, under the
+/// condition in force at `t`. `rng` supplies all run-level randomness.
+RunRecord simulate_run_at(const BenchmarkInfo& bench, const FleetSystem& fleet,
+                          double t, Rng& rng);
+
+}  // namespace varpred::measure

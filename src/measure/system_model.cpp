@@ -134,6 +134,11 @@ void SystemModel::build_counter_models() {
 
 rngdist::Mixture SystemModel::runtime_distribution(
     const BenchmarkInfo& bench) const {
+  return runtime_distribution(bench, SystemCondition{});
+}
+
+rngdist::Mixture SystemModel::runtime_distribution(
+    const BenchmarkInfo& bench, const SystemCondition& cond) const {
   const auto traits = bench.traits;
   // Structural randomness comes in two layers. The *shared* layer is seeded
   // by the benchmark alone: the same application carries its character (its
@@ -146,10 +151,12 @@ rngdist::Mixture SystemModel::runtime_distribution(
                        stable_hash(bench.full_name() + "/shape")));
 
   // Machine-specific mean runtime: faster machines shrink it; memory-bound
-  // codes see less benefit.
-  const double speed =
-      speed_factor_ * (1.0 + 0.25 * (traits.compute - 0.5) -
-                       0.15 * (traits.memory - 0.5));
+  // codes see less benefit. The condition's speed scale models throttling
+  // (burstable instances out of CPU credit, thermal capping); multiplying
+  // by the neutral 1.0 is exact, so the unconditioned path is unchanged.
+  const double speed = (speed_factor_ * cond.speed_scale) *
+                       (1.0 + 0.25 * (traits.compute - 0.5) -
+                        0.15 * (traits.memory - 0.5));
   const double base = bench.base_runtime_seconds / speed;
 
   // Coefficient of variation of the main mode. Synchronization dominates
@@ -163,13 +170,15 @@ rngdist::Mixture SystemModel::runtime_distribution(
   // KS of 0.236 reflects exactly this.
   const double structural = std::exp(0.35 * (shared.uniform() - 0.5) +
                                      1.10 * (sys.uniform() - 0.5));
+  // The cv cap stretches with the jitter scale so a conditioned 2x regime
+  // switch stays visible even for benchmarks already near the neutral cap.
   const double cv = std::clamp(
-      jitter_base_ *
+      (jitter_base_ * cond.jitter_scale) *
           (0.05 + 2.2 * traits.sync * traits.sync +
            0.5 * traits.phases * traits.sync + 0.25 * traits.memory *
                                                    traits.sync) *
           structural,
-      0.0005, 0.08);
+      0.0005, 0.08 * std::max(1.0, cond.jitter_scale));
   const double sigma = base * cv;
 
   std::vector<Component> components;
@@ -229,14 +238,32 @@ rngdist::Mixture SystemModel::runtime_distribution(
   // machine-specific factor.
   if (traits.iogc > 0.35) {
     const double tail_weight = std::clamp(
-        (0.03 + 0.12 * traits.iogc) * tail_factor_ *
+        (0.03 + 0.12 * traits.iogc) * (tail_factor_ * cond.tail_scale) *
             std::exp(0.80 * (sys.uniform() - 0.5)),
-        0.01, 0.18);
+        0.01, 0.18 * std::max(1.0, cond.tail_scale));
     const double tail_scale = base * std::max(cv, 0.004) *
-                              (0.8 + 2.2 * traits.iogc) * tail_factor_;
+                              (0.8 + 2.2 * traits.iogc) *
+                              (tail_factor_ * cond.tail_scale);
     components.push_back(Component{Family::kGamma, tail_weight,
                                    /*shape=*/2.0, tail_scale,
                                    /*shift=*/base, /*scale=*/1.0});
+  }
+
+  // Co-tenant interference: a noisy neighbor stealing cache and memory
+  // bandwidth creates a displaced slow mode whose weight and offset grow
+  // with pressure. The geometry draws are machine x application specific
+  // but come strictly *after* every baseline draw, so a neutral condition
+  // leaves the draw sequence (and thus all ledgers) untouched.
+  if (cond.interference > 0.0) {
+    const double pressure = std::clamp(cond.interference, 0.0, 1.0);
+    const double gap = (2.0 + 6.0 * sys.uniform()) * (0.5 + pressure) *
+                       std::max(cv, 0.004) * base;
+    const double weight = std::clamp(
+        (0.08 + 0.30 * pressure) * std::exp(0.40 * (sys.uniform() - 0.5)),
+        0.02, 0.45);
+    components.push_back(Component{Family::kNormal, weight, base + gap,
+                                   sigma * (1.0 + 1.5 * pressure), 0.0,
+                                   1.0});
   }
 
   return Mixture(std::move(components));
@@ -290,15 +317,30 @@ const SystemModel& SystemModel::arm() {
   return model;
 }
 
+const SystemModel& SystemModel::cloud() {
+  static const SystemModel model("cloud", &cloud_metrics(),
+                                 /*numa_factor=*/0.55,
+                                 /*jitter_base=*/0.016,
+                                 /*tail_factor=*/1.30,
+                                 /*speed_factor=*/0.85);
+  return model;
+}
+
 const SystemModel& SystemModel::by_name(const std::string& name) {
   if (name == "intel") return intel();
   if (name == "amd") return amd();
   if (name == "arm") return arm();
+  if (name == "cloud") return cloud();
   VARPRED_CHECK_ARG(false, "unknown system: " + name);
 }
 
 std::span<const SystemModel* const> SystemModel::all_systems() {
   static const SystemModel* const systems[] = {&intel(), &amd(), &arm()};
+  return systems;
+}
+
+std::span<const SystemModel* const> SystemModel::virtual_systems() {
+  static const SystemModel* const systems[] = {&cloud()};
   return systems;
 }
 

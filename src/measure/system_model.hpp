@@ -33,6 +33,25 @@ struct CounterModel {
   double mode_exponent = 0.0;   ///< coupling to the drawn performance mode
 };
 
+/// Operating condition of a machine at a point in simulated time (drift
+/// observatory). The defaults are the neutral condition, and with them
+/// `runtime_distribution(bench, cond)` is byte-identical to the
+/// unconditioned overload — quality ledgers and perf baselines therefore
+/// cannot move unless a caller opts into non-neutral conditions.
+struct SystemCondition {
+  double jitter_scale = 1.0;  ///< multiplies the machine's base jitter
+  double tail_scale = 1.0;    ///< multiplies heavy-tail weight and scale
+  double speed_scale = 1.0;   ///< multiplies machine speed (<1: throttled)
+  /// Co-tenant pressure in [0, 1]; > 0 adds a displaced interference mode
+  /// (a noisy neighbor stealing cache/memory bandwidth).
+  double interference = 0.0;
+
+  bool neutral() const {
+    return jitter_scale == 1.0 && tail_scale == 1.0 && speed_scale == 1.0 &&
+           interference == 0.0;
+  }
+};
+
 /// A simulated evaluation machine.
 class SystemModel {
  public:
@@ -45,11 +64,21 @@ class SystemModel {
   /// clock jitter, but the strongest tail amplification (aggressive
   /// power-state transitions).
   static const SystemModel& arm();
-  /// Lookup by name ("intel" / "amd" / "arm").
+  /// Extension (drift observatory): a virtualized cloud guest on
+  /// Intel-like silicon behind a hypervisor — moderate NUMA visibility,
+  /// the highest baseline jitter of any system (vCPU scheduling), a
+  /// pronounced tail, and a reduced effective speed. Deliberately *not*
+  /// part of all_systems(): the paper-reproduction matrix stays
+  /// {intel, amd, arm}; see virtual_systems().
+  static const SystemModel& cloud();
+  /// Lookup by name ("intel" / "amd" / "arm" / "cloud").
   static const SystemModel& by_name(const std::string& name);
 
-  /// All built-in systems.
+  /// The paper-matrix systems ({intel, amd, arm}).
   static std::span<const SystemModel* const> all_systems();
+  /// Virtualized systems (currently just cloud), kept out of the paper
+  /// matrix so existing evaluation sweeps and ledgers are unaffected.
+  static std::span<const SystemModel* const> virtual_systems();
 
   const std::string& name() const { return name_; }
   const std::vector<MetricInfo>& metrics() const { return *metrics_; }
@@ -58,6 +87,14 @@ class SystemModel {
   /// Ground-truth runtime mixture (in seconds) for a benchmark on this
   /// system. Deterministic per (system, benchmark).
   rngdist::Mixture runtime_distribution(const BenchmarkInfo& bench) const;
+
+  /// Ground-truth runtime mixture under an operating condition: jitter,
+  /// tail, and speed are scaled and co-tenant interference may add a
+  /// displaced mode. Deterministic per (system, benchmark, condition);
+  /// a neutral condition reproduces `runtime_distribution(bench)` exactly
+  /// (bit-identical draws and arithmetic).
+  rngdist::Mixture runtime_distribution(const BenchmarkInfo& bench,
+                                        const SystemCondition& cond) const;
 
   /// Expected per-second counter rates for a run of `bench` that drew
   /// mixture component `mode` (mode_ratio = component mean / mixture mean).

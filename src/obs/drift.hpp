@@ -1,0 +1,148 @@
+// Online drift detection over windowed sample streams.
+//
+// The quality-verdict machinery turned "did this change make predictions
+// worse?" into a gated CI question; the drift detector turns the same
+// two-sample kernels into a *runtime* question: "has the world this
+// predictor was fitted to shifted?". Each closed window of observations
+// (runtimes, prediction errors, PIT values — the detector is agnostic) is
+// compared against a frozen reference window with the exact verdict kernel
+// of regression.hpp: two-sample KS significance + normalized-Wasserstein
+// effect-size floor + seeded bootstrap CI. A window is *flagged* when the
+// distribution moved regardless of direction (drift has no good/bad sign —
+// both kRegressed and kImproved count, as does a direction-ambiguous
+// kInconclusive with significant KS + W1).
+//
+// Hysteresis turns flags into states:
+//
+//   stable --flagged--> drifting --N consecutive flags--> shifted
+//   drifting/shifted --M consecutive quiet windows--> stable
+//
+// so a single noisy window never reports a shift, and a transient episode
+// (a neighbor that leaves) clears on its own. Detection events land in the
+// metrics Registry — counters, a live state gauge, and HDR histograms of
+// detection latency (windows and seconds since the last ground-truth
+// regime change, when the harness supplies one) — so live drift state
+// flows through obs/expose.hpp like every other metric.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/regression.hpp"
+
+namespace varpred::obs {
+
+enum class DriftState {
+  kStable = 0,
+  kDrifting = 1,
+  kShifted = 2,
+};
+
+const char* to_string(DriftState state);
+
+struct DriftConfig {
+  /// Two-sample verdict kernel configuration (regression.hpp). The
+  /// constructor tightens alpha to 0.005 (a drift monitor evaluates many
+  /// windows, so the per-window false-positive rate must be small) and
+  /// drops bootstrap replicates to 500 (the bootstrap only refines
+  /// direction, which drift ignores).
+  DiffConfig diff;
+  /// Windows with fewer samples than this are skipped (no state change).
+  std::size_t min_samples = 8;
+  /// Consecutive flagged windows required to report `shifted`.
+  std::size_t shift_windows = 3;
+  /// Consecutive quiet windows required to return to `stable`.
+  std::size_t clear_windows = 3;
+
+  DriftConfig() {
+    diff.alpha = 0.005;
+    diff.bootstrap_replicates = 500;
+  }
+};
+
+/// One observed window's verdict and the state after it.
+struct DriftWindow {
+  std::size_t index = 0;
+  double t_end = 0.0;
+  std::size_t n = 0;
+  StageDiff diff;          ///< full two-sample kernel output vs. reference
+  bool flagged = false;    ///< distribution moved (direction-free)
+  bool skipped = false;    ///< under min_samples; no state change
+  DriftState state = DriftState::kStable;  ///< state after this window
+};
+
+/// A notable moment on the detector's timeline.
+struct DriftEvent {
+  enum class Kind {
+    kRegimeChange,    ///< ground truth injected by the harness
+    kShiftDetected,   ///< state entered kShifted
+    kRecovered,       ///< state returned to kStable from drifting/shifted
+    kReferenceReset,  ///< refit: a new reference window was installed
+  };
+  Kind kind = Kind::kShiftDetected;
+  double t = 0.0;
+  std::size_t window = 0;
+  /// For kShiftDetected with known ground truth: windows / seconds between
+  /// the regime change and the detection. Negative when no ground truth.
+  double latency_windows = -1.0;
+  double latency_seconds = -1.0;
+};
+
+const char* to_string(DriftEvent::Kind kind);
+
+/// Detector for one monitored stream. All randomness (the bootstrap) is
+/// seeded per (detector name, window), so a replayed trace yields a
+/// byte-identical timeline.
+class DriftDetector {
+ public:
+  explicit DriftDetector(std::string name, DriftConfig config = {});
+
+  const std::string& name() const { return name_; }
+  const DriftConfig& config() const { return config_; }
+  DriftState state() const { return state_; }
+
+  /// Installs (or, on refit, replaces) the frozen reference window and
+  /// resets the hysteresis state to stable. `t` is the stream time of the
+  /// installation (recorded as a kReferenceReset event after the first
+  /// install).
+  void set_reference(std::vector<double> samples, double t);
+  bool has_reference() const { return !reference_.empty(); }
+  const std::vector<double>& reference() const { return reference_; }
+
+  /// Harness-supplied ground truth: the variability regime changed at `t`.
+  /// The next kShiftDetected event reports its latency from here.
+  void note_regime_change(double t);
+
+  /// Observes one closed window. Returns the window verdict (also appended
+  /// to timeline()).
+  const DriftWindow& observe(std::size_t index, double t_end,
+                             std::span<const double> samples);
+
+  const std::vector<DriftWindow>& timeline() const { return timeline_; }
+  const std::vector<DriftEvent>& events() const { return events_; }
+
+  std::size_t windows_observed() const { return timeline_.size(); }
+  std::size_t flagged_count() const { return flagged_count_; }
+  /// Times the detector entered kShifted.
+  std::size_t shift_count() const { return shift_count_; }
+
+ private:
+  void publish_state();
+
+  std::string name_;
+  DriftConfig config_;
+  std::vector<double> reference_;
+  DriftState state_ = DriftState::kStable;
+  std::size_t consecutive_flagged_ = 0;
+  std::size_t consecutive_quiet_ = 0;
+  bool reference_installed_ = false;
+  double pending_regime_t_ = -1.0;  ///< unmatched ground-truth change time
+  std::vector<DriftWindow> timeline_;
+  std::vector<DriftEvent> events_;
+  std::size_t flagged_count_ = 0;
+  std::size_t shift_count_ = 0;
+};
+
+}  // namespace varpred::obs

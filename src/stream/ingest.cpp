@@ -1,0 +1,153 @@
+#include "stream/ingest.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace varpred::stream {
+
+OnlineProfile::OnlineProfile(const measure::SystemModel& system,
+                             double window_seconds)
+    : system_(&system), width_(window_seconds) {
+  VARPRED_CHECK_ARG(window_seconds > 0.0,
+                    "profile window width must be positive");
+}
+
+OnlineProfile::ProfileWindow& OnlineProfile::at(std::size_t index) {
+  auto it = std::lower_bound(
+      windows_.begin(), windows_.end(), index,
+      [](const ProfileWindow& w, std::size_t i) { return w.index < i; });
+  if (it == windows_.end() || it->index != index) {
+    ProfileWindow w;
+    w.index = index;
+    w.metric_acc.resize(system_->metric_count());
+    it = windows_.insert(it, std::move(w));
+  }
+  return *it;
+}
+
+void OnlineProfile::observe(double t, const measure::RunRecord& run) {
+  VARPRED_CHECK_ARG(t >= 0.0, "stream time must be non-negative");
+  VARPRED_CHECK_ARG(run.counters.size() == system_->metric_count(),
+                    "run/system metric count mismatch");
+  VARPRED_CHECK(run.runtime_seconds > 0.0, "non-positive runtime");
+  VARPRED_OBS_COUNT("stream.profile_runs_ingested", 1);
+  ProfileWindow& w = at(static_cast<std::size_t>(t / width_));
+  w.runs += 1;
+  for (std::size_t m = 0; m < run.counters.size(); ++m) {
+    w.metric_acc[m].add(run.counters[m] / run.runtime_seconds);
+  }
+  runs_ += 1;
+}
+
+std::vector<double> OnlineProfile::features(bool include_higher_moments,
+                                            std::size_t last_windows) const {
+  VARPRED_CHECK_ARG(runs_ > 0, "online profile has seen no runs");
+  const std::size_t n_metrics = system_->metric_count();
+  const std::size_t per_metric = include_higher_moments ? 4 : 1;
+  const std::size_t first =
+      (last_windows == 0 || last_windows >= windows_.size())
+          ? 0
+          : windows_.size() - last_windows;
+
+  std::vector<double> out(n_metrics * per_metric, 0.0);
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    stats::MomentAccumulator acc;
+    for (std::size_t w = first; w < windows_.size(); ++w) {
+      acc.merge(windows_[w].metric_acc[m]);
+    }
+    const auto moments = acc.moments();
+    out[m * per_metric] = moments.mean;
+    if (include_higher_moments) {
+      out[m * per_metric + 1] = moments.stddev;
+      out[m * per_metric + 2] = moments.skewness;
+      out[m * per_metric + 3] = moments.kurtosis;
+    }
+  }
+  return out;
+}
+
+std::vector<double> OnlineProfile::features_range(
+    std::size_t first_window, std::size_t last_window,
+    bool include_higher_moments) const {
+  VARPRED_CHECK_ARG(first_window < last_window, "empty profile window range");
+  const std::size_t n_metrics = system_->metric_count();
+  const std::size_t per_metric = include_higher_moments ? 4 : 1;
+  std::vector<double> out(n_metrics * per_metric, 0.0);
+  std::size_t runs_in_range = 0;
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    stats::MomentAccumulator acc;
+    for (const ProfileWindow& w : windows_) {
+      if (w.index < first_window || w.index >= last_window) continue;
+      acc.merge(w.metric_acc[m]);
+      if (m == 0) runs_in_range += w.runs;
+    }
+    const auto moments = acc.moments();
+    out[m * per_metric] = moments.mean;
+    if (include_higher_moments) {
+      out[m * per_metric + 1] = moments.stddev;
+      out[m * per_metric + 2] = moments.skewness;
+      out[m * per_metric + 3] = moments.kurtosis;
+    }
+  }
+  VARPRED_CHECK_ARG(runs_in_range > 0, "profile window range has no runs");
+  return out;
+}
+
+void OnlineProfile::merge(const OnlineProfile& other) {
+  VARPRED_CHECK_ARG(system_ == other.system_,
+                    "cannot merge profiles of different systems");
+  VARPRED_CHECK_ARG(width_ == other.width_,
+                    "cannot merge profiles with different window widths");
+  for (const ProfileWindow& theirs : other.windows_) {
+    ProfileWindow& ours = at(theirs.index);
+    ours.runs += theirs.runs;
+    for (std::size_t m = 0; m < ours.metric_acc.size(); ++m) {
+      ours.metric_acc[m].merge(theirs.metric_acc[m]);
+    }
+  }
+  runs_ += other.runs_;
+}
+
+AppStream::AppStream(const measure::SystemModel& system,
+                     const IngestConfig& config)
+    : runtime_windows_(config.window_seconds, /*keep_samples=*/true),
+      profile_(system, config.profile_window_seconds),
+      runtime_decayed_(config.half_life_seconds) {}
+
+void AppStream::observe(double t, const measure::RunRecord& run) {
+  runtime_windows_.add(t, run.runtime_seconds);
+  runtime_decayed_.add(t, run.runtime_seconds);
+  profile_.observe(t, run);
+}
+
+void AppStream::merge(const AppStream& other) {
+  runtime_windows_.merge(other.runtime_windows_);
+  runtime_decayed_.merge(other.runtime_decayed_);
+  profile_.merge(other.profile_);
+}
+
+StreamIngestor::StreamIngestor(const measure::SystemModel& system,
+                               std::size_t n_apps,
+                               const IngestConfig& config) {
+  VARPRED_CHECK_ARG(n_apps >= 1, "need at least one application stream");
+  apps_.reserve(n_apps);
+  for (std::size_t i = 0; i < n_apps; ++i) apps_.emplace_back(system, config);
+}
+
+void StreamIngestor::ingest(std::size_t app_index, double t,
+                            const measure::RunRecord& run) {
+  VARPRED_CHECK_ARG(app_index < apps_.size(), "app index out of range");
+  apps_[app_index].observe(t, run);
+}
+
+void StreamIngestor::merge(const StreamIngestor& other) {
+  VARPRED_CHECK_ARG(apps_.size() == other.apps_.size(),
+                    "cannot merge ingestors with different app counts");
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    apps_[i].merge(other.apps_[i]);
+  }
+}
+
+}  // namespace varpred::stream

@@ -1,0 +1,129 @@
+// Streaming ingestion of per-run measurements: the online counterpart of
+// core::build_profile and the batch corpus.
+//
+// An OnlineProfile folds each run's counter vector incrementally into
+// per-metric, per-window MomentAccumulators (events per second, exactly the
+// normalization build_profile uses). A profile feature vector over the last
+// k windows is then a per-metric *merge* of window accumulators — no raw
+// runs are retained, and dropping old windows gives recency without decay
+// arithmetic. Over the same runs, features() matches build_profile up to
+// floating-point merge error.
+//
+// An AppStream bundles the three live states the drift observatory needs
+// per monitored application: the online profile (for refits), tumbling
+// runtime windows with retained samples (for two-sample drift verdicts),
+// and an exponentially-decayed runtime sketch (the live scale estimate).
+// A StreamIngestor is a fleet's worth of AppStreams. Everything merges:
+// shards processed on different ThreadPool workers combine deterministically
+// when merged in chunk order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "measure/corpus.hpp"
+#include "measure/system_model.hpp"
+#include "stream/window.hpp"
+
+namespace varpred::stream {
+
+struct IngestConfig {
+  /// Tumbling-window width for runtime samples (the drift verdict unit).
+  double window_seconds = 1800.0;
+  /// Tumbling-window width for profile state: coarser, so a refit can
+  /// merge "the last few profile windows" into one feature vector.
+  double profile_window_seconds = 4.0 * 3600.0;
+  /// Half-life of the decayed runtime sketch (the live scale estimate).
+  double half_life_seconds = 4.0 * 3600.0;
+};
+
+/// Online, windowed per-metric profile state for one application.
+class OnlineProfile {
+ public:
+  OnlineProfile(const measure::SystemModel& system, double window_seconds);
+
+  /// Folds one run's counters (normalized per second) into the window
+  /// containing `t`.
+  void observe(double t, const measure::RunRecord& run);
+
+  /// Profile feature vector over the most recent `last_windows` windows
+  /// (0 = all windows seen), laid out exactly like core::build_profile:
+  /// per metric [mean, stddev, skewness, kurtosis] (or just [mean] when
+  /// `include_higher_moments` is false).
+  std::vector<double> features(bool include_higher_moments = true,
+                               std::size_t last_windows = 0) const;
+
+  /// Profile feature vector over the absolute window-index range
+  /// [first_window, last_window) — the replay harnesses use this to build
+  /// a refit profile "as of" a point in the trace without peeking at
+  /// later data. Throws if the range contains no runs.
+  std::vector<double> features_range(std::size_t first_window,
+                                     std::size_t last_window,
+                                     bool include_higher_moments = true) const;
+
+  /// Runs folded in so far.
+  std::size_t runs() const { return runs_; }
+  std::size_t window_count() const { return windows_.size(); }
+  double window_seconds() const { return width_; }
+
+  /// Merges a shard of the same application's stream.
+  void merge(const OnlineProfile& other);
+
+ private:
+  struct ProfileWindow {
+    std::size_t index = 0;
+    std::size_t runs = 0;
+    std::vector<stats::MomentAccumulator> metric_acc;
+  };
+
+  ProfileWindow& at(std::size_t index);
+
+  const measure::SystemModel* system_;
+  double width_;
+  std::size_t runs_ = 0;
+  std::vector<ProfileWindow> windows_;  ///< sorted by index
+};
+
+/// The live streaming state of one monitored application.
+class AppStream {
+ public:
+  AppStream(const measure::SystemModel& system, const IngestConfig& config);
+
+  /// Folds one run observed at simulated time `t`.
+  void observe(double t, const measure::RunRecord& run);
+
+  const TumblingWindows& runtime_windows() const { return runtime_windows_; }
+  const OnlineProfile& profile() const { return profile_; }
+  const DecayedMoments& runtime_decayed() const { return runtime_decayed_; }
+  std::size_t runs() const { return profile_.runs(); }
+
+  void merge(const AppStream& other);
+
+ private:
+  TumblingWindows runtime_windows_;
+  OnlineProfile profile_;
+  DecayedMoments runtime_decayed_;
+};
+
+/// A fleet's worth of application streams on one system.
+class StreamIngestor {
+ public:
+  StreamIngestor(const measure::SystemModel& system, std::size_t n_apps,
+                 const IngestConfig& config = {});
+
+  std::size_t app_count() const { return apps_.size(); }
+  AppStream& app(std::size_t i) { return apps_[i]; }
+  const AppStream& app(std::size_t i) const { return apps_[i]; }
+
+  /// Folds one run of application `app_index` at time `t`.
+  void ingest(std::size_t app_index, double t,
+              const measure::RunRecord& run);
+
+  /// Merges a shard (same system, same app count, same config).
+  void merge(const StreamIngestor& other);
+
+ private:
+  std::vector<AppStream> apps_;
+};
+
+}  // namespace varpred::stream

@@ -1,0 +1,128 @@
+#include "stream/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace varpred::stream {
+
+TumblingWindows::TumblingWindows(double width_seconds, bool keep_samples)
+    : width_(width_seconds), keep_samples_(keep_samples) {
+  VARPRED_CHECK_ARG(width_seconds > 0.0, "window width must be positive");
+}
+
+Window& TumblingWindows::at(std::size_t index) {
+  auto it = std::lower_bound(
+      windows_.begin(), windows_.end(), index,
+      [](const Window& w, std::size_t i) { return w.index < i; });
+  if (it == windows_.end() || it->index != index) {
+    Window w;
+    w.index = index;
+    it = windows_.insert(it, std::move(w));
+  }
+  return *it;
+}
+
+void TumblingWindows::add(double t, double x) {
+  VARPRED_CHECK_ARG(t >= 0.0, "stream time must be non-negative");
+  const auto index = static_cast<std::size_t>(t / width_);
+  Window& w = at(index);
+  w.moments.add(x);
+  if (keep_samples_) w.samples.push_back(x);
+}
+
+void TumblingWindows::merge(const TumblingWindows& other) {
+  VARPRED_CHECK_ARG(width_ == other.width_,
+                    "cannot merge windows of different widths");
+  for (const Window& theirs : other.windows_) {
+    Window& ours = at(theirs.index);
+    ours.moments.merge(theirs.moments);
+    if (keep_samples_) {
+      ours.samples.insert(ours.samples.end(), theirs.samples.begin(),
+                          theirs.samples.end());
+    }
+  }
+}
+
+const Window* TumblingWindows::find(std::size_t index) const {
+  auto it = std::lower_bound(
+      windows_.begin(), windows_.end(), index,
+      [](const Window& w, std::size_t i) { return w.index < i; });
+  if (it == windows_.end() || it->index != index) return nullptr;
+  return &*it;
+}
+
+std::size_t TumblingWindows::total_count() const {
+  std::size_t n = 0;
+  for (const Window& w : windows_) n += w.count();
+  return n;
+}
+
+DecayedMoments::DecayedMoments(double half_life_seconds, double center)
+    : half_life_(half_life_seconds), center_(center) {
+  VARPRED_CHECK_ARG(half_life_seconds > 0.0, "half-life must be positive");
+}
+
+void DecayedMoments::advance(double t) {
+  if (t <= t_ref_) return;
+  const double decay = std::exp2(-(t - t_ref_) / half_life_);
+  s0_ *= decay;
+  s1_ *= decay;
+  s2_ *= decay;
+  s3_ *= decay;
+  s4_ *= decay;
+  t_ref_ = t;
+}
+
+void DecayedMoments::add(double t, double x) {
+  advance(t);
+  // An observation older than t_ref_ enters with the weight it would have
+  // decayed to by now.
+  const double w = t < t_ref_ ? std::exp2(-(t_ref_ - t) / half_life_) : 1.0;
+  const double d = x - center_;
+  const double d2 = d * d;
+  s0_ += w;
+  s1_ += w * d;
+  s2_ += w * d2;
+  s3_ += w * d2 * d;
+  s4_ += w * d2 * d2;
+}
+
+void DecayedMoments::merge(const DecayedMoments& other) {
+  VARPRED_CHECK_ARG(half_life_ == other.half_life_,
+                    "cannot merge sketches with different half-lives");
+  VARPRED_CHECK_ARG(center_ == other.center_,
+                    "cannot merge sketches with different centers");
+  DecayedMoments theirs = other;
+  const double t = std::max(t_ref_, theirs.t_ref_);
+  advance(t);
+  theirs.advance(t);
+  s0_ += theirs.s0_;
+  s1_ += theirs.s1_;
+  s2_ += theirs.s2_;
+  s3_ += theirs.s3_;
+  s4_ += theirs.s4_;
+}
+
+stats::Moments DecayedMoments::moments() const {
+  stats::Moments out;
+  constexpr double kMinWeight = 1e-12;
+  if (s0_ < kMinWeight) return out;
+  const double mean_d = s1_ / s0_;
+  out.mean = center_ + mean_d;
+  out.count = static_cast<std::size_t>(s0_);
+  const double m2 = s2_ / s0_ - mean_d * mean_d;
+  if (m2 <= 0.0) return out;  // stddev 0 / skew 0 / kurt 3 degenerate form
+  const double m3 =
+      s3_ / s0_ - 3.0 * mean_d * (s2_ / s0_) + 2.0 * mean_d * mean_d * mean_d;
+  const double m4 = s4_ / s0_ - 4.0 * mean_d * (s3_ / s0_) +
+                    6.0 * mean_d * mean_d * (s2_ / s0_) -
+                    3.0 * mean_d * mean_d * mean_d * mean_d;
+  out.stddev = std::sqrt(m2);
+  out.skewness = m3 / (m2 * out.stddev);
+  out.kurtosis = m4 / (m2 * m2);
+  return out;
+}
+
+}  // namespace varpred::stream

@@ -1,0 +1,112 @@
+// Windowed streaming state: the primitives that let profiles and error
+// distributions be maintained *online* instead of rebuilt per batch.
+//
+// Two window flavors (the classic pair from streaming telemetry):
+//
+//   * TumblingWindows -- fixed-width, non-overlapping windows over a
+//     timestamped scalar stream. Each window folds its values into a
+//     stats::MomentAccumulator and (optionally) retains the raw samples so
+//     downstream two-sample verdicts (KS / Wasserstein) can run on them.
+//   * DecayedMoments -- an exponentially-decayed moment sketch: one state
+//     whose effective window is the half-life. O(1) memory, no boundaries.
+//
+// Both are mergeable: shards processed by different ThreadPool workers can
+// be combined, and — merged in deterministic (chunk) order — the result is
+// independent of the worker count, matching the repo's reproducibility
+// invariant. TumblingWindows::merge is exact for moments (pairwise
+// MomentAccumulator::merge) and order-deterministic for retained samples;
+// DecayedMoments::merge decays both sides to a common reference time and
+// adds the sums, which is exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/moments.hpp"
+
+namespace varpred::stream {
+
+/// One tumbling window: [index * width, (index + 1) * width).
+struct Window {
+  std::size_t index = 0;
+  stats::MomentAccumulator moments;
+  std::vector<double> samples;  ///< retained values (empty if keep_samples off)
+
+  std::size_t count() const { return moments.count(); }
+};
+
+/// Tumbling-window fold of a timestamped scalar stream.
+class TumblingWindows {
+ public:
+  /// `width_seconds` is the window length; `keep_samples` retains raw
+  /// values per window (needed for KS/W1 verdicts on the window).
+  explicit TumblingWindows(double width_seconds, bool keep_samples = true);
+
+  double width() const { return width_; }
+
+  /// Folds one observation at time `t >= 0` into its window.
+  void add(double t, double x);
+
+  /// Merges another shard of the same stream (same width required).
+  /// Windows with equal indices are combined; an absent window on either
+  /// side acts as the empty identity. Samples append in call order, so
+  /// merging shards in a deterministic order yields deterministic windows.
+  void merge(const TumblingWindows& other);
+
+  /// Windows observed so far, in ascending index order. Windows nobody
+  /// wrote to are absent (sparse).
+  const std::vector<Window>& windows() const { return windows_; }
+
+  /// The window with `index`, or nullptr if nothing landed in it.
+  const Window* find(std::size_t index) const;
+
+  std::size_t total_count() const;
+
+ private:
+  Window& at(std::size_t index);
+
+  double width_;
+  bool keep_samples_;
+  std::vector<Window> windows_;  ///< sorted by index
+};
+
+/// Exponentially-decayed moment sketch: each observation's weight decays by
+/// half every `half_life_seconds`. Internally keeps decayed power sums of
+/// (x - center) up to fourth order; pass a `center` near the data scale
+/// (the default 0 is fine for O(1)-magnitude values such as relative
+/// runtimes) to keep the sums well-conditioned.
+class DecayedMoments {
+ public:
+  explicit DecayedMoments(double half_life_seconds, double center = 0.0);
+
+  double half_life() const { return half_life_; }
+
+  /// Decays the state to time `t` and adds `x` with weight 1. Observations
+  /// may arrive out of order; earlier-timestamped ones simply enter with
+  /// already-decayed weight.
+  void add(double t, double x);
+
+  /// Decays the state to time `t` (no observation).
+  void advance(double t);
+
+  /// Merges another sketch (same half-life and center required): both sides
+  /// are decayed to the later reference time, then the sums add. Exact and
+  /// associative up to floating-point rounding.
+  void merge(const DecayedMoments& other);
+
+  /// Total decayed weight (the "effective sample count").
+  double weight() const { return s0_; }
+
+  /// Weighted mean/stddev/skewness/kurtosis of the decayed window.
+  /// Identity values (stats::Moments{}) when the weight is ~0.
+  stats::Moments moments() const;
+
+ private:
+  double half_life_;
+  double center_;
+  double t_ref_ = 0.0;  ///< time the sums are currently decayed to
+  double s0_ = 0.0, s1_ = 0.0, s2_ = 0.0, s3_ = 0.0, s4_ = 0.0;
+};
+
+}  // namespace varpred::stream

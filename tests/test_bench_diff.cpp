@@ -5,6 +5,7 @@
 // distribution must read `unchanged`, a 2x slowdown must read `regressed`.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -150,6 +151,22 @@ TEST(BenchDiff, TailColumnsAreAdvisoryAndExact) {
   const std::string js = obs::json_report(runs);
   EXPECT_NE(js.find("\"p50_shift\":"), std::string::npos) << js;
   EXPECT_NE(js.find("\"baseline_p99\":"), std::string::npos);
+}
+
+TEST(BenchDiff, TailBlowupAloneNeverFlipsTheGateVerdict) {
+  // A single extreme outlier explodes the advisory p99 column while the
+  // body of the distribution is untouched: the gate verdict must stay
+  // `unchanged`, because tail columns are informational only.
+  const auto baseline = timing_draw(101, 24);
+  auto candidate = timing_draw(202, 24);
+  *std::max_element(candidate.begin(), candidate.end()) *= 5.0;
+  const auto d =
+      obs::diff_stage("stage", baseline, candidate, test_config());
+  ASSERT_TRUE(d.has_tails);
+  EXPECT_GT(d.p99_shift, 1.0) << "the outlier must show up in Δp99";
+  EXPECT_EQ(d.verdict, obs::Verdict::kUnchanged)
+      << "p=" << d.ks_pvalue << " w1n=" << d.w1_normalized
+      << " Δp99=" << d.p99_shift;
 }
 
 // ---------------------------------------------------------------------------

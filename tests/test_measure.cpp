@@ -6,8 +6,11 @@
 #include <cmath>
 #include <set>
 
+#include <vector>
+
 #include "measure/benchmarks.hpp"
 #include "measure/corpus.hpp"
+#include "measure/fleet.hpp"
 #include "measure/metrics_catalog.hpp"
 #include "measure/system_model.hpp"
 #include "stats/moments.hpp"
@@ -258,6 +261,157 @@ TEST(Corpus, ShapeDiversityAcrossBenchmarks) {
   EXPECT_GE(narrow, 5);
   EXPECT_GE(wide, 5);
   EXPECT_GE(tailed, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Time-varying system models: the cloud guest, conditioned distributions,
+// and the fleet condition trajectories.
+
+TEST(CloudSystem, IsAVirtualSystemNotAVendorSystem) {
+  // The UC2 vendor set stays {intel, amd, arm}; cloud rides alongside.
+  EXPECT_EQ(SystemModel::all_systems().size(), 3u);
+  const auto virt = SystemModel::virtual_systems();
+  ASSERT_EQ(virt.size(), 1u);
+  EXPECT_EQ(virt[0]->name(), "cloud");
+  EXPECT_EQ(&SystemModel::by_name("cloud"), &SystemModel::cloud());
+  EXPECT_GT(SystemModel::cloud().metric_count(), 30u);
+  // Guest-visible virtualization counters are part of the catalog.
+  bool has_steal = false;
+  for (const auto& m : cloud_metrics()) {
+    has_steal |= m.name == "steal-clock";
+  }
+  EXPECT_TRUE(has_steal);
+}
+
+TEST(SystemCondition, NeutralConditionIsBitIdenticalToLegacyPath) {
+  // The conditioned overloads multiply by exactly 1.0 on the neutral path
+  // and append no RNG draws, so runs must match the legacy API bit for
+  // bit — this is what keeps every seeded corpus in the repo unchanged.
+  const auto& system = SystemModel::intel();
+  const auto& bench = benchmark_table()[13];
+  Rng legacy_rng(99);
+  Rng cond_rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const RunRecord legacy = simulate_run(bench, system, legacy_rng);
+    const RunRecord cond =
+        simulate_run(bench, system, SystemCondition{}, cond_rng);
+    EXPECT_EQ(legacy.runtime_seconds, cond.runtime_seconds);
+    EXPECT_EQ(legacy.mode, cond.mode);
+    EXPECT_EQ(legacy.counters, cond.counters);
+  }
+}
+
+TEST(SystemCondition, JitterScaleWidensTheDistribution) {
+  const auto& system = SystemModel::cloud();
+  const auto& bench = benchmark_table()[20];
+  SystemCondition stressed;
+  stressed.jitter_scale = 2.0;
+  stressed.interference = 0.5;
+  Rng rng_a(5);
+  Rng rng_b(5);
+  std::vector<double> neutral_times;
+  std::vector<double> stressed_times;
+  for (int i = 0; i < 400; ++i) {
+    neutral_times.push_back(
+        simulate_run(bench, system, SystemCondition{}, rng_a).runtime_seconds);
+    stressed_times.push_back(
+        simulate_run(bench, system, stressed, rng_b).runtime_seconds);
+  }
+  const auto n = stats::compute_moments(neutral_times);
+  const auto s = stats::compute_moments(stressed_times);
+  EXPECT_GT(s.stddev / s.mean, 1.5 * n.stddev / n.mean)
+      << "2x jitter + interference must visibly widen relative spread";
+}
+
+TEST(FleetSystem, NeighborTraceSwitchesRegimeDeterministically) {
+  FleetTraceConfig config;
+  config.kind = DriftKind::kNoisyNeighbor;
+  config.seed = 42;
+  const FleetSystem fleet(SystemModel::cloud(), config);
+  ASSERT_EQ(fleet.regime_changes().size(), 1u);
+  const double onset = fleet.regime_changes()[0];
+  EXPECT_GT(onset, 0.0);
+  EXPECT_LT(onset, config.duration_seconds);
+  EXPECT_TRUE(fleet.condition_at(onset * 0.5).neutral());
+  const SystemCondition after = fleet.condition_at(onset + 1.0);
+  EXPECT_DOUBLE_EQ(after.jitter_scale, config.severity);
+  EXPECT_GT(after.interference, 0.0);
+  // Still in force at the end of the trace (the neighbor stays).
+  EXPECT_FALSE(fleet.condition_at(config.duration_seconds - 1.0).neutral());
+
+  // Same (system, config) => same geometry and same simulated runs.
+  const FleetSystem again(SystemModel::cloud(), config);
+  EXPECT_EQ(fleet.regime_changes()[0], again.regime_changes()[0]);
+  Rng r1(3);
+  Rng r2(3);
+  const auto& bench = benchmark_table()[7];
+  const RunRecord a = simulate_run_at(bench, fleet, onset + 100.0, r1);
+  const RunRecord b = simulate_run_at(bench, again, onset + 100.0, r2);
+  EXPECT_EQ(a.runtime_seconds, b.runtime_seconds);
+  EXPECT_EQ(a.counters, b.counters);
+}
+
+TEST(FleetSystem, StationaryTraceStaysNeutral) {
+  FleetTraceConfig config;
+  config.kind = DriftKind::kStationary;
+  const FleetSystem fleet(SystemModel::intel(), config);
+  EXPECT_TRUE(fleet.regime_changes().empty());
+  for (double t = 0.0; t < config.duration_seconds; t += 9000.0) {
+    EXPECT_TRUE(fleet.condition_at(t).neutral()) << "t=" << t;
+  }
+}
+
+TEST(FleetSystem, ThermalRampIsSmoothAndMonotone) {
+  FleetTraceConfig config;
+  config.kind = DriftKind::kThermalRamp;
+  config.seed = 11;
+  const FleetSystem fleet(SystemModel::amd(), config);
+  ASSERT_EQ(fleet.regime_changes().size(), 1u);
+  double last = 1.0;
+  for (double t = 0.0; t <= config.duration_seconds; t += 1800.0) {
+    const double jitter = fleet.condition_at(t).jitter_scale;
+    EXPECT_GE(jitter, last - 1e-12) << "ramp must not retreat, t=" << t;
+    last = jitter;
+  }
+  EXPECT_NEAR(last, config.severity, 1e-9)
+      << "ramp must reach full severity by trace end";
+}
+
+TEST(FleetSystem, BurstableTraceCyclesAfterExhaustion) {
+  FleetTraceConfig config;
+  config.kind = DriftKind::kBurstable;
+  config.seed = 19;
+  const FleetSystem fleet(SystemModel::cloud(), config);
+  ASSERT_EQ(fleet.regime_changes().size(), 1u);
+  const double onset = fleet.regime_changes()[0];
+  EXPECT_TRUE(fleet.condition_at(onset * 0.5).neutral());
+  // After exhaustion the trace alternates: both throttled and recovery
+  // conditions must occur.
+  bool throttled = false;
+  bool recovering = false;
+  for (double t = onset; t < config.duration_seconds; t += 600.0) {
+    const SystemCondition c = fleet.condition_at(t);
+    if (c.speed_scale < 1.0) {
+      throttled = true;
+    } else {
+      recovering = true;
+    }
+  }
+  EXPECT_TRUE(throttled);
+  EXPECT_TRUE(recovering);
+}
+
+TEST(DriftKindNames, RoundTripAndRejectUnknown) {
+  DriftKind kind;
+  ASSERT_TRUE(parse_drift_kind("neighbor", &kind));
+  EXPECT_EQ(kind, DriftKind::kNoisyNeighbor);
+  ASSERT_TRUE(parse_drift_kind("stationary", &kind));
+  EXPECT_EQ(kind, DriftKind::kStationary);
+  ASSERT_TRUE(parse_drift_kind("burstable", &kind));
+  EXPECT_EQ(std::string(to_string(kind)), "burstable");
+  ASSERT_TRUE(parse_drift_kind("thermal", &kind));
+  EXPECT_EQ(kind, DriftKind::kThermalRamp);
+  EXPECT_FALSE(parse_drift_kind("volcano", &kind));
 }
 
 }  // namespace

@@ -65,6 +65,68 @@ TEST(Moments, AccumulatorMergeEqualsBatch) {
   EXPECT_NEAR(a.kurtosis, b.kurtosis, 1e-8);
 }
 
+TEST(Moments, AccumulatorMergeWithEmptyIsBitExactIdentity) {
+  Rng rng(43);
+  MomentAccumulator filled;
+  for (std::size_t i = 0; i < 100; ++i) {
+    filled.add(rngdist::gamma(rng, 2.0, 1.5));
+  }
+  const auto before = filled.moments();
+
+  // filled ∪ empty: no field may move by even one ulp — the streaming
+  // layer relies on absent windows acting as exact merge identities.
+  MomentAccumulator empty;
+  filled.merge(empty);
+  const auto after = filled.moments();
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_EQ(after.mean, before.mean);
+  EXPECT_EQ(after.stddev, before.stddev);
+  EXPECT_EQ(after.skewness, before.skewness);
+  EXPECT_EQ(after.kurtosis, before.kurtosis);
+
+  // empty ∪ filled reproduces filled bit-exactly too.
+  MomentAccumulator adopted;
+  adopted.merge(filled);
+  const auto copy = adopted.moments();
+  EXPECT_EQ(copy.count, before.count);
+  EXPECT_EQ(copy.mean, before.mean);
+  EXPECT_EQ(copy.stddev, before.stddev);
+  EXPECT_EQ(copy.skewness, before.skewness);
+  EXPECT_EQ(copy.kurtosis, before.kurtosis);
+}
+
+TEST(Moments, AccumulatorMergeIsAssociative) {
+  Rng rng(44);
+  std::vector<double> xs(3000);
+  for (auto& x : xs) x = rngdist::lognormal(rng, 0.0, 0.4);
+
+  const auto chunk = [&](std::size_t lo, std::size_t hi) {
+    MomentAccumulator acc;
+    for (std::size_t i = lo; i < hi; ++i) acc.add(xs[i]);
+    return acc;
+  };
+  const auto a = chunk(0, 700);
+  const auto b = chunk(700, 1900);
+  const auto c = chunk(1900, xs.size());
+
+  MomentAccumulator left_first = a;
+  left_first.merge(b);
+  left_first.merge(c);
+
+  MomentAccumulator right_first = b;
+  right_first.merge(c);
+  MomentAccumulator outer = a;
+  outer.merge(right_first);
+
+  const auto lm = left_first.moments();
+  const auto rm = outer.moments();
+  EXPECT_EQ(lm.count, rm.count);
+  EXPECT_NEAR(lm.mean, rm.mean, 1e-12);
+  EXPECT_NEAR(lm.stddev, rm.stddev, 1e-10);
+  EXPECT_NEAR(lm.skewness, rm.skewness, 1e-8);
+  EXPECT_NEAR(lm.kurtosis, rm.kurtosis, 1e-8);
+}
+
 TEST(Moments, MatchesNormalTheory) {
   Rng rng(1);
   MomentAccumulator acc;

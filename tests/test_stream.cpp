@@ -1,0 +1,308 @@
+// Tests for the streaming-ingestion layer: tumbling windows, decayed
+// moment sketches, the online profile (and its equivalence with the batch
+// core::build_profile), and shard-merge determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/profile.hpp"
+#include "measure/corpus.hpp"
+#include "measure/system_model.hpp"
+#include "stream/ingest.hpp"
+#include "stream/window.hpp"
+
+namespace varpred {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TumblingWindows
+
+TEST(TumblingWindows, FoldsByWindowIndexAndStaysSparse) {
+  stream::TumblingWindows w(10.0);
+  w.add(1.0, 2.0);
+  w.add(9.0, 4.0);
+  w.add(12.0, 6.0);
+  w.add(35.0, 8.0);  // window 3; window 2 never written
+  ASSERT_EQ(w.windows().size(), 3u);
+  EXPECT_EQ(w.windows()[0].index, 0u);
+  EXPECT_EQ(w.windows()[1].index, 1u);
+  EXPECT_EQ(w.windows()[2].index, 3u);
+  EXPECT_EQ(w.find(2), nullptr);
+  ASSERT_NE(w.find(0), nullptr);
+  EXPECT_EQ(w.find(0)->count(), 2u);
+  EXPECT_DOUBLE_EQ(w.find(0)->moments.moments().mean, 3.0);
+  EXPECT_EQ(w.find(0)->samples, (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(w.total_count(), 4u);
+}
+
+TEST(TumblingWindows, MergeOfTimeShardsMatchesBulkStream) {
+  Rng rng(11);
+  std::vector<std::pair<double, double>> events;
+  for (std::size_t i = 0; i < 200; ++i) {
+    events.emplace_back(rng.uniform(0.0, 100.0), rng.uniform(1.0, 2.0));
+  }
+  stream::TumblingWindows bulk(10.0);
+  for (const auto& [t, x] : events) bulk.add(t, x);
+
+  // Shard by arrival parity, then merge in a fixed order: counts match
+  // exactly, moments up to fp merge error, samples in merge order.
+  stream::TumblingWindows a(10.0);
+  stream::TumblingWindows b(10.0);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    (i % 2 == 0 ? a : b).add(events[i].first, events[i].second);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.windows().size(), bulk.windows().size());
+  for (std::size_t i = 0; i < bulk.windows().size(); ++i) {
+    EXPECT_EQ(a.windows()[i].index, bulk.windows()[i].index);
+    EXPECT_EQ(a.windows()[i].count(), bulk.windows()[i].count());
+    EXPECT_NEAR(a.windows()[i].moments.moments().mean,
+                bulk.windows()[i].moments.moments().mean, 1e-12);
+    EXPECT_NEAR(a.windows()[i].moments.moments().stddev,
+                bulk.windows()[i].moments.moments().stddev, 1e-9);
+  }
+
+  // Determinism: repeating the same shard/merge sequence is bit-identical.
+  stream::TumblingWindows a2(10.0);
+  stream::TumblingWindows b2(10.0);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    (i % 2 == 0 ? a2 : b2).add(events[i].first, events[i].second);
+  }
+  a2.merge(b2);
+  for (std::size_t i = 0; i < a.windows().size(); ++i) {
+    EXPECT_EQ(a.windows()[i].moments.moments().mean,
+              a2.windows()[i].moments.moments().mean);
+    EXPECT_EQ(a.windows()[i].samples, a2.windows()[i].samples);
+  }
+}
+
+TEST(TumblingWindows, EmptyWindowIsMergeIdentity) {
+  stream::TumblingWindows full(10.0);
+  full.add(3.0, 1.5);
+  full.add(17.0, 2.5);
+  const auto before = full.find(0)->moments.moments();
+
+  // full ∪ empty leaves every field bit-identical.
+  stream::TumblingWindows empty(10.0);
+  full.merge(empty);
+  EXPECT_EQ(full.windows().size(), 2u);
+  EXPECT_EQ(full.find(0)->moments.moments().mean, before.mean);
+  EXPECT_EQ(full.find(0)->moments.moments().stddev, before.stddev);
+
+  // empty ∪ full reproduces full bit-identically.
+  stream::TumblingWindows other(10.0);
+  other.merge(full);
+  ASSERT_EQ(other.windows().size(), full.windows().size());
+  EXPECT_EQ(other.find(0)->moments.moments().mean, before.mean);
+  EXPECT_EQ(other.find(1)->samples, full.find(1)->samples);
+}
+
+TEST(TumblingWindows, MergeRejectsMismatchedWidths) {
+  stream::TumblingWindows a(10.0);
+  stream::TumblingWindows b(20.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DecayedMoments
+
+TEST(DecayedMoments, WeightHalvesEveryHalfLife) {
+  stream::DecayedMoments d(100.0);
+  d.add(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.weight(), 1.0);
+  d.advance(100.0);
+  EXPECT_DOUBLE_EQ(d.weight(), 0.5);
+  d.advance(300.0);
+  EXPECT_DOUBLE_EQ(d.weight(), 0.125);
+}
+
+TEST(DecayedMoments, TracksRecentRegime) {
+  // Long run at 1.0, then a burst at 2.0: after a few half-lives the
+  // decayed mean should sit near the new level, unlike the flat mean.
+  stream::DecayedMoments d(10.0);
+  for (int i = 0; i < 200; ++i) d.add(static_cast<double>(i), 1.0);
+  for (int i = 200; i < 260; ++i) d.add(static_cast<double>(i), 2.0);
+  EXPECT_GT(d.moments().mean, 1.9);
+  EXPECT_LT(d.moments().mean, 2.0 + 1e-9);
+}
+
+TEST(DecayedMoments, MergeMatchesSingleStream) {
+  Rng rng(23);
+  std::vector<std::pair<double, double>> events;
+  for (std::size_t i = 0; i < 300; ++i) {
+    events.emplace_back(static_cast<double>(i), rng.uniform(0.5, 1.5));
+  }
+  stream::DecayedMoments bulk(50.0);
+  for (const auto& [t, x] : events) bulk.add(t, x);
+
+  stream::DecayedMoments a(50.0);
+  stream::DecayedMoments b(50.0);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    (i % 3 == 0 ? a : b).add(events[i].first, events[i].second);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.weight(), bulk.weight(), 1e-9);
+  EXPECT_NEAR(a.moments().mean, bulk.moments().mean, 1e-9);
+  EXPECT_NEAR(a.moments().stddev, bulk.moments().stddev, 1e-9);
+}
+
+TEST(DecayedMoments, OutOfOrderAddsEnterWithDecayedWeight) {
+  stream::DecayedMoments in_order(100.0);
+  in_order.add(0.0, 3.0);
+  in_order.add(100.0, 5.0);
+
+  stream::DecayedMoments out_of_order(100.0);
+  out_of_order.add(100.0, 5.0);
+  out_of_order.add(0.0, 3.0);  // late arrival, half-weight by now
+
+  EXPECT_NEAR(in_order.weight(), out_of_order.weight(), 1e-12);
+  EXPECT_NEAR(in_order.moments().mean, out_of_order.moments().mean, 1e-12);
+}
+
+TEST(DecayedMoments, MergeRejectsMismatchedHalfLife) {
+  stream::DecayedMoments a(10.0);
+  stream::DecayedMoments b(20.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineProfile / AppStream / StreamIngestor
+
+/// RunRecords reconstructed from a measured corpus benchmark, so the online
+/// and batch profiles see byte-identical inputs.
+std::vector<measure::RunRecord> records_of(
+    const measure::BenchmarkRuns& runs) {
+  std::vector<measure::RunRecord> out;
+  for (std::size_t r = 0; r < runs.run_count(); ++r) {
+    measure::RunRecord rec;
+    rec.runtime_seconds = runs.runtimes[r];
+    rec.mode = runs.modes[r];
+    const auto row = runs.counters.row(r);
+    rec.counters.assign(row.begin(), row.end());
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+TEST(OnlineProfile, MatchesBatchBuildProfileOverTheSameRuns) {
+  const auto& system = measure::SystemModel::intel();
+  const auto corpus = measure::build_corpus(system, 40, 7);
+  const auto& runs = corpus.benchmarks[3];
+  const auto records = records_of(runs);
+
+  stream::OnlineProfile profile(system, 3600.0);
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    profile.observe(static_cast<double>(r), records[r]);  // one window
+  }
+  EXPECT_EQ(profile.runs(), records.size());
+
+  std::vector<std::size_t> all(records.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const auto batch = core::build_profile(system, runs, all);
+  const auto online = profile.features();
+  ASSERT_EQ(online.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(online[i], batch[i], 1e-9 * (1.0 + std::abs(batch[i])))
+        << "feature " << i;
+  }
+
+  // Mean-only layout matches the ablation profile too.
+  core::ProfileOptions mean_only;
+  mean_only.include_higher_moments = false;
+  const auto batch_means = core::build_profile(system, runs, all, mean_only);
+  const auto online_means = profile.features(/*include_higher_moments=*/false);
+  ASSERT_EQ(online_means.size(), batch_means.size());
+  for (std::size_t i = 0; i < batch_means.size(); ++i) {
+    EXPECT_NEAR(online_means[i], batch_means[i],
+                1e-9 * (1.0 + std::abs(batch_means[i])));
+  }
+}
+
+TEST(OnlineProfile, FeaturesRangeSelectsWindowsAndRejectsEmptyRanges) {
+  const auto& system = measure::SystemModel::intel();
+  const auto corpus = measure::build_corpus(system, 30, 7);
+  const auto& runs = corpus.benchmarks[0];
+  const auto records = records_of(runs);
+
+  // First half in window 0, second half in window 1.
+  stream::OnlineProfile profile(system, 100.0);
+  const std::size_t half = records.size() / 2;
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    profile.observe(r < half ? 10.0 : 110.0, records[r]);
+  }
+  ASSERT_EQ(profile.window_count(), 2u);
+
+  std::vector<std::size_t> first_half(half);
+  for (std::size_t i = 0; i < half; ++i) first_half[i] = i;
+  const auto batch = core::build_profile(system, runs, first_half);
+  const auto ranged = profile.features_range(0, 1);
+  ASSERT_EQ(ranged.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(ranged[i], batch[i], 1e-9 * (1.0 + std::abs(batch[i])));
+  }
+
+  EXPECT_THROW(profile.features_range(1, 1), std::invalid_argument);
+  EXPECT_THROW(profile.features_range(5, 9), std::invalid_argument);
+}
+
+TEST(StreamIngestor, ShardMergeIsDeterministicAndMatchesSingleStream) {
+  const auto& system = measure::SystemModel::amd();
+  const auto corpus = measure::build_corpus(system, 24, 7);
+  const auto records = records_of(corpus.benchmarks[1]);
+  stream::IngestConfig config;
+  config.window_seconds = 60.0;
+  config.profile_window_seconds = 60.0;
+
+  stream::StreamIngestor bulk(system, 1, config);
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    bulk.ingest(0, static_cast<double>(r * 10), records[r]);
+  }
+
+  const auto shard_merge = [&]() {
+    std::vector<stream::StreamIngestor> shards;
+    for (std::size_t s = 0; s < 3; ++s) shards.emplace_back(system, 1, config);
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      shards[r % 3].ingest(0, static_cast<double>(r * 10), records[r]);
+    }
+    // Deterministic (chunk-order) merge, as parallel_reduce would do it.
+    stream::StreamIngestor merged(system, 1, config);
+    for (const auto& shard : shards) merged.merge(shard);
+    return merged.app(0).profile().features();
+  };
+
+  const auto once = shard_merge();
+  const auto twice = shard_merge();
+  EXPECT_EQ(once, twice) << "shard merge must be bit-deterministic";
+
+  const auto single = bulk.app(0).profile().features();
+  ASSERT_EQ(once.size(), single.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_NEAR(once[i], single[i], 1e-9 * (1.0 + std::abs(single[i])));
+  }
+}
+
+TEST(AppStream, BundlesWindowsProfileAndDecayedSketch) {
+  const auto& system = measure::SystemModel::intel();
+  const auto corpus = measure::build_corpus(system, 20, 7);
+  const auto records = records_of(corpus.benchmarks[2]);
+
+  stream::IngestConfig config;
+  config.window_seconds = 50.0;
+  config.profile_window_seconds = 100.0;
+  config.half_life_seconds = 100.0;
+  stream::AppStream app(system, config);
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    app.observe(static_cast<double>(r * 5), records[r]);
+  }
+  EXPECT_EQ(app.runs(), records.size());
+  EXPECT_EQ(app.runtime_windows().total_count(), records.size());
+  EXPECT_GT(app.runtime_decayed().weight(), 0.0);
+  ASSERT_NE(app.runtime_windows().find(0), nullptr);
+  EXPECT_EQ(app.runtime_windows().find(0)->samples.size(), 10u);
+}
+
+}  // namespace
+}  // namespace varpred

@@ -6,12 +6,17 @@
 //   obs_validate [--prefix=NAME_] <schema.json> <document.json | dir> [...]
 //
 // A directory argument expands to every <prefix>*.json inside it — the
-// prefix defaults to "BENCH_"; pass --prefix=QUALITY_ to sweep quality
-// documents instead (Chrome *.trace.json files are always skipped — they
-// follow the trace_event format, not these schemas). Every input is
-// validated — failures do not stop the run — and a pass/fail summary is
-// printed at the end. Exit code 0 when every document validates, 1 when
-// any fails, 2 on usage/schema errors or when no documents were found.
+// prefix defaults to "BENCH_"; pass --prefix=QUALITY_ or --prefix=DRIFT_
+// to sweep quality or drift-timeline documents instead (Chrome
+// *.trace.json files are always skipped — they follow the trace_event
+// format, not these schemas). Directory sweeps also police coverage: a
+// telemetry-shaped file (UPPERCASE_ prefix + .json) whose prefix is not in
+// the known-schema registry (BENCH_ / QUALITY_ / DRIFT_) is reported as a
+// failure instead of silently skipped, so a new document family cannot
+// ship without registering a schema for it. Every input is validated —
+// failures do not stop the run — and a pass/fail summary is printed at the
+// end. Exit code 0 when every document validates, 1 when any fails, 2 on
+// usage/schema errors or when no documents were found.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -139,37 +144,73 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
-bool is_telemetry_document(const std::filesystem::path& p,
-                           const std::string& prefix) {
-  const std::string name = p.filename().string();
-  if (name.size() < prefix.size() ||
-      name.compare(0, prefix.size(), prefix) != 0) {
-    return false;
-  }
+/// Document families with a registered schema under tools/. A directory
+/// sweep treats telemetry-shaped files outside this registry as failures.
+constexpr const char* kKnownPrefixes[] = {"BENCH_", "QUALITY_", "DRIFT_"};
+
+bool has_prefix(const std::string& name, const std::string& prefix) {
+  return name.size() >= prefix.size() &&
+         name.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool is_json_document(const std::string& name) {
   if (name.size() >= 11 &&
       name.compare(name.size() - 11, 11, ".trace.json") == 0) {
-    return false;
+    return false;  // Chrome trace_event output, not a telemetry document
   }
   return name.size() >= 5 &&
          name.compare(name.size() - 5, 5, ".json") == 0;
 }
 
+bool is_telemetry_document(const std::filesystem::path& p,
+                           const std::string& prefix) {
+  const std::string name = p.filename().string();
+  return has_prefix(name, prefix) && is_json_document(name);
+}
+
+/// Telemetry-shaped name: UPPERCASE_ prefix followed by anything, ending
+/// in .json. Lowercase files (compile_commands.json, ...) are not ours.
+bool looks_like_telemetry(const std::string& name) {
+  if (!is_json_document(name)) return false;
+  std::size_t i = 0;
+  while (i < name.size() &&
+         ((name[i] >= 'A' && name[i] <= 'Z') ||
+          (name[i] >= '0' && name[i] <= '9'))) {
+    ++i;
+  }
+  return i > 0 && i < name.size() && name[i] == '_';
+}
+
 /// Expands an argument into document paths: a directory yields its
 /// <prefix>*.json files (sorted, traces skipped); anything else passes
-/// through untouched.
+/// through untouched. Telemetry-shaped files in the directory whose prefix
+/// is in no known-schema registry entry are appended to `unknown`.
 std::vector<std::string> expand_input(const std::string& arg,
-                                      const std::string& prefix) {
+                                      const std::string& prefix,
+                                      std::vector<std::string>& unknown) {
   namespace fs = std::filesystem;
   std::error_code ec;
   if (!fs::is_directory(arg, ec)) return {arg};
   std::vector<std::string> paths;
   for (const auto& entry : fs::directory_iterator(arg)) {
-    if (entry.is_regular_file() &&
-        is_telemetry_document(entry.path(), prefix)) {
+    if (!entry.is_regular_file()) continue;
+    if (is_telemetry_document(entry.path(), prefix)) {
       paths.push_back(entry.path().string());
+      continue;
     }
+    const std::string name = entry.path().filename().string();
+    if (!looks_like_telemetry(name)) continue;
+    bool known = false;
+    for (const char* p : kKnownPrefixes) {
+      if (has_prefix(name, p)) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) unknown.push_back(entry.path().string());
   }
   std::sort(paths.begin(), paths.end());
+  std::sort(unknown.begin(), unknown.end());
   return paths;
 }
 
@@ -201,12 +242,13 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> documents;
+  std::vector<std::string> unknown;
   for (int i = first + 1; i < argc; ++i) {
-    for (std::string& path : expand_input(argv[i], prefix)) {
+    for (std::string& path : expand_input(argv[i], prefix, unknown)) {
       documents.push_back(std::move(path));
     }
   }
-  if (documents.empty()) {
+  if (documents.empty() && unknown.empty()) {
     std::fprintf(stderr, "%s: no documents to validate\n", argv[0]);
     return 2;
   }
@@ -226,6 +268,14 @@ int main(int argc, char** argv) {
     std::printf("%s: %s\n", path.c_str(), ok ? "ok" : "FAIL");
     passed += ok;
   }
-  std::printf("%zu/%zu documents ok\n", passed, documents.size());
-  return passed == documents.size() ? 0 : 1;
+  for (const std::string& path : unknown) {
+    std::fprintf(stderr,
+                 "%s: telemetry-shaped document matches no known schema "
+                 "prefix (known: BENCH_ QUALITY_ DRIFT_)\n",
+                 path.c_str());
+    std::printf("%s: FAIL\n", path.c_str());
+  }
+  const std::size_t total = documents.size() + unknown.size();
+  std::printf("%zu/%zu documents ok\n", passed, total);
+  return passed == total ? 0 : 1;
 }

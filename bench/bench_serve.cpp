@@ -1,0 +1,479 @@
+// Saturation load harness for the varpredd serving path.
+//
+//   bench_serve [--port=N] [--conns=N] [--qps=F] [--duration-s=F]
+//               [--probes=N] [--samples=N] [--queue-max=N] [--batch-max=N]
+//               [--batch-wait-us=N] [--serve-out=PATH]
+//               [--fast] [--runs=N] [--repeat=N] [--obs=...] [--obs-out=...]
+//
+// Drives the daemon through three load points and reports tail latency,
+// throughput, error rate, and the queue-wait vs compute breakdown at each:
+//
+//   closed_c1  — closed loop, 1 connection: unloaded baseline latency.
+//   closed_cN  — closed loop, --conns connections: throughput at natural
+//                concurrency; its achieved QPS estimates saturation.
+//   open_sat   — open loop at --qps (default 1.25x the closed_cN rate, i.e.
+//                past saturation): arrivals are scheduled, latency is
+//                measured from the *scheduled* arrival time, so queueing
+//                delay from falling behind is charged to the server
+//                (coordinated-omission aware), and admission rejections
+//                surface as the error rate.
+//
+// Without --port the harness is self-serving: it trains an amd -> intel
+// transfer model in-process, starts a Server on an ephemeral loopback port,
+// and drives it over real TCP — so `ctest` and CI can run the full path
+// with no process orchestration. With --port it drives an already-running
+// varpredd instead.
+//
+// Emits two documents: BENCH_serve.json (one stage per load point, so
+// bench_diff gates wall-time regressions against bench/baselines/) and
+// SERVE_serve.json (schema tools/serve_schema.json; rendered by
+// tools/serve_report). Every numeric flag goes through the strict parse
+// helpers — malformed values abort instead of parsing as zero.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/parse.hpp"
+#include "obs/hdr.hpp"
+#include "obs/json.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using varpred::obs::HdrHistogram;
+using varpred::obs::HdrSnapshot;
+using varpred::serve::Client;
+using varpred::serve::ErrorCode;
+using varpred::serve::PredictRequest;
+
+struct ServeArgs {
+  varpred::bench::HarnessArgs harness;
+  std::optional<std::uint16_t> port;  ///< unset = self-serve
+  std::size_t conns = 4;
+  double qps = 0.0;  ///< open-loop target; 0 derives from closed_cN
+  double duration_s = 2.0;
+  std::size_t probes = 10;
+  std::uint32_t n_samples = 100;
+  std::size_t queue_max = 64;
+  std::size_t batch_max = 8;
+  std::uint64_t batch_wait_us = 200;
+  std::string serve_out;
+};
+
+ServeArgs parse_args(int argc, char** argv) {
+  using varpred::require_finite_double_flag;
+  using varpred::require_u64_flag;
+  ServeArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (args.harness.consume(arg)) continue;
+    try {
+      if (std::strncmp(arg, "--port=", 7) == 0) {
+        const auto port = require_u64_flag("--port", arg + 7);
+        if (port == 0 || port > 65535) {
+          throw std::invalid_argument("--port must be in [1, 65535]");
+        }
+        args.port = static_cast<std::uint16_t>(port);
+      } else if (std::strncmp(arg, "--conns=", 8) == 0) {
+        args.conns = static_cast<std::size_t>(
+            require_u64_flag("--conns", arg + 8));
+        if (args.conns == 0) {
+          throw std::invalid_argument("--conns must be positive");
+        }
+      } else if (std::strncmp(arg, "--qps=", 6) == 0) {
+        args.qps = require_finite_double_flag("--qps", arg + 6);
+        if (args.qps <= 0.0) {
+          throw std::invalid_argument("--qps must be positive");
+        }
+      } else if (std::strncmp(arg, "--duration-s=", 13) == 0) {
+        args.duration_s =
+            require_finite_double_flag("--duration-s", arg + 13);
+        if (args.duration_s <= 0.0) {
+          throw std::invalid_argument("--duration-s must be positive");
+        }
+      } else if (std::strncmp(arg, "--probes=", 9) == 0) {
+        args.probes = static_cast<std::size_t>(
+            require_u64_flag("--probes", arg + 9));
+      } else if (std::strncmp(arg, "--samples=", 10) == 0) {
+        args.n_samples = static_cast<std::uint32_t>(
+            require_u64_flag("--samples", arg + 10));
+      } else if (std::strncmp(arg, "--queue-max=", 12) == 0) {
+        args.queue_max = static_cast<std::size_t>(
+            require_u64_flag("--queue-max", arg + 12));
+      } else if (std::strncmp(arg, "--batch-max=", 12) == 0) {
+        args.batch_max = static_cast<std::size_t>(
+            require_u64_flag("--batch-max", arg + 12));
+      } else if (std::strncmp(arg, "--batch-wait-us=", 16) == 0) {
+        args.batch_wait_us = require_u64_flag("--batch-wait-us", arg + 16);
+      } else if (std::strncmp(arg, "--serve-out=", 12) == 0) {
+        args.serve_out = arg + 12;
+      } else {
+        throw std::invalid_argument(std::string("unknown flag: ") + arg);
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bench_serve: %s\n", e.what());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Tail summary of one HDR sketch, for the JSON document.
+struct Tails {
+  std::uint64_t count = 0;
+  double min = 0.0, max = 0.0, mean = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0;
+};
+
+Tails tails_of(const HdrSnapshot& snap) {
+  Tails t;
+  t.count = snap.count;
+  if (snap.count == 0) return t;
+  t.min = static_cast<double>(snap.min);
+  t.max = static_cast<double>(snap.max);
+  t.mean = static_cast<double>(snap.sum) / static_cast<double>(snap.count);
+  t.p50 = static_cast<double>(snap.quantile(0.50));
+  t.p90 = static_cast<double>(snap.quantile(0.90));
+  t.p99 = static_cast<double>(snap.quantile(0.99));
+  t.p999 = static_cast<double>(snap.quantile(0.999));
+  return t;
+}
+
+struct LoadPoint {
+  std::string label;
+  std::string mode;  // "closed" | "open"
+  std::size_t connections = 0;
+  double target_qps = 0.0;
+  double duration_s = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;  ///< non-overload failures
+  double achieved_qps = 0.0;
+  double error_rate = 0.0;
+  Tails latency_ns, queue_ns, compute_ns;
+};
+
+/// Per-sender tallies, merged after the threads join.
+struct SenderStats {
+  HdrHistogram latency{3};
+  HdrHistogram queue{3};
+  HdrHistogram compute{3};
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;
+};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void record_outcome(SenderStats& stats, const varpred::serve::PredictOutcome&
+                                            outcome,
+                    std::uint64_t latency) {
+  ++stats.requests;
+  stats.latency.record(latency);
+  if (outcome.ok) {
+    ++stats.ok;
+    stats.queue.record(outcome.response.queue_ns);
+    stats.compute.record(outcome.response.compute_ns);
+  } else if (outcome.code == ErrorCode::kOverloaded) {
+    ++stats.overloaded;
+  } else {
+    ++stats.errors;
+  }
+}
+
+/// Drives one load point. `target_qps` <= 0 runs closed-loop (every sender
+/// keeps one request in flight); positive runs open-loop at that aggregate
+/// rate with latencies measured from the scheduled arrival times.
+LoadPoint drive(std::uint16_t port, const PredictRequest& request,
+                const std::string& label, std::size_t conns,
+                double target_qps, double duration_s) {
+  std::vector<SenderStats> stats(conns);
+  std::vector<std::thread> senders;
+  senders.reserve(conns);
+  const std::uint64_t t0 = steady_ns();
+  const std::uint64_t deadline =
+      t0 + static_cast<std::uint64_t>(duration_s * 1e9);
+  for (std::size_t j = 0; j < conns; ++j) {
+    senders.emplace_back([&, j] {
+      Client client(port);
+      SenderStats& mine = stats[j];
+      // Trace ids are unique across senders and nonzero, so every request
+      // is followable in the server's Chrome-trace sink.
+      std::uint64_t next_trace = (static_cast<std::uint64_t>(j) << 40) | 1;
+      if (target_qps <= 0.0) {
+        while (steady_ns() < deadline) {
+          const std::uint64_t sent = steady_ns();
+          const auto outcome = client.predict(request, next_trace++);
+          record_outcome(mine, outcome, steady_ns() - sent);
+        }
+        return;
+      }
+      // Open loop: this sender owns arrivals j, j + conns, j + 2*conns, ...
+      // of the aggregate schedule. One request stays in flight per
+      // connection; when the sender falls behind schedule, the next send
+      // happens immediately but its latency still counts from the
+      // scheduled arrival — the wait is the server's debt, not the
+      // generator's.
+      const double period_ns = 1e9 * static_cast<double>(conns) / target_qps;
+      const double offset_ns =
+          period_ns * static_cast<double>(j) / static_cast<double>(conns);
+      for (std::uint64_t i = 0;; ++i) {
+        const std::uint64_t scheduled =
+            t0 + static_cast<std::uint64_t>(offset_ns +
+                                            period_ns * static_cast<double>(i));
+        if (scheduled >= deadline) break;
+        const std::uint64_t now = steady_ns();
+        if (scheduled > now) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(scheduled - now));
+        }
+        const auto outcome = client.predict(request, next_trace++);
+        const std::uint64_t done = steady_ns();
+        record_outcome(mine, outcome,
+                       done > scheduled ? done - scheduled : 0);
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  const double elapsed = static_cast<double>(steady_ns() - t0) * 1e-9;
+
+  LoadPoint point;
+  point.label = label;
+  point.mode = target_qps <= 0.0 ? "closed" : "open";
+  point.connections = conns;
+  point.target_qps = std::max(target_qps, 0.0);
+  point.duration_s = elapsed;
+  HdrSnapshot latency = stats[0].latency.snapshot();
+  HdrSnapshot queue = stats[0].queue.snapshot();
+  HdrSnapshot compute = stats[0].compute.snapshot();
+  for (std::size_t j = 0; j < conns; ++j) {
+    point.requests += stats[j].requests;
+    point.ok += stats[j].ok;
+    point.overloaded += stats[j].overloaded;
+    point.errors += stats[j].errors;
+    if (j > 0) {
+      latency.merge(stats[j].latency.snapshot());
+      queue.merge(stats[j].queue.snapshot());
+      compute.merge(stats[j].compute.snapshot());
+    }
+  }
+  point.achieved_qps =
+      elapsed > 0.0 ? static_cast<double>(point.requests) / elapsed : 0.0;
+  point.error_rate =
+      point.requests == 0
+          ? 0.0
+          : static_cast<double>(point.overloaded + point.errors) /
+                static_cast<double>(point.requests);
+  point.latency_ns = tails_of(latency);
+  point.queue_ns = tails_of(queue);
+  point.compute_ns = tails_of(compute);
+  return point;
+}
+
+void print_point(const LoadPoint& p) {
+  std::printf(
+      "%-10s %-6s conns=%zu qps=%8.1f (target %8.1f) err=%5.1f%% "
+      "p50=%7.2fms p99=%7.2fms p999=%7.2fms queue.p99=%7.2fms "
+      "compute.p99=%7.2fms\n",
+      p.label.c_str(), p.mode.c_str(), p.connections, p.achieved_qps,
+      p.target_qps, p.error_rate * 100.0, p.latency_ns.p50 * 1e-6,
+      p.latency_ns.p99 * 1e-6, p.latency_ns.p999 * 1e-6,
+      p.queue_ns.p99 * 1e-6, p.compute_ns.p99 * 1e-6);
+}
+
+void write_tails(std::FILE* f, const char* key, const Tails& t) {
+  namespace json = varpred::obs::json;
+  std::fprintf(f,
+               "\"%s\":{\"count\":%llu,\"min\":%s,\"max\":%s,\"mean\":%s,"
+               "\"p50\":%s,\"p90\":%s,\"p99\":%s,\"p999\":%s}",
+               key, static_cast<unsigned long long>(t.count),
+               json::number(t.min).c_str(), json::number(t.max).c_str(),
+               json::number(t.mean).c_str(), json::number(t.p50).c_str(),
+               json::number(t.p90).c_str(), json::number(t.p99).c_str(),
+               json::number(t.p999).c_str());
+}
+
+void write_serve_json(const std::string& path, const ServeArgs& args,
+                      std::uint16_t port, const std::string& model_name,
+                      std::uint64_t model_version,
+                      const std::string& source_system,
+                      const std::vector<LoadPoint>& points,
+                      double saturation_qps) {
+  namespace json = varpred::obs::json;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\"schema_version\":1,\"name\":\"serve\",\"git\":\"%s\","
+               "\"hostname\":\"%s\",\"timestamp\":\"%s\",",
+               json::escape(VARPRED_GIT_DESCRIBE).c_str(),
+               json::escape(varpred::obs::hostname()).c_str(),
+               json::escape(varpred::obs::iso8601_utc_now()).c_str());
+  std::fprintf(f,
+               "\"model\":{\"name\":\"%s\",\"version\":%llu,"
+               "\"source_system\":\"%s\"},",
+               json::escape(model_name).c_str(),
+               static_cast<unsigned long long>(model_version),
+               json::escape(source_system).c_str());
+  std::fprintf(f,
+               "\"daemon\":{\"port\":%u,\"queue_max\":%zu,\"batch_max\":%zu,"
+               "\"batch_wait_us\":%llu},\"load_points\":[",
+               static_cast<unsigned>(port), args.queue_max, args.batch_max,
+               static_cast<unsigned long long>(args.batch_wait_us));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    if (i > 0) std::fputc(',', f);
+    std::fprintf(f,
+                 "{\"label\":\"%s\",\"mode\":\"%s\",\"connections\":%zu,"
+                 "\"target_qps\":%s,\"duration_s\":%s,\"requests\":%llu,"
+                 "\"ok\":%llu,\"overloaded\":%llu,\"errors\":%llu,"
+                 "\"achieved_qps\":%s,\"error_rate\":%s,",
+                 json::escape(p.label).c_str(), p.mode.c_str(),
+                 p.connections, json::number(p.target_qps).c_str(),
+                 json::number(p.duration_s).c_str(),
+                 static_cast<unsigned long long>(p.requests),
+                 static_cast<unsigned long long>(p.ok),
+                 static_cast<unsigned long long>(p.overloaded),
+                 static_cast<unsigned long long>(p.errors),
+                 json::number(p.achieved_qps).c_str(),
+                 json::number(p.error_rate).c_str());
+    write_tails(f, "latency_ns", p.latency_ns);
+    std::fputc(',', f);
+    write_tails(f, "queue_ns", p.queue_ns);
+    std::fputc(',', f);
+    write_tails(f, "compute_ns", p.compute_ns);
+    std::fputc('}', f);
+  }
+  std::fprintf(f, "],\"saturation_qps\":%s}\n",
+               json::number(saturation_qps).c_str());
+  std::fclose(f);
+  std::printf("[bench] serve report -> %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace varpred;
+  const ServeArgs args = parse_args(argc, argv);
+
+  // Self-serve setup (no --port): train a small amd -> intel transfer model
+  // and run the server in-process on an ephemeral loopback port. The
+  // registry and server must outlive every load point.
+  serve::ModelRegistry registry;
+  std::unique_ptr<serve::Server> own_server;
+  std::string model_name;
+  std::uint64_t model_version = 0;
+  std::string source_system;
+  std::uint16_t port = 0;
+
+  if (args.port.has_value()) {
+    port = *args.port;
+    Client probe(port);
+    const auto listing = probe.list();
+    if (listing.entries.empty()) {
+      std::fprintf(stderr, "bench_serve: daemon at %u serves no models\n",
+                   static_cast<unsigned>(port));
+      return 1;
+    }
+    model_name = listing.entries.front().model;
+    model_version = listing.entries.front().version;
+    source_system = listing.entries.front().source_system;
+  } else {
+    const std::size_t corpus_runs = std::min<std::size_t>(
+        args.harness.fast ? 200 : 400, args.harness.runs);
+    const auto source =
+        measure::build_corpus(measure::SystemModel::amd(), corpus_runs, 7);
+    const auto target =
+        measure::build_corpus(measure::SystemModel::intel(), corpus_runs, 7);
+    core::CrossSystemPredictor predictor;
+    predictor.train_all(source, target);
+    model_name = "amd_intel";
+    model_version = registry.publish(model_name, std::move(predictor));
+    source_system = "amd";
+
+    serve::ServerConfig config;
+    config.port = 0;
+    config.queue_max = args.queue_max;
+    config.batch_max = args.batch_max;
+    config.batch_wait = std::chrono::microseconds(args.batch_wait_us);
+    own_server = std::make_unique<serve::Server>(registry, config);
+    port = own_server->port();
+    std::printf("[bench] self-serve daemon on 127.0.0.1:%u\n",
+                static_cast<unsigned>(port));
+  }
+
+  // One fixed request drives every load point: probe runs simulated on the
+  // model's source system (seed disjoint from the training corpus).
+  const auto& probe_system = measure::SystemModel::by_name(
+      source_system.empty() ? "amd" : source_system);
+  const auto probe_runs = measure::measure_benchmark(
+      0, probe_system, std::max<std::size_t>(args.probes, 2), 12345);
+  PredictRequest request;
+  request.model = model_name;
+  request.version = 0;  // always the latest published version
+  request.seed = 99;
+  request.n_samples = args.n_samples;
+  request.benchmark = 0;
+  request.n_metrics = static_cast<std::uint32_t>(probe_runs.counters.cols());
+  request.runtimes = probe_runs.runtimes;
+  request.counters.reserve(probe_runs.run_count() * request.n_metrics);
+  for (std::size_t r = 0; r < probe_runs.run_count(); ++r) {
+    for (std::size_t m = 0; m < request.n_metrics; ++m) {
+      request.counters.push_back(probe_runs.counters.at(r, m));
+    }
+  }
+
+  std::vector<LoadPoint> points;
+  double saturation_qps = 0.0;
+  const int rc = bench::run_repeated(
+      "serve", args.harness, [&](bench::Run& run) {
+        points.clear();
+        run.stage("closed_c1");
+        points.push_back(
+            drive(port, request, "closed_c1", 1, 0.0, args.duration_s));
+        print_point(points.back());
+
+        run.stage("closed_cN");
+        points.push_back(drive(port, request, "closed_cN", args.conns, 0.0,
+                               args.duration_s));
+        print_point(points.back());
+        saturation_qps = points.back().achieved_qps;
+
+        // Past saturation: schedule arrivals 25% faster than the closed
+        // loop could complete them (or at the explicit --qps), so the queue
+        // fills and the admission gate's rejections become measurable.
+        const double target =
+            args.qps > 0.0 ? args.qps : saturation_qps * 1.25;
+        run.stage("open_sat");
+        points.push_back(drive(port, request, "open_sat", args.conns, target,
+                               args.duration_s));
+        print_point(points.back());
+      });
+
+  if (own_server != nullptr) own_server->stop();
+
+  const std::string serve_path =
+      args.serve_out.empty() ? "SERVE_serve.json" : args.serve_out;
+  write_serve_json(serve_path, args, port, model_name, model_version,
+                   source_system, points, saturation_qps);
+  return rc;
+}

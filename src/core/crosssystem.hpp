@@ -36,6 +36,9 @@ class CrossSystemPredictor {
 
   const CrossSystemConfig& config() const { return config_; }
   const DistributionRepr& repr() const { return *repr_; }
+  /// Source system the predictor was trained from; nullptr before training
+  /// (or for a loaded artifact whose system string was empty).
+  const measure::SystemModel* source_system() const { return source_system_; }
 
   /// Trains on benchmarks measured in both corpora (row b of each corpus is
   /// the same benchmark). `train_benchmarks` selects the training subset.

@@ -1,9 +1,14 @@
 // Serialization of the trained predictors (see io/serialize.hpp for the
 // format). A serialized predictor carries its configuration, the source
 // system's identity, and the trained model, so it can be shipped and loaded
-// without access to the training corpus.
+// without access to the training corpus. Since format version 2 every
+// model file ends in an FNV-1a checksum trailer over the body bytes, so a
+// truncated or bit-flipped artifact fails at load with a clear error
+// instead of deserializing into a model that emits garbage predictions
+// (the serving registry depends on this).
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "core/crosssystem.hpp"
@@ -14,13 +19,14 @@
 namespace varpred::core {
 namespace {
 
-constexpr std::uint64_t kPredictorVersion = 1;
+constexpr std::uint64_t kPredictorVersion = 2;  ///< v2: checksum trailer
 
 }  // namespace
 
 void FewRunsPredictor::save(std::ostream& out) const {
   VARPRED_CHECK_ARG(trained(), "cannot save an untrained predictor");
-  io::Writer w(out);
+  std::ostringstream body;
+  io::Writer w(body);
   w.tag("varpred.fewruns");
   w.u64("version", kPredictorVersion);
   w.u64("n_probe_runs", config_.n_probe_runs);
@@ -30,11 +36,13 @@ void FewRunsPredictor::save(std::ostream& out) const {
   w.boolean("higher_moments", config_.profile.include_higher_moments);
   w.u64("seed", config_.seed);
   w.text("system", system_ != nullptr ? system_->name() : "");
-  model_->save(out);
+  model_->save(body);
+  io::write_checksummed(out, body.str());
 }
 
 FewRunsPredictor FewRunsPredictor::load(std::istream& in) {
-  io::Reader r(in);
+  std::istringstream body(io::read_checksummed(in));
+  io::Reader r(body);
   r.tag("varpred.fewruns");
   VARPRED_CHECK_ARG(r.u64("version") == kPredictorVersion,
                     "unsupported predictor version");
@@ -49,7 +57,7 @@ FewRunsPredictor FewRunsPredictor::load(std::istream& in) {
   const auto system_name = r.text("system");
 
   FewRunsPredictor predictor(config);
-  predictor.model_ = ml::load_regressor(in);
+  predictor.model_ = ml::load_regressor(body);
   if (!system_name.empty()) {
     predictor.system_ = &measure::SystemModel::by_name(system_name);
   }
@@ -58,7 +66,8 @@ FewRunsPredictor FewRunsPredictor::load(std::istream& in) {
 
 void CrossSystemPredictor::save(std::ostream& out) const {
   VARPRED_CHECK_ARG(trained(), "cannot save an untrained predictor");
-  io::Writer w(out);
+  std::ostringstream body;
+  io::Writer w(body);
   w.tag("varpred.crosssystem");
   w.u64("version", kPredictorVersion);
   w.u64("repr", static_cast<std::uint64_t>(config_.repr));
@@ -67,11 +76,13 @@ void CrossSystemPredictor::save(std::ostream& out) const {
   w.u64("seed", config_.seed);
   w.text("source_system",
          source_system_ != nullptr ? source_system_->name() : "");
-  model_->save(out);
+  model_->save(body);
+  io::write_checksummed(out, body.str());
 }
 
 CrossSystemPredictor CrossSystemPredictor::load(std::istream& in) {
-  io::Reader r(in);
+  std::istringstream body(io::read_checksummed(in));
+  io::Reader r(body);
   r.tag("varpred.crosssystem");
   VARPRED_CHECK_ARG(r.u64("version") == kPredictorVersion,
                     "unsupported predictor version");
@@ -83,7 +94,7 @@ CrossSystemPredictor CrossSystemPredictor::load(std::istream& in) {
   const auto system_name = r.text("source_system");
 
   CrossSystemPredictor predictor(config);
-  predictor.model_ = ml::load_regressor(in);
+  predictor.model_ = ml::load_regressor(body);
   if (!system_name.empty()) {
     predictor.source_system_ = &measure::SystemModel::by_name(system_name);
   }

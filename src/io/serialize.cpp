@@ -1,7 +1,9 @@
 #include "io/serialize.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 
 #include "common/check.hpp"
 #include "common/parse.hpp"
@@ -40,6 +42,59 @@ double strict_f64(const std::string& token, const std::string& name) {
 }
 
 }  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void write_checksummed(std::ostream& out, const std::string& body) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(body)));
+  out << body << "checksum " << hex << '\n';
+}
+
+std::string read_checksummed(std::istream& in) {
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  // The trailer is the last "checksum <hex>" line. A body always ends in
+  // '\n' (every Writer field does), so search for the last occurrence of
+  // the trailer start; anything after the hash must be whitespace.
+  const std::string marker = "\nchecksum ";
+  const std::size_t pos = all.rfind(marker);
+  VARPRED_CHECK_ARG(pos != std::string::npos,
+                    "model file has no checksum trailer (truncated, or "
+                    "written by a pre-checksum version)");
+  const std::size_t hex_begin = pos + marker.size();
+  std::size_t hex_end = hex_begin;
+  while (hex_end < all.size() &&
+         std::isxdigit(static_cast<unsigned char>(all[hex_end]))) {
+    ++hex_end;
+  }
+  const std::string hex = all.substr(hex_begin, hex_end - hex_begin);
+  for (std::size_t i = hex_end; i < all.size(); ++i) {
+    VARPRED_CHECK_ARG(std::isspace(static_cast<unsigned char>(all[i])),
+                      "model file has data after the checksum trailer");
+  }
+  VARPRED_CHECK_ARG(hex.size() == 16,
+                    "model file checksum trailer is malformed");
+  std::uint64_t recorded = 0;
+  for (const char c : hex) {
+    const int digit = c <= '9'   ? c - '0'
+                      : c <= 'F' ? c - 'A' + 10
+                                 : c - 'a' + 10;
+    recorded = (recorded << 4) | static_cast<std::uint64_t>(digit);
+  }
+  std::string body = all.substr(0, pos + 1);  // keep the trailing '\n'
+  VARPRED_CHECK_ARG(fnv1a64(body) == recorded,
+                    "model file checksum mismatch: file is corrupt");
+  return body;
+}
 
 void Writer::tag(const std::string& name) { out_ << name << '\n'; }
 

@@ -40,6 +40,21 @@ class Writer {
   std::ostream& out_;
 };
 
+/// FNV-1a 64-bit hash over raw bytes (the model-file checksum primitive).
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Writes `body` verbatim followed by a `checksum <16 hex digits>` trailer
+/// line hashing every body byte. Model files carry this trailer so a
+/// truncated or bit-flipped artifact fails loudly at load instead of
+/// deserializing into a model that emits garbage predictions.
+void write_checksummed(std::ostream& out, const std::string& body);
+
+/// Reads the remainder of `in`, verifies and strips the checksum trailer,
+/// and returns the body bytes. Throws std::invalid_argument when the
+/// trailer is missing (truncated file or pre-checksum format) or when the
+/// recorded hash does not match the body.
+std::string read_checksummed(std::istream& in);
+
 /// Labelled-field reader; throws std::invalid_argument on label mismatch or
 /// malformed input.
 class Reader {

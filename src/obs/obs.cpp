@@ -56,6 +56,10 @@ std::uint32_t this_thread_id() noexcept {
 
 thread_local std::uint32_t t_open_spans = 0;
 
+// Request-scoped trace id (serving path). 0 means "no request context";
+// TraceIdScope saves/restores it so nested scopes unwind correctly.
+thread_local std::uint64_t t_trace_id = 0;
+
 // Global trace buffer. Span completion is stage-grained, so one mutex is
 // plenty; the cap is a runaway guard (dropped events are counted).
 constexpr std::size_t kMaxTraceEvents = 1u << 20;
@@ -351,6 +355,7 @@ Span::~Span() {
   event.name = name_;
   event.tid = this_thread_id();
   event.depth = depth_;
+  event.trace_id = t_trace_id;
   event.start_ns = start_ns_;
   event.dur_ns = dur;
   if (pool_delta_) {
@@ -381,6 +386,14 @@ Span::~Span() {
 
 std::uint32_t Span::current_depth() noexcept { return t_open_spans; }
 
+std::uint64_t current_trace_id() noexcept { return t_trace_id; }
+
+TraceIdScope::TraceIdScope(std::uint64_t id) noexcept : prev_(t_trace_id) {
+  t_trace_id = id;
+}
+
+TraceIdScope::~TraceIdScope() { t_trace_id = prev_; }
+
 std::vector<TraceEvent> trace_events() {
   TraceBuffer& buffer = trace_buffer();
   std::lock_guard lock(buffer.mutex);
@@ -402,6 +415,14 @@ void write_trace_json(std::ostream& out) {
         << ",\"ts\":" << json::number(static_cast<double>(e.start_ns) * 1e-3)
         << ",\"dur\":" << json::number(static_cast<double>(e.dur_ns) * 1e-3)
         << ",\"args\":{\"depth\":" << e.depth;
+    if (e.trace_id != 0) {
+      // Hex string, not a JSON number: 64-bit ids do not survive the
+      // double round-trip Chrome applies to numeric args.
+      char hex[19];
+      std::snprintf(hex, sizeof(hex), "0x%016llx",
+                    static_cast<unsigned long long>(e.trace_id));
+      out << ",\"trace\":\"" << hex << "\"";
+    }
     for (const auto& [key, value] : e.args) {
       out << ",\"" << json::escape(key) << "\":" << json::number(value);
     }

@@ -1,0 +1,125 @@
+// Admission control and micro-batching for the serving daemon.
+//
+// Connection threads admit decoded predict requests; a dedicated batcher
+// thread drains the admission queue into batches of at most `batch_max`
+// items (waiting up to `batch_wait` for a batch to fill once the first item
+// arrives) and dispatches each batch across the shared ThreadPool. Each
+// item's completion callback receives either a PredictResponse or a typed
+// error.
+//
+// Overload policy: when the queue holds `queue_max` items, admit() rejects
+// synchronously (the caller answers kOverloaded) instead of queueing
+// unboundedly — latency under saturation stays bounded by queue_max x
+// service time, and the load generator can measure the error rate.
+//
+// Observability: every item carries its request trace id; the batcher and
+// pool workers open a TraceIdScope around the item's compute, so the spans
+// "serve.batch" and "serve.compute" carry the id across thread boundaries.
+// Metrics: serve.admitted / serve.rejected counters, serve.queue_depth
+// gauge, serve.batch.occupancy log2 histogram, serve.queue_wait_ns and
+// serve.compute_ns HDR histograms.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace varpred::serve {
+
+/// Outcome of one served request: a response, or a typed error.
+struct ServeResult {
+  bool ok = false;
+  PredictResponse response;  ///< valid when ok
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  static ServeResult success(PredictResponse response) {
+    ServeResult r;
+    r.ok = true;
+    r.response = std::move(response);
+    return r;
+  }
+  static ServeResult failure(ErrorCode code, std::string message) {
+    ServeResult r;
+    r.code = code;
+    r.message = std::move(message);
+    return r;
+  }
+};
+
+class Batcher {
+ public:
+  /// One admitted request. The model pointer is resolved by the caller at
+  /// admission time — a registry hot swap after admission does not affect
+  /// items already in the queue.
+  struct Item {
+    PredictRequest request;
+    std::shared_ptr<const LoadedModel> model;
+    std::uint64_t trace_id = 0;
+    std::uint64_t admit_ns = 0;  ///< set by admit()
+    std::function<void(ServeResult)> done;
+  };
+
+  struct Config {
+    std::size_t queue_max = 256;
+    std::size_t batch_max = 16;
+    std::chrono::microseconds batch_wait{500};
+    /// Pool to dispatch batches on; nullptr uses ThreadPool::global().
+    ThreadPool* pool = nullptr;
+    /// Test hook: replaces the per-item predict computation (the default
+    /// reconstructs a distribution via the item's model). Exceptions map to
+    /// kBadRequest (std::invalid_argument) or kInternal.
+    std::function<std::vector<double>(const Item&)> compute;
+  };
+
+  explicit Batcher(Config config);
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Enqueues an item. Returns false when the queue is at queue_max — the
+  /// item's `done` is NOT called; the caller must answer kOverloaded.
+  bool admit(Item item);
+
+  /// Drains the queue (every queued item still completes) and joins the
+  /// batcher thread. Idempotent; the destructor calls it.
+  void stop();
+
+  std::size_t queue_depth() const;
+
+ private:
+  void run();
+  void dispatch(std::vector<Item>& batch);
+  void serve_item(Item& item, std::uint64_t dispatch_ns);
+
+  Config config_;
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Validates a predict request against its resolved model; throws
+/// std::invalid_argument (-> kBadRequest) on shape violations.
+void validate_predict_request(const PredictRequest& request);
+
+/// Default compute: rebuilds BenchmarkRuns from the request and runs
+/// predict_distribution with a per-request Rng(seed) — responses are
+/// deterministic for a given (model version, request) pair.
+std::vector<double> default_compute(const Batcher::Item& item);
+
+}  // namespace varpred::serve

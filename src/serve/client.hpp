@@ -1,0 +1,62 @@
+// Blocking client for the varpredd wire protocol. One Client owns one TCP
+// connection; calls are synchronous (send frame, wait for the matching
+// response). Used by the bench_serve load generator (one Client per
+// simulated connection), the varpred CLI's serve subcommands, and the
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace varpred::serve {
+
+/// Outcome of one predict call. Protocol-level errors (overload, unknown
+/// model, bad request) are data, not exceptions, so a load generator can
+/// count them; transport failures (closed socket, malformed frame) throw.
+struct PredictOutcome {
+  bool ok = false;
+  PredictResponse response;  ///< valid when ok
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:<port>; throws std::invalid_argument on refusal.
+  explicit Client(std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Round-trips a ping; false when the server closed the connection.
+  bool ping();
+
+  /// Sends a predict request under `trace_id` (0 = none) and waits for the
+  /// response. A fresh non-zero trace id per call makes the request's spans
+  /// traceable server-side.
+  PredictOutcome predict(const PredictRequest& request,
+                         std::uint64_t trace_id = 0);
+
+  /// Publishes the model file at `path` (server-side path) as the next
+  /// version of `model`; throws std::invalid_argument when the server
+  /// rejects it.
+  std::uint64_t swap(const std::string& model, const std::string& path);
+
+  ListResponse list();
+
+  /// Prometheus text snapshot of the server's metric registry.
+  std::string stats();
+
+ private:
+  Frame round_trip(MsgType type, std::uint64_t trace_id,
+                   std::string_view body, MsgType expect);
+
+  int fd_ = -1;
+};
+
+}  // namespace varpred::serve

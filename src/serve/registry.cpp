@@ -1,0 +1,85 @@
+#include "serve/registry.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "measure/corpus.hpp"
+#include "obs/obs.hpp"
+
+namespace varpred::serve {
+
+std::uint64_t ModelRegistry::publish_file(const std::string& name,
+                                          const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  VARPRED_CHECK_ARG(in.good(), "cannot open model file: " + path);
+  // load() re-checksums the file body, so corruption surfaces here — before
+  // the registry is touched.
+  auto model = std::make_shared<LoadedModel>();
+  model->predictor = core::CrossSystemPredictor::load(in);
+  VARPRED_CHECK_ARG(model->predictor.trained(),
+                    "model file holds an untrained predictor: " + path);
+  model->name = name;
+  model->source = path;
+  if (model->predictor.source_system() != nullptr) {
+    model->source_system = model->predictor.source_system()->name();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return publish_locked(name, std::move(model));
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& name,
+                                     core::CrossSystemPredictor predictor,
+                                     std::string source) {
+  VARPRED_CHECK_ARG(predictor.trained(),
+                    "cannot publish an untrained predictor");
+  auto model = std::make_shared<LoadedModel>();
+  model->predictor = std::move(predictor);
+  model->name = name;
+  model->source = std::move(source);
+  if (model->predictor.source_system() != nullptr) {
+    model->source_system = model->predictor.source_system()->name();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return publish_locked(name, std::move(model));
+}
+
+std::uint64_t ModelRegistry::publish_locked(
+    const std::string& name, std::shared_ptr<LoadedModel> model) {
+  auto& versions = models_[name];
+  model->version = versions.size() + 1;
+  versions.push_back(std::move(model));
+  VARPRED_OBS_COUNT("serve.registry.publishes", 1);
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .gauge("serve.registry.models")
+        .set(static_cast<double>(models_.size()));
+  }
+  return versions.size();
+}
+
+std::shared_ptr<const LoadedModel> ModelRegistry::get(
+    const std::string& name, std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) return nullptr;
+  const auto& versions = it->second;
+  if (version == 0) return versions.back();
+  if (version > versions.size()) return nullptr;
+  return versions[version - 1];
+}
+
+std::vector<std::shared_ptr<const LoadedModel>> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const LoadedModel>> out;
+  out.reserve(models_.size());
+  for (const auto& [name, versions] : models_) out.push_back(versions.back());
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace varpred::serve

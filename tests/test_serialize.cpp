@@ -300,5 +300,64 @@ TEST(SerializeModels, CorruptedNumericFieldInSavedGbtThrows) {
   EXPECT_THROW(ml::GradientBoosting::load(corrupted), std::invalid_argument);
 }
 
+// Model artifacts carry an FNV-1a checksum trailer (serialization v2) so a
+// corrupt or truncated file is rejected at load time instead of being
+// deserialized into a silently-wrong predictor.
+TEST(SerializeChecksum, RoundTripPreservesBody) {
+  const std::string body = "alpha 1\nbeta 2.5\n";
+  std::stringstream ss;
+  io::write_checksummed(ss, body);
+  EXPECT_EQ(io::read_checksummed(ss), body);
+}
+
+TEST(SerializeChecksum, FlippedByteDetected) {
+  std::stringstream ss;
+  io::write_checksummed(ss, "alpha 1\nbeta 2.5\n");
+  std::string doc = ss.str();
+  const auto pos = doc.find("2.5");
+  ASSERT_NE(pos, std::string::npos);
+  doc[pos] = '3';  // single-character body corruption
+  std::stringstream corrupted(doc);
+  EXPECT_THROW(io::read_checksummed(corrupted), std::invalid_argument);
+}
+
+TEST(SerializeChecksum, MissingTrailerDetected) {
+  std::stringstream ss("alpha 1\nbeta 2.5\n");  // no checksum line at all
+  EXPECT_THROW(io::read_checksummed(ss), std::invalid_argument);
+}
+
+TEST(SerializeChecksum, GarbageTrailerDetected) {
+  std::stringstream ss("alpha 1\nchecksum nothexdigits!\n");
+  EXPECT_THROW(io::read_checksummed(ss), std::invalid_argument);
+}
+
+TEST(SerializeChecksum, CorruptPredictorArtifactRejected) {
+  const auto amd = measure::build_corpus(measure::SystemModel::amd(), 40, 7);
+  const auto intel =
+      measure::build_corpus(measure::SystemModel::intel(), 40, 7);
+  core::CrossSystemPredictor predictor;
+  predictor.train_all(amd, intel);
+
+  std::stringstream ss;
+  predictor.save(ss);
+  std::string doc = ss.str();
+
+  // Pristine artifact loads; a one-byte flip in the middle does not.
+  {
+    std::stringstream ok(doc);
+    EXPECT_TRUE(core::CrossSystemPredictor::load(ok).trained());
+  }
+  std::string flipped = doc;
+  flipped[flipped.size() / 2] ^= 0x01;
+  std::stringstream bad(flipped);
+  EXPECT_THROW(core::CrossSystemPredictor::load(bad),
+               std::invalid_argument);
+
+  // Truncation loses the trailer entirely.
+  std::stringstream truncated(doc.substr(0, doc.size() / 2));
+  EXPECT_THROW(core::CrossSystemPredictor::load(truncated),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace varpred

@@ -1,0 +1,151 @@
+// Extension E5: variability-aware configuration tuning, evaluated.
+//
+// Three questions, answered with seeded quality cells so the CI tune-gate
+// can diff them against the ledger:
+//
+//   1. Does the config-aware surrogate generalize to configurations it
+//      never trained on? Leave-one-config-out KS / W1 / overlap over the
+//      sampled (config x benchmark) corpus ("heldout-config" cells).
+//   2. Does the tuner find a near-optimal config? Regret of the tuner's
+//      winner vs. the exhaustive-measurement optimum, both scored on
+//      large-sample ground truth ("tune_regret").
+//   3. Does it do so cheaply? Measured runs spent as a fraction of the
+//      exhaustive budget ("tune_budget_fraction").
+//
+// The acceptance bar from the PR issue is enforced here: regret within 5%
+// and budget within 25% of exhaustive, or the harness exits nonzero.
+#include "bench_common.hpp"
+
+#include "core/configpred.hpp"
+#include "measure/sysconfig.hpp"
+#include "stats/ecdf.hpp"
+#include "tune/tuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace varpred;
+  const auto args = bench::HarnessArgs::parse(argc, argv);
+  std::vector<double> regrets;
+  std::vector<double> budget_fractions;
+  const int rc = bench::run_repeated("tune", args, [&](bench::Run& run) {
+    const auto& system = measure::SystemModel::intel();
+    const std::string target_name = "parsec/streamcluster";
+    const std::size_t target = measure::benchmark_index(target_name);
+    // The corpus is seed-stable across repetitions (like every other
+    // harness corpus); repetition seeds vary the evaluation folds and the
+    // tuner's measurement streams instead.
+    constexpr std::uint64_t kCorpusSeed = 7;
+
+    run.stage("corpus");
+    const auto grid = measure::SystemConfig::grid();
+    const std::size_t n_train_configs = args.fast ? 10 : 14;
+    const std::size_t n_train_benchmarks = args.fast ? 12 : 20;
+    const auto train_configs =
+        measure::sample_configs(grid, n_train_configs, kCorpusSeed);
+    std::vector<std::size_t> others;
+    for (std::size_t b = 0; b < measure::benchmark_table().size(); ++b) {
+      if (b != target) others.push_back(b);
+    }
+    Rng bench_rng(seed_combine(kCorpusSeed, stable_hash("tune-benchmarks")));
+    const auto picks =
+        core::choose_run_indices(others.size(), n_train_benchmarks, bench_rng);
+    std::vector<std::size_t> train_benchmarks;
+    for (const std::size_t p : picks) train_benchmarks.push_back(others[p]);
+    const auto corpus = measure::build_config_corpus(
+        system, train_configs, train_benchmarks, args.runs, kCorpusSeed);
+
+    std::printf("=== Extension E5: variability-aware tuning (intel, "
+                "target %s) ===\n\n",
+                target_name.c_str());
+    std::printf("corpus: %zu configs x %zu benchmarks x %zu runs\n",
+                corpus.config_count(), corpus.benchmark_count(), args.runs);
+
+    run.stage("train");
+    core::ConfigAwareConfig pconfig;
+    core::ConfigAwarePredictor predictor(pconfig);
+    predictor.train_all(corpus);
+
+    run.stage("heldout");
+    core::ConfigEvalOptions eval_options;
+    eval_options.seed = run.repetition_seed(eval_options.seed);
+    eval_options.quality_repr = core::to_string(pconfig.repr);
+    eval_options.quality_model = core::to_string(pconfig.model);
+    const auto heldout =
+        core::evaluate_config_aware(corpus, pconfig, eval_options);
+    std::printf("held-out-config surrogate accuracy: %s\n",
+                heldout.summary().to_string().c_str());
+
+    run.stage("exhaustive");
+    const std::uint64_t seed = run.repetition_seed(kCorpusSeed);
+    const auto exhaustive =
+        tune::exhaustive_search(system, target, grid, args.runs, seed);
+
+    run.stage("tune");
+    const auto probe = measure::measure_benchmark(
+        target, system, pconfig.n_probe_runs, stable_hash("probe") ^ seed);
+    std::vector<std::size_t> idx(probe.run_count());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    tune::TunerConfig tconfig;
+    tconfig.measure_budget = exhaustive.runs_spent / 4;
+    tconfig.seed = seed;
+    const auto result =
+        tune::tune_config(predictor, system, target, probe, idx, grid,
+                          tconfig);
+
+    // Both winners scored on large-sample ground truth with a fixed seed:
+    // regret varies across repetitions only through which configs won.
+    constexpr std::size_t kTruthSamples = 20000;
+    const double optimal = tune::true_objective(
+        system, target, grid[exhaustive.best], kTruthSamples, kCorpusSeed);
+    const double tuned = tune::true_objective(
+        system, target, result.winner().config, kTruthSamples, kCorpusSeed);
+    const double regret = tuned / optimal - 1.0;
+    const double budget_fraction =
+        static_cast<double>(result.runs_spent) /
+        static_cast<double>(exhaustive.runs_spent);
+
+    std::printf("exhaustive optimum: %s (true relative sd %.4f, %zu "
+                "runs)\n",
+                grid[exhaustive.best].name().c_str(), optimal,
+                exhaustive.runs_spent);
+    std::printf("tuner winner:       %s (true relative sd %.4f, %zu "
+                "runs)\n",
+                result.winner().config.name().c_str(), tuned,
+                result.runs_spent);
+    std::printf("regret %+.2f%% at %.1f%% of the exhaustive budget\n",
+                100.0 * regret, 100.0 * budget_fraction);
+
+    obs::QualityCellKey key;
+    key.app = target_name;
+    key.systems = system.name();
+    key.repr = core::to_string(pconfig.repr);
+    key.model = core::to_string(pconfig.model);
+    key.metric = "tune_regret";
+    obs::QualityRecorder::instance().record(key, regret);
+    key.metric = "tune_budget_fraction";
+    obs::QualityRecorder::instance().record(key, budget_fraction);
+
+    regrets.push_back(regret);
+    budget_fractions.push_back(budget_fraction);
+  });
+  if (rc != 0) return rc;
+
+  // PR acceptance bar, on the repetition medians (with --repeat=1, the
+  // canonical seeded run itself): within 5% of the exhaustive optimum's
+  // variability on at most a quarter of its measurement budget. The
+  // median is the right summary for a stochastic search — individual
+  // repetition seeds can hand the successive-halving rungs an unlucky
+  // draw — while the per-repetition values stay visible as quality-cell
+  // samples for the tune-gate diff.
+  const double med_regret = stats::median(regrets);
+  const double med_fraction = stats::median(budget_fractions);
+  if (med_regret > 0.05 || med_fraction > 0.25) {
+    std::printf("ACCEPTANCE FAIL: median regret %.4f (max 0.05), median "
+                "budget fraction %.4f (max 0.25)\n",
+                med_regret, med_fraction);
+    return 1;
+  }
+  std::printf("acceptance: median regret %.4f <= 0.05, median budget "
+              "fraction %.4f <= 0.25\n",
+              med_regret, med_fraction);
+  return 0;
+}

@@ -17,9 +17,9 @@
 // runs. Everything is seeded — two runs print identical timelines.
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "core/varpred.hpp"
 #include "measure/fleet.hpp"
 #include "obs/drift.hpp"
@@ -47,13 +47,12 @@ std::vector<double> pit(const std::vector<double>& sorted_pred,
 int main(int argc, char** argv) {
   std::size_t runs = 300;
   if (argc > 1) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(argv[1], &end, 10);
-    if (end == argv[1] || *end != '\0' || v == 0) {
+    const auto v = varpred::parse_u64_strict(argv[1]);
+    if (argc > 2 || !v || *v == 0) {
       std::fprintf(stderr, "usage: %s [runs_per_benchmark]\n", argv[0]);
       return 2;
     }
-    runs = static_cast<std::size_t>(v);
+    runs = static_cast<std::size_t>(*v);
   }
 
   // 1. Train the local predictor on the virtualized guest's corpus.

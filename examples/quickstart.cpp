@@ -14,8 +14,8 @@
 // small corpus in a couple of seconds, which is what the CI smoke step
 // uses.
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/parse.hpp"
 #include "core/varpred.hpp"
 
 int main(int argc, char** argv) {
@@ -23,13 +23,12 @@ int main(int argc, char** argv) {
 
   std::size_t runs = 1000;
   if (argc > 1) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(argv[1], &end, 10);
-    if (end == argv[1] || *end != '\0' || v == 0) {
+    const auto v = parse_u64_strict(argv[1]);
+    if (argc > 2 || !v || *v == 0) {
       std::fprintf(stderr, "usage: %s [runs_per_benchmark]\n", argv[0]);
       return 2;
     }
-    runs = static_cast<std::size_t>(v);
+    runs = static_cast<std::size_t>(*v);
   }
 
   // 1. Measure the training corpus: every Table I benchmark, 1000 runs.

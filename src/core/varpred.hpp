@@ -8,9 +8,12 @@
 //   core::CrossSystemPredictor     -- use case 2: system A -> system B
 //   core::evaluate_few_runs()      -- leave-one-benchmark-out KS evaluation
 //   core::evaluate_cross_system()
+//   core::ConfigAwarePredictor     -- (config, profile) -> distribution
+//   tune::tune_config()            -- variability-aware config search
 //   stats::ks_statistic(), Kde     -- scoring and visualization helpers
 #pragma once
 
+#include "core/configpred.hpp"
 #include "core/crosssystem.hpp"
 #include "core/distrepr.hpp"
 #include "core/evaluator.hpp"
@@ -25,6 +28,7 @@
 #include "measure/benchmarks.hpp"
 #include "measure/corpus.hpp"
 #include "measure/metrics_catalog.hpp"
+#include "measure/sysconfig.hpp"
 #include "measure/system_model.hpp"
 #include "pearson/pearson.hpp"
 #include "stats/adaptive.hpp"
@@ -35,3 +39,4 @@
 #include "stats/moments.hpp"
 #include "stats/summary.hpp"
 #include "stats/wasserstein.hpp"
+#include "tune/tuner.hpp"

@@ -75,6 +75,14 @@ RunRecord simulate_run(const BenchmarkInfo& bench, const SystemModel& system,
 BenchmarkRuns measure_benchmark(std::size_t benchmark_index,
                                 const SystemModel& system, std::size_t n_runs,
                                 std::uint64_t seed) {
+  return measure_benchmark(benchmark_index, system, SystemCondition{}, n_runs,
+                           seed);
+}
+
+BenchmarkRuns measure_benchmark(std::size_t benchmark_index,
+                                const SystemModel& system,
+                                const SystemCondition& cond,
+                                std::size_t n_runs, std::uint64_t seed) {
   VARPRED_CHECK_ARG(benchmark_index < benchmark_table().size(),
                     "benchmark index out of range");
   VARPRED_CHECK_ARG(n_runs >= 1, "need at least one run");
@@ -91,7 +99,7 @@ BenchmarkRuns measure_benchmark(std::size_t benchmark_index,
   Rng rng(seed_combine(seed, seed_combine(stable_hash(system.name()),
                                           stable_hash(bench.full_name()))));
   for (std::size_t r = 0; r < n_runs; ++r) {
-    const RunRecord run = simulate_run(bench, system, rng);
+    const RunRecord run = simulate_run(bench, system, cond, rng);
     out.runtimes.push_back(run.runtime_seconds);
     out.modes.push_back(run.mode);
     auto row = out.counters.row(r);
@@ -108,6 +116,53 @@ Corpus build_corpus(const SystemModel& system, std::size_t n_runs,
   corpus.benchmarks.resize(benchmark_table().size());
   parallel_for(benchmark_table().size(), [&](std::size_t b) {
     corpus.benchmarks[b] = measure_benchmark(b, system, n_runs, seed);
+  });
+  return corpus;
+}
+
+ConfigCorpus build_config_corpus(const SystemModel& system,
+                                 std::span<const SystemConfig> configs,
+                                 std::span<const std::size_t> benchmarks,
+                                 std::size_t n_runs, std::uint64_t seed) {
+  VARPRED_CHECK_ARG(!configs.empty(), "need at least one config");
+  VARPRED_CHECK_ARG(!benchmarks.empty(), "need at least one benchmark");
+  obs::Span span("measure.build_config_corpus", obs::Span::kPoolStats);
+  ConfigCorpus corpus;
+  corpus.system = &system;
+  corpus.configs.assign(configs.begin(), configs.end());
+  corpus.benchmarks.assign(benchmarks.begin(), benchmarks.end());
+  corpus.probe_runs.resize(benchmarks.size());
+  corpus.cell_runs.assign(configs.size(),
+                          std::vector<BenchmarkRuns>(benchmarks.size()));
+
+  // Per-cell seeds hang off the config *name*, not its index, so the cell
+  // contents survive re-sampling the config subset. The neutral config's
+  // cells reuse the bare seed: bit-identical to measure_benchmark on the
+  // legacy path (and to the probe runs, which double as its targets).
+  std::vector<SystemCondition> conditions;
+  std::vector<std::uint64_t> config_seeds;
+  conditions.reserve(configs.size());
+  config_seeds.reserve(configs.size());
+  for (const SystemConfig& config : corpus.configs) {
+    conditions.push_back(config.condition());
+    config_seeds.push_back(config.neutral()
+                               ? seed
+                               : seed_combine(seed,
+                                              stable_hash(config.name())));
+  }
+
+  const std::size_t cells = configs.size() * benchmarks.size();
+  parallel_for(cells + benchmarks.size(), [&](std::size_t i) {
+    if (i < benchmarks.size()) {
+      corpus.probe_runs[i] =
+          measure_benchmark(corpus.benchmarks[i], system, n_runs, seed);
+      return;
+    }
+    const std::size_t cell = i - benchmarks.size();
+    const std::size_t c = cell / benchmarks.size();
+    const std::size_t b = cell % benchmarks.size();
+    corpus.cell_runs[c][b] = measure_benchmark(
+        corpus.benchmarks[b], system, conditions[c], n_runs, config_seeds[c]);
   });
   return corpus;
 }

@@ -13,7 +13,10 @@
 #include <cstdint>
 #include <vector>
 
+#include <span>
+
 #include "common/rng.hpp"
+#include "measure/sysconfig.hpp"
 #include "measure/system_model.hpp"
 #include "ml/matrix.hpp"
 
@@ -64,8 +67,44 @@ BenchmarkRuns measure_benchmark(std::size_t benchmark_index,
                                 const SystemModel& system, std::size_t n_runs,
                                 std::uint64_t seed);
 
+/// Measures one benchmark under an operating condition. Same seed
+/// derivation as the unconditioned overload: under a neutral condition the
+/// result is bit-identical to measure_benchmark without a condition.
+BenchmarkRuns measure_benchmark(std::size_t benchmark_index,
+                                const SystemModel& system,
+                                const SystemCondition& cond,
+                                std::size_t n_runs, std::uint64_t seed);
+
 /// Measures the full Table I suite on `system` (parallel over benchmarks).
 Corpus build_corpus(const SystemModel& system, std::size_t n_runs,
                     std::uint64_t seed);
+
+/// Configuration-sampled measurement corpus (configuration-space
+/// prediction): a benchmark subset crossed with a config subset. For every
+/// sampled benchmark it holds the *neutral-config* runs (the profile
+/// source: at tuning time probe runs exist only under the deployed default
+/// config), and for every (config, benchmark) cell the runs under that
+/// config's condition (the training targets).
+struct ConfigCorpus {
+  const SystemModel* system = nullptr;
+  std::vector<SystemConfig> configs;       ///< sampled configs
+  std::vector<std::size_t> benchmarks;     ///< sampled benchmark indices
+  std::vector<BenchmarkRuns> probe_runs;   ///< neutral runs, per benchmark
+  /// cell_runs[c][b]: runs of benchmarks[b] under configs[c]'s condition.
+  std::vector<std::vector<BenchmarkRuns>> cell_runs;
+
+  std::size_t config_count() const { return configs.size(); }
+  std::size_t benchmark_count() const { return benchmarks.size(); }
+};
+
+/// Measures `benchmarks x configs` (parallel over cells). Cell seeds are
+/// derived from (seed, system, config name, benchmark), so adding or
+/// removing configs/benchmarks never perturbs the remaining cells. The
+/// neutral config's cells are bit-identical to the legacy unconditioned
+/// path under the same (seed, n_runs).
+ConfigCorpus build_config_corpus(const SystemModel& system,
+                                 std::span<const SystemConfig> configs,
+                                 std::span<const std::size_t> benchmarks,
+                                 std::size_t n_runs, std::uint64_t seed);
 
 }  // namespace varpred::measure

@@ -1,0 +1,276 @@
+#include "measure/sysconfig.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/text.hpp"
+
+namespace varpred::measure {
+
+const char* to_string(Governor governor) {
+  switch (governor) {
+    case Governor::kPerformance:
+      return "performance";
+    case Governor::kOndemand:
+      return "ondemand";
+    case Governor::kPowersave:
+      return "powersave";
+  }
+  VARPRED_CHECK(false, "invalid Governor enum value");
+}
+
+const char* to_string(NumaPolicy policy) {
+  switch (policy) {
+    case NumaPolicy::kLocal:
+      return "local";
+    case NumaPolicy::kInterleave:
+      return "interleave";
+    case NumaPolicy::kBalancing:
+      return "balancing";
+  }
+  VARPRED_CHECK(false, "invalid NumaPolicy enum value");
+}
+
+bool SystemConfig::neutral() const { return *this == SystemConfig{}; }
+
+SystemCondition SystemConfig::condition() const {
+  VARPRED_CHECK_ARG(threads >= 1 && threads <= kMaxThreads,
+                    "threads must be in [1, " +
+                        std::to_string(kMaxThreads) + "]");
+  // Every knob at its default contributes nothing (the factors stay at
+  // their constructed 1.0), so the neutral config produces the neutral
+  // condition without relying on floating-point identities.
+  SystemCondition cond;
+  switch (governor) {
+    case Governor::kPerformance:
+      break;
+    case Governor::kOndemand:
+      // Frequency ramps lag load changes: slightly slower on average, with
+      // ramp-timing jitter and occasional deep-idle wakeup tails.
+      cond.speed_scale *= 0.96;
+      cond.jitter_scale *= 1.45;
+      cond.tail_scale *= 1.15;
+      break;
+    case Governor::kPowersave:
+      // Capped frequency: much slower, moderately more jitter, and the
+      // strongest tail amplification (deepest idle states).
+      cond.speed_scale *= 0.80;
+      cond.jitter_scale *= 1.20;
+      cond.tail_scale *= 1.35;
+      break;
+  }
+  if (!smt) {
+    // Half the logical CPUs costs some throughput but removes sibling
+    // contention, the classic run-to-run jitter source.
+    cond.speed_scale *= 0.93;
+    cond.jitter_scale *= 0.75;
+    cond.tail_scale *= 0.92;
+  }
+  switch (numa) {
+    case NumaPolicy::kLocal:
+      break;
+    case NumaPolicy::kInterleave:
+      // Round-robin page placement evens out placement luck: the bimodal
+      // split mostly disappears, paid for with a small mean slowdown.
+      cond.numa_scale *= 0.35;
+      cond.speed_scale *= 0.97;
+      cond.jitter_scale *= 1.05;
+      break;
+    case NumaPolicy::kBalancing:
+      // Kernel auto-migration recovers part of the split but the page
+      // migrations themselves add jitter and occasional stalls.
+      cond.numa_scale *= 0.70;
+      cond.jitter_scale *= 1.20;
+      cond.tail_scale *= 1.08;
+      break;
+  }
+  if (threads != kMaxThreads) {
+    const double f =
+        static_cast<double>(threads) / static_cast<double>(kMaxThreads);
+    // Sublinear parallel scaling (Amdahl-ish exponent), and fewer threads
+    // contend less, so jitter shrinks toward a floor.
+    cond.speed_scale *= std::pow(f, 0.65);
+    cond.jitter_scale *= 0.5 + 0.5 * f;
+  }
+  return cond;
+}
+
+std::string SystemConfig::name() const {
+  return std::string("gov=") + to_string(governor) +
+         ",smt=" + (smt ? "on" : "off") + ",numa=" + to_string(numa) +
+         ",threads=" + std::to_string(threads);
+}
+
+SystemConfig SystemConfig::parse(const std::string& text) {
+  SystemConfig config;
+  bool seen[4] = {false, false, false, false};
+  for (const auto& field : split(text, ',')) {
+    const auto eq = field.find('=');
+    VARPRED_CHECK_ARG(eq != std::string::npos,
+                      "config field without '=': " + field);
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "gov") {
+      if (value == "performance") {
+        config.governor = Governor::kPerformance;
+      } else if (value == "ondemand") {
+        config.governor = Governor::kOndemand;
+      } else if (value == "powersave") {
+        config.governor = Governor::kPowersave;
+      } else {
+        VARPRED_CHECK_ARG(false, "unknown governor: " + value +
+                                     " (valid: performance, ondemand, "
+                                     "powersave)");
+      }
+      seen[0] = true;
+    } else if (key == "smt") {
+      VARPRED_CHECK_ARG(value == "on" || value == "off",
+                        "smt must be on or off, got: " + value);
+      config.smt = value == "on";
+      seen[1] = true;
+    } else if (key == "numa") {
+      if (value == "local") {
+        config.numa = NumaPolicy::kLocal;
+      } else if (value == "interleave") {
+        config.numa = NumaPolicy::kInterleave;
+      } else if (value == "balancing") {
+        config.numa = NumaPolicy::kBalancing;
+      } else {
+        VARPRED_CHECK_ARG(false, "unknown numa policy: " + value +
+                                     " (valid: local, interleave, "
+                                     "balancing)");
+      }
+      seen[2] = true;
+    } else if (key == "threads") {
+      std::size_t threads = 0;
+      for (const char c : value) {
+        VARPRED_CHECK_ARG(c >= '0' && c <= '9',
+                          "threads must be a number, got: " + value);
+        threads = threads * 10 + static_cast<std::size_t>(c - '0');
+        VARPRED_CHECK_ARG(threads <= kMaxThreads,
+                          "threads must be in [1, " +
+                              std::to_string(kMaxThreads) + "], got: " +
+                              value);
+      }
+      VARPRED_CHECK_ARG(threads >= 1, "threads must be >= 1, got: " + value);
+      config.threads = threads;
+      seen[3] = true;
+    } else {
+      VARPRED_CHECK_ARG(false, "unknown config field: " + key +
+                                   " (valid: gov, smt, numa, threads)");
+    }
+  }
+  VARPRED_CHECK_ARG(seen[0] && seen[1] && seen[2] && seen[3],
+                    "config must name all of gov, smt, numa, threads: " +
+                        text);
+  return config;
+}
+
+std::vector<double> SystemConfig::to_features() const {
+  return {
+      governor == Governor::kOndemand ? 1.0 : 0.0,
+      governor == Governor::kPowersave ? 1.0 : 0.0,
+      smt ? 1.0 : 0.0,
+      numa == NumaPolicy::kInterleave ? 1.0 : 0.0,
+      numa == NumaPolicy::kBalancing ? 1.0 : 0.0,
+      static_cast<double>(threads) / static_cast<double>(kMaxThreads),
+  };
+}
+
+std::vector<std::string> SystemConfig::feature_names() {
+  return {"cfg_gov_ondemand", "cfg_gov_powersave", "cfg_smt",
+          "cfg_numa_interleave", "cfg_numa_balancing", "cfg_threads_frac"};
+}
+
+std::vector<SystemConfig> SystemConfig::grid() {
+  static constexpr Governor kGovernors[] = {
+      Governor::kPerformance, Governor::kOndemand, Governor::kPowersave};
+  static constexpr bool kSmt[] = {true, false};
+  static constexpr NumaPolicy kNuma[] = {
+      NumaPolicy::kLocal, NumaPolicy::kInterleave, NumaPolicy::kBalancing};
+  static constexpr std::size_t kThreads[] = {64, 48, 32, 16};
+  std::vector<SystemConfig> configs;
+  configs.reserve(std::size(kGovernors) * std::size(kSmt) * std::size(kNuma) *
+                  std::size(kThreads));
+  for (const Governor governor : kGovernors) {
+    for (const bool smt : kSmt) {
+      for (const NumaPolicy numa : kNuma) {
+        for (const std::size_t threads : kThreads) {
+          configs.push_back(SystemConfig{governor, smt, numa, threads});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+std::vector<SystemConfig> sample_configs(std::span<const SystemConfig> space,
+                                         std::size_t count,
+                                         std::uint64_t seed) {
+  VARPRED_CHECK_ARG(count >= 1 && count <= space.size(),
+                    "config sample count must be in [1, |space|]");
+  std::vector<std::size_t> order(space.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed_combine(seed, stable_hash("config-sample")));
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_index(order.size() - i));
+    std::swap(order[i], order[j]);
+  }
+  // Stratified pass: walk the shuffled order and take first the configs
+  // that still cover an unseen knob level. A uniform sample of a dozen
+  // configs routinely misses an entire level (e.g. no threads=16 at all),
+  // and a surrogate trained on such a sample has to extrapolate exactly
+  // where tuners query it — that failure mode showed up as the tuner
+  // shortlisting none of the true optima. Greedy level coverage makes
+  // every level interpolable whenever count allows it.
+  const auto levels = [](const SystemConfig& c) {
+    return std::array<std::size_t, 4>{
+        static_cast<std::size_t>(c.governor),
+        c.smt ? std::size_t{0} : std::size_t{1},
+        static_cast<std::size_t>(c.numa) + 2,
+        std::min<std::size_t>(6, c.threads * 4 / (SystemConfig::kMaxThreads + 1)),
+    };
+  };
+  bool covered[4][7] = {};
+  std::vector<std::size_t> chosen;
+  std::vector<bool> taken(space.size(), false);
+  chosen.reserve(count);
+  for (const std::size_t i : order) {
+    if (chosen.size() == count) break;
+    bool fresh = false;
+    for (std::size_t k = 0; k < 4; ++k) {
+      fresh = fresh || !covered[k][levels(space[i])[k]];
+    }
+    if (!fresh) continue;
+    for (std::size_t k = 0; k < 4; ++k) {
+      covered[k][levels(space[i])[k]] = true;
+    }
+    chosen.push_back(i);
+    taken[i] = true;
+  }
+  for (const std::size_t i : order) {
+    if (chosen.size() == count) break;
+    if (!taken[i]) chosen.push_back(i);
+  }
+  std::vector<SystemConfig> sampled;
+  sampled.reserve(count);
+  bool has_neutral = false;
+  for (const std::size_t i : chosen) {
+    sampled.push_back(space[i]);
+    has_neutral = has_neutral || space[i].neutral();
+  }
+  if (!has_neutral) {
+    for (const SystemConfig& config : space) {
+      if (config.neutral()) {
+        sampled.back() = config;  // displace the last pick, keep the anchor
+        break;
+      }
+    }
+  }
+  return sampled;
+}
+
+}  // namespace varpred::measure

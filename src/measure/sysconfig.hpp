@@ -1,0 +1,102 @@
+// Tunable system configuration knobs (configuration-space prediction).
+//
+// Xu et al. (arXiv 2012.07915, 2205.09879) predict HPC I/O variability as
+// a function of system configuration and then optimize configurations
+// against the fitted model. This header gives the simulated machines the
+// same degrees of freedom: a SystemConfig names the externally tunable
+// state of a machine (frequency governor, SMT, NUMA placement policy,
+// thread count) and maps it deterministically onto the SystemCondition
+// factors the runtime-distribution generator already understands. The
+// neutral config (all defaults) maps to the neutral condition, so every
+// existing corpus, ledger, and baseline is bit-identical to before.
+//
+// The mapping is benchmark-independent by construction — a config scales
+// the *machine's* jitter/NUMA/tail/speed factors — but its effect on a
+// given application is benchmark-dependent, because the condition factors
+// interact multiplicatively with the application's traits inside
+// runtime_distribution (e.g. a jitter scale only matters for codes with
+// synchronization). That interaction is what the config-aware predictor
+// has to learn, and what makes configuration tuning application-specific.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "measure/system_model.hpp"
+
+namespace varpred::measure {
+
+/// CPU frequency governor. `kPerformance` (all cores pinned at nominal
+/// frequency) is the neutral default; the scaling governors trade mean
+/// speed for frequency-ramp jitter and deeper-idle wakeup tails.
+enum class Governor : std::uint8_t { kPerformance, kOndemand, kPowersave };
+
+/// NUMA page-placement policy. `kLocal` (first-touch local allocation,
+/// the usual default) is neutral; `kInterleave` round-robins pages across
+/// nodes, evening out placement luck (suppressing the bimodal split) at a
+/// small mean cost; `kBalancing` is kernel auto-migration — it recovers
+/// part of the split but adds migration jitter.
+enum class NumaPolicy : std::uint8_t { kLocal, kInterleave, kBalancing };
+
+const char* to_string(Governor governor);
+const char* to_string(NumaPolicy policy);
+
+/// One point in the tunable configuration space of a machine. Defaults are
+/// the neutral configuration: `condition()` on it returns the neutral
+/// SystemCondition, so runs under it are bit-identical to the legacy
+/// unconditioned path.
+struct SystemConfig {
+  /// Hardware thread budget of the simulated machines; `threads` ranges
+  /// over divisors of this in the stock grid.
+  static constexpr std::size_t kMaxThreads = 64;
+
+  Governor governor = Governor::kPerformance;
+  bool smt = true;  ///< simultaneous multithreading enabled
+  NumaPolicy numa = NumaPolicy::kLocal;
+  std::size_t threads = kMaxThreads;  ///< worker threads in [1, kMaxThreads]
+
+  bool operator==(const SystemConfig&) const = default;
+
+  /// All knobs at their defaults (maps to the neutral condition).
+  bool neutral() const;
+
+  /// Deterministic knob -> factor mapping. Throws on threads outside
+  /// [1, kMaxThreads].
+  SystemCondition condition() const;
+
+  /// Stable display/parse form, e.g. "gov=performance,smt=on,numa=local,
+  /// threads=64".
+  std::string name() const;
+
+  /// Inverse of name(); throws std::invalid_argument on unknown fields or
+  /// values (strict: every field required, no extras).
+  static SystemConfig parse(const std::string& text);
+
+  /// Model-facing features: governor and NUMA policy one-hot (the neutral
+  /// level is the implicit baseline), SMT as 0/1, thread count as a
+  /// fraction of kMaxThreads. Appended in front of the application profile
+  /// by the config-aware predictor.
+  static constexpr std::size_t kFeatureCount = 6;
+  std::vector<double> to_features() const;
+  static std::vector<std::string> feature_names();
+
+  /// The full stock knob grid: 3 governors x {smt on, off} x 3 NUMA
+  /// policies x 4 thread counts (64/48/32/16) = 72 configurations, neutral
+  /// first, in a stable deterministic order.
+  static std::vector<SystemConfig> grid();
+};
+
+/// Deterministically samples `count` distinct configs from `space` under a
+/// seeded Rng, stratified so every knob level present in `space` is
+/// covered whenever `count` allows (a uniform dozen-config sample
+/// routinely drops a whole level, leaving the surrogate to extrapolate
+/// exactly where tuners query it). The neutral config, when present in
+/// `space`, is always kept — training without the deployment default
+/// would make the surrogate extrapolate at its anchor point.
+std::vector<SystemConfig> sample_configs(std::span<const SystemConfig> space,
+                                         std::size_t count,
+                                         std::uint64_t seed);
+
+}  // namespace varpred::measure

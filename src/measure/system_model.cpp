@@ -197,7 +197,11 @@ rngdist::Mixture SystemModel::runtime_distribution(
   // similar (but never identical) mode structure, which is exactly what
   // makes the shape learnable from profiles.
   constexpr double kBimodalThreshold = 0.45;
-  const double sensitivity = traits.numa * numa_factor_;
+  // The condition's NUMA scale modulates the machine's effective NUMA
+  // factor (interleaved page placement evens out the fast/slow split);
+  // multiplying by the neutral 1.0 is exact, so the legacy path is
+  // bit-identical.
+  const double sensitivity = traits.numa * (numa_factor_ * cond.numa_scale);
   const double u_gap = shared.uniform();
   const double u_w2 = shared.uniform();
   const double u_sigma2 = shared.uniform();
@@ -327,11 +331,26 @@ const SystemModel& SystemModel::cloud() {
 }
 
 const SystemModel& SystemModel::by_name(const std::string& name) {
-  if (name == "intel") return intel();
-  if (name == "amd") return amd();
-  if (name == "arm") return arm();
-  if (name == "cloud") return cloud();
-  VARPRED_CHECK_ARG(false, "unknown system: " + name);
+  for (const SystemModel* system : all_systems()) {
+    if (system->name() == name) return *system;
+  }
+  for (const SystemModel* system : virtual_systems()) {
+    if (system->name() == name) return *system;
+  }
+  // Spell out the valid names: config-bearing lookups ("varpred tune
+  // --system=...") reach this path from user input, where "unknown system"
+  // alone sends people to the source.
+  std::string valid;
+  for (const SystemModel* system : all_systems()) {
+    if (!valid.empty()) valid += ", ";
+    valid += system->name();
+  }
+  for (const SystemModel* system : virtual_systems()) {
+    if (!valid.empty()) valid += ", ";
+    valid += system->name();
+  }
+  VARPRED_CHECK_ARG(false, "unknown system: " + name + " (valid: " + valid +
+                               ")");
 }
 
 std::span<const SystemModel* const> SystemModel::all_systems() {

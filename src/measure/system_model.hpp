@@ -42,13 +42,17 @@ struct SystemCondition {
   double jitter_scale = 1.0;  ///< multiplies the machine's base jitter
   double tail_scale = 1.0;    ///< multiplies heavy-tail weight and scale
   double speed_scale = 1.0;   ///< multiplies machine speed (<1: throttled)
+  /// Multiplies the machine's NUMA factor (page-placement sensitivity).
+  /// < 1 models placement policies that even out page luck (interleaving
+  /// suppresses the bimodal split); > 1 models policies that amplify it.
+  double numa_scale = 1.0;
   /// Co-tenant pressure in [0, 1]; > 0 adds a displaced interference mode
   /// (a noisy neighbor stealing cache/memory bandwidth).
   double interference = 0.0;
 
   bool neutral() const {
     return jitter_scale == 1.0 && tail_scale == 1.0 && speed_scale == 1.0 &&
-           interference == 0.0;
+           numa_scale == 1.0 && interference == 0.0;
   }
 };
 

@@ -1,0 +1,115 @@
+// Variability-aware configuration tuning.
+//
+// Given an application's neutral-config probe runs and a trained
+// config-aware surrogate (core::ConfigAwarePredictor), the tuner searches
+// the knob space for the configuration with the smallest run-to-run
+// variability. The surrogate screens the whole space for free; real
+// measurements — the expensive resource the tuner budgets — are spent only
+// on the surrogate's shortlist, via successive halving, with the leftover
+// budget validating the finalists. The competing exhaustive baseline
+// measures every configuration at full depth; the tuner's acceptance bar
+// (bench_tune) is landing within 5% of the exhaustive optimum's
+// variability on <= 25% of its measurement budget.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/configpred.hpp"
+#include "measure/corpus.hpp"
+#include "measure/sysconfig.hpp"
+
+namespace varpred::tune {
+
+/// The tuning objective: the standard deviation of *relative* times
+/// (samples are normalized by their mean first, so the objective is
+/// scale-free and works identically on measured absolute seconds and
+/// reconstructed relative samples). A tail quantile gap would match the
+/// paper's variability framing more literally, but estimated from the
+/// tens-of-runs budgets a tuner can afford it is mostly estimator noise;
+/// the relative sd converges fast enough to rank configs reliably.
+/// Smaller is steadier. Throws on fewer than two samples.
+double variability_objective(std::span<const double> runtimes);
+
+struct TunerConfig {
+  /// Total measured runs the tuner may spend (rungs + finalist
+  /// validation). The probe runs are the caller's and are not counted.
+  std::size_t measure_budget = 600;
+  /// Configs surviving the surrogate screen into the first measured rung.
+  /// Sized to hold a whole knob-level block (e.g. all 24 interleave
+  /// configs of the stock grid): the surrogate separates blocks well but
+  /// is nearly flat inside them, so a tighter cut would drop members of
+  /// the best block on prediction noise.
+  std::size_t surrogate_top = 24;
+  /// Floor on measured runs per candidate in the first rung; deeper rungs
+  /// multiply by eta as the field narrows. The tuner raises the actual
+  /// first-rung depth to budget / (4 * shortlist) when the budget allows:
+  /// a tail-spread objective estimated from a handful of runs is noise,
+  /// and culling on noise is how optima get lost.
+  std::size_t rung_runs = 10;
+  /// Halving factor: each rung keeps ceil(active / eta) candidates.
+  double eta = 2.0;
+  /// Candidates that get the leftover budget as validation runs.
+  std::size_t finalists = 4;
+  /// Samples reconstructed from the surrogate per candidate.
+  std::size_t n_reconstruct = 2000;
+  std::uint64_t seed = 7;
+};
+
+/// One searched configuration's scoreboard entry.
+struct Candidate {
+  measure::SystemConfig config;
+  /// Surrogate-predicted objective (every candidate has one).
+  double predicted = std::numeric_limits<double>::quiet_NaN();
+  /// Measured objective over all runs spent on this candidate; NaN if the
+  /// candidate never left the surrogate screen.
+  double measured = std::numeric_limits<double>::quiet_NaN();
+  std::size_t runs_spent = 0;
+  bool finalist = false;
+};
+
+struct TuneResult {
+  /// All candidates, sorted by predicted objective (best first).
+  std::vector<Candidate> candidates;
+  std::size_t best = 0;  ///< index into candidates of the winner
+  std::size_t runs_spent = 0;  ///< total measured runs actually consumed
+
+  const Candidate& winner() const { return candidates[best]; }
+};
+
+/// Surrogate-guided search. `probe` holds the application's neutral-config
+/// runs and `probe_indices` selects the runs visible to the surrogate
+/// (the few-runs regime). Deterministic per (surrogate, space, config).
+TuneResult tune_config(const core::ConfigAwarePredictor& surrogate,
+                       const measure::SystemModel& system,
+                       std::size_t benchmark_index,
+                       const measure::BenchmarkRuns& probe,
+                       std::span<const std::size_t> probe_indices,
+                       std::span<const measure::SystemConfig> space,
+                       const TunerConfig& config);
+
+/// Exhaustive measured baseline: every config in `space` measured
+/// `runs_per_config` times, best by measured objective.
+struct ExhaustiveResult {
+  std::vector<double> objectives;  ///< aligned with `space`
+  std::size_t best = 0;            ///< index into `space`
+  std::size_t runs_spent = 0;
+};
+
+ExhaustiveResult exhaustive_search(const measure::SystemModel& system,
+                                   std::size_t benchmark_index,
+                                   std::span<const measure::SystemConfig> space,
+                                   std::size_t runs_per_config,
+                                   std::uint64_t seed);
+
+/// Large-sample ground-truth objective of a config, straight from the
+/// conditioned analytic mixture. Used to score tuner regret against the
+/// exhaustive optimum without measurement noise.
+double true_objective(const measure::SystemModel& system,
+                      std::size_t benchmark_index,
+                      const measure::SystemConfig& config,
+                      std::size_t n_samples, std::uint64_t seed);
+
+}  // namespace varpred::tune

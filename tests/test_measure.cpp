@@ -95,6 +95,18 @@ TEST(SystemModel, LookupAndFactors) {
   EXPECT_EQ(SystemModel::amd().name(), "amd");
   EXPECT_EQ(&SystemModel::by_name("intel"), &SystemModel::intel());
   EXPECT_THROW(SystemModel::by_name("sparc"), std::invalid_argument);
+  // Unknown-name errors spell out every valid name: config-bearing lookups
+  // ("varpred tune --system=...") surface this message to users directly.
+  try {
+    SystemModel::by_name("sparc");
+    FAIL() << "by_name must throw on an unknown system";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown system: sparc"), std::string::npos) << msg;
+    for (const char* name : {"intel", "amd", "arm", "cloud"}) {
+      EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name;
+    }
+  }
   // The AMD system is the "wilder" machine by construction.
   EXPECT_GT(SystemModel::amd().numa_factor(),
             SystemModel::intel().numa_factor());

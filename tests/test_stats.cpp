@@ -180,6 +180,32 @@ TEST(Quantiles, LinearInterpolation) {
   EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
 }
 
+// Boundary behavior of quantile/quantile_sorted: p=0 and p=1 are the
+// sample extremes, n=1 returns the sole element at every p, and invalid
+// input (empty sample, p outside [0, 1]) throws rather than indexing out
+// of range or silently clamping.
+TEST(Quantiles, BoundaryAndDegenerateInputs) {
+  const std::vector<double> one = {3.5};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(quantile(one, 0.5), 3.5);
+  EXPECT_DOUBLE_EQ(quantile(one, 1.0), 3.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 1.0), 3.5);
+
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};  // unsorted input
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 4.0);
+
+  const std::vector<double> empty;
+  EXPECT_THROW(quantile(empty, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted(empty, 0.5), std::invalid_argument);
+  EXPECT_THROW(median(empty), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, -0.001), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted(sorted, 1.001), std::invalid_argument);
+}
+
 TEST(Ks, IdenticalSamplesScoreNearZero) {
   Rng rng(3);
   std::vector<double> xs(2000);

@@ -23,14 +23,24 @@
 //   varpred evaluate  --system=intel --runs=500 [--repr=...] [--model-kind=knn]
 //       Leave-one-benchmark-out KS evaluation (one Fig. 4 cell).
 //
+//   varpred tune      --system=intel --benchmark=parsec/streamcluster
+//                     [--budget=600] [--exhaustive]
+//       Variability-aware configuration tuning: trains a config-aware
+//       surrogate on a sampled (config x benchmark) corpus, screens the
+//       full knob grid with it, and spends the measurement budget on the
+//       shortlist via successive halving. --exhaustive also measures every
+//       config at full depth and reports the tuner's regret against it.
+//
 //   varpred systems | benchmarks | metrics --system=...
 //       Inventory listings.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "common/parse.hpp"
@@ -341,6 +351,125 @@ int cmd_evaluate(const Args& args, const bench::Run* run) {
   return 0;
 }
 
+int cmd_tune(const Args& args, const bench::Run* run) {
+  const auto& system = measure::SystemModel::by_name(args.get("system",
+                                                              "intel"));
+  const auto bench_name = args.get("benchmark", "parsec/streamcluster");
+  const std::size_t target = measure::benchmark_index(bench_name);
+  const std::size_t runs = args.get_size("runs", 300);
+  const std::uint64_t base_seed = args.get_size("seed", 7);
+  const std::uint64_t seed =
+      run == nullptr ? base_seed : run->repetition_seed(base_seed);
+
+  // Training corpus: a sampled config subset crossed with a sampled
+  // benchmark subset that never contains the tuning target (the surrogate
+  // must generalize to it from its neutral-config probes alone).
+  const auto grid = measure::SystemConfig::grid();
+  const auto train_configs = measure::sample_configs(
+      grid, std::min(args.get_size("train-configs", 12), grid.size()),
+      base_seed);
+  std::vector<std::size_t> others;
+  for (std::size_t b = 0; b < measure::benchmark_table().size(); ++b) {
+    if (b != target) others.push_back(b);
+  }
+  Rng bench_rng(seed_combine(base_seed, stable_hash("tune-benchmarks")));
+  const auto picks = core::choose_run_indices(
+      others.size(),
+      std::min(args.get_size("train-benchmarks", 16), others.size()),
+      bench_rng);
+  std::vector<std::size_t> train_benchmarks;
+  for (const std::size_t p : picks) train_benchmarks.push_back(others[p]);
+
+  std::printf("measuring %zu configs x %zu benchmarks on %s...\n",
+              train_configs.size(), train_benchmarks.size(),
+              system.name().c_str());
+  const auto corpus = measure::build_config_corpus(
+      system, train_configs, train_benchmarks, runs, base_seed);
+
+  core::ConfigAwareConfig pconfig;
+  pconfig.repr = parse_repr(args.get("repr", "pearson"));
+  if (args.has("model-kind")) {
+    pconfig.model = parse_model_kind(args.get("model-kind", ""));
+  }
+  pconfig.n_probe_runs = args.get_size("probes", 10);
+  core::ConfigAwarePredictor predictor(pconfig);
+  predictor.train_all(corpus);
+
+  // The application's probe runs under the deployed (neutral) config.
+  const auto probe = measure::measure_benchmark(
+      target, system, std::max<std::size_t>(pconfig.n_probe_runs, 1),
+      stable_hash("probe") ^ seed);
+  std::vector<std::size_t> idx(probe.run_count());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+
+  tune::TunerConfig tconfig;
+  tconfig.measure_budget = args.get_size("budget", tconfig.measure_budget);
+  tconfig.surrogate_top = args.get_size("top", tconfig.surrogate_top);
+  tconfig.finalists = args.get_size("finalists", tconfig.finalists);
+  tconfig.seed = seed;
+  const auto result = tune::tune_config(predictor, system, target, probe,
+                                        idx, grid, tconfig);
+
+  // Leaderboard: every candidate the tuner spent measurements on, by
+  // measured variability. Both columns are the same quantity — the
+  // relative standard deviation (tune::variability_objective) — predicted
+  // by the surrogate vs. measured; the selection below minimizes exactly
+  // the printed meas_sd column.
+  io::TextTable table({"config", "pred_sd", "meas_sd", "runs",
+                       "finalist"});
+  std::vector<std::size_t> measured_order;
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    if (result.candidates[i].runs_spent > 0) measured_order.push_back(i);
+  }
+  std::sort(measured_order.begin(), measured_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return result.candidates[a].measured <
+                     result.candidates[b].measured;
+            });
+  for (const std::size_t i : measured_order) {
+    const auto& cand = result.candidates[i];
+    table.add_row({cand.config.name(), format_fixed(cand.predicted, 4),
+                   format_fixed(cand.measured, 4),
+                   std::to_string(cand.runs_spent),
+                   cand.finalist ? "yes" : ""});
+  }
+  std::printf("%s", table.render().c_str());
+  const auto& winner = result.winner();
+  std::printf("selected %s (measured relative sd %.4f, %zu/%zu runs "
+              "spent)\n",
+              winner.config.name().c_str(), winner.measured,
+              result.runs_spent, tconfig.measure_budget);
+
+  if (args.has("exhaustive")) {
+    const auto exhaustive = tune::exhaustive_search(
+        system, target, grid, runs, base_seed);
+    constexpr std::size_t kTruthSamples = 20000;
+    const double optimal = tune::true_objective(
+        system, target, grid[exhaustive.best], kTruthSamples, base_seed);
+    const double tuned = tune::true_objective(
+        system, target, winner.config, kTruthSamples, base_seed);
+    const double regret = tuned / optimal - 1.0;
+    const double budget_fraction =
+        static_cast<double>(result.runs_spent) /
+        static_cast<double>(exhaustive.runs_spent);
+    std::printf("exhaustive optimum %s (true relative sd %.4f, %zu runs)\n",
+                grid[exhaustive.best].name().c_str(), optimal,
+                exhaustive.runs_spent);
+    std::printf("tuner regret %+.2f%% at %.1f%% of the exhaustive budget\n",
+                100.0 * regret, 100.0 * budget_fraction);
+    obs::QualityCellKey key;
+    key.app = bench_name;
+    key.systems = system.name();
+    key.repr = core::to_string(pconfig.repr);
+    key.model = core::to_string(pconfig.model);
+    key.metric = "tune_regret";
+    obs::QualityRecorder::instance().record(key, regret);
+    key.metric = "tune_budget_fraction";
+    obs::QualityRecorder::instance().record(key, budget_fraction);
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
@@ -355,6 +484,10 @@ void usage() {
       "  predict   --model=F --benchmark=B [--probes=N] [--svg=F]\n"
       "            [--input-csv=F]  use externally measured runs\n"
       "  evaluate  --system=S [--repr=R] [--model-kind=M] [--runs=N]\n"
+      "  tune      --system=S --benchmark=B [--budget=N] [--top=N]\n"
+      "            [--finalists=N] [--train-configs=N]\n"
+      "            [--train-benchmarks=N] [--runs=N] [--probes=N]\n"
+      "            [--exhaustive]  also measure every config, report regret\n"
       "telemetry (any of these runs the command under the bench harness and\n"
       "emits BENCH_cli_<command>.json + QUALITY_cli_<command>.json):\n"
       "  --obs=off|summary|trace --obs-out=F --quality-out=F --repeat=N\n"
@@ -373,6 +506,7 @@ int dispatch(const Args& args, const bench::Run* run) {
   if (args.command == "train-x") return cmd_train_x(args);
   if (args.command == "predict") return cmd_predict(args, run);
   if (args.command == "evaluate") return cmd_evaluate(args, run);
+  if (args.command == "tune") return cmd_tune(args, run);
   usage();
   return 2;
 }
